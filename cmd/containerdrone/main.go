@@ -1,0 +1,151 @@
+// Command containerdrone runs one ContainerDrone scenario and reports
+// the flight outcome: Simplex switches, crash status, tracking
+// metrics, per-axis trajectory sparklines, and optionally the full
+// trajectory as CSV (the format of the paper's Figs 4–7).
+//
+// Examples:
+//
+//	containerdrone -scenario baseline
+//	containerdrone -scenario memdos -memguard=false -csv fig4.csv
+//	containerdrone -scenario udpflood -duration 30s
+//	containerdrone -scenario kill -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"containerdrone/internal/attack"
+	"containerdrone/internal/core"
+	"containerdrone/internal/telemetry"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "baseline", "baseline | memdos | udpflood | kill | cpuhog")
+		memguard = flag.Bool("memguard", true, "enable MemGuard memory-bandwidth regulation")
+		monitorF = flag.Bool("monitor", true, "enable the security monitor (Simplex switching)")
+		iptables = flag.Float64("iptables", 8000, "iptables packet rate limit on the motor port (0 = off)")
+		duration = flag.Duration("duration", 30*time.Second, "simulated flight duration")
+		attackAt = flag.Duration("attack-at", -1, "attack start time (default: scenario preset)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		csvPath  = flag.String("csv", "", "write trajectory CSV to this path")
+		bbPath   = flag.String("blackbox", "", "write binary flight recording to this path")
+		replay   = flag.String("replay", "", "analyze an existing blackbox recording instead of flying")
+		trace    = flag.Bool("trace", true, "print the event trace")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		if err := replayBlackbox(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg, err := buildConfig(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	cfg.Duration = *duration
+	cfg.MemGuardEnabled = *memguard
+	cfg.MonitorEnabled = *monitorF
+	cfg.IPTablesRate = *iptables
+	if *attackAt >= 0 {
+		cfg.Attack.Start = *attackAt
+	}
+
+	sys, err := core.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := sys.Run()
+
+	fmt.Print(res.Summary())
+	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 72))
+	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 72))
+	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 72))
+	if *trace {
+		for _, ev := range res.Trace.Events() {
+			fmt.Println(" ", ev)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Log.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trajectory written to %s (%d samples)\n", *csvPath, res.Log.Len())
+	}
+	if *bbPath != "" {
+		f, err := os.Create(*bbPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := telemetry.WriteBlackbox(f, res.Log); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("blackbox written to %s\n", *bbPath)
+	}
+	if res.Crashed {
+		os.Exit(3)
+	}
+}
+
+// replayBlackbox loads a recording and re-runs the analysis pipeline.
+func replayBlackbox(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := telemetry.ReadBlackbox(f)
+	if err != nil {
+		return err
+	}
+	m := log.Metrics()
+	fmt.Printf("blackbox %s: %d samples\n", path, log.Len())
+	if crashed, at := log.Crashed(); crashed {
+		fmt.Printf("  CRASHED at %.1fs\n", at.Seconds())
+	}
+	fmt.Printf("  RMS err %.3fm  max dev %.3fm  max tilt %.1f°\n",
+		m.RMSError, m.MaxDeviation, m.MaxTilt*180/3.14159265)
+	fmt.Printf("  X %s\n", log.Sparkline(telemetry.AxisX, 72))
+	fmt.Printf("  Y %s\n", log.Sparkline(telemetry.AxisY, 72))
+	fmt.Printf("  Z %s\n", log.Sparkline(telemetry.AxisZ, 72))
+	return nil
+}
+
+func buildConfig(scenario string) (core.Config, error) {
+	switch scenario {
+	case "baseline":
+		return core.ScenarioBaseline(), nil
+	case "memdos":
+		return core.ScenarioMemDoS(true), nil
+	case "udpflood":
+		return core.ScenarioFlood(), nil
+	case "kill":
+		return core.ScenarioKill(), nil
+	case "cpuhog":
+		cfg := core.DefaultConfig()
+		cfg.Attack = attack.Plan{Kind: attack.KindCPUHog, Start: 10 * time.Second}
+		return cfg, nil
+	default:
+		return core.Config{}, fmt.Errorf("unknown scenario %q (want baseline|memdos|udpflood|kill|cpuhog)", scenario)
+	}
+}

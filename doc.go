@@ -1,0 +1,24 @@
+// Package containerdrone reproduces "A Container-based DoS
+// Attack-Resilient Control Framework for Real-Time UAV Systems"
+// (Chen, Feng, Wen, Liu, Sha — DATE 2019) as a deterministic
+// co-simulation in pure Go.
+//
+// The framework's Simplex architecture protects a quadcopter's host
+// control environment (safety controller + security monitor) from DoS
+// attacks launched inside a Docker-style container control
+// environment along three resource axes: CPU (cgroup cpuset and FIFO
+// priority caps), memory bandwidth (a MemGuard reimplementation on a
+// shared-DRAM model), and the communication channel (sandboxed
+// namespace, iptables rate limiting, and two security rules that
+// trigger failover to the safety controller).
+//
+// Entry points:
+//
+//   - internal/core: Config/System/Result — build and run scenarios
+//   - cmd/containerdrone: CLI scenario runner
+//   - cmd/experiments: regenerates every table and figure of the paper
+//   - examples/: quickstart, memdos, udpflood, failover
+//
+// Root-level benchmarks (bench_test.go) regenerate each table and
+// figure; see EXPERIMENTS.md for the paper-vs-measured record.
+package containerdrone

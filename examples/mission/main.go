@@ -1,0 +1,74 @@
+// Mission exercises the complex controller's "advanced features"
+// (§III-A: mission planning) under the full ContainerDrone stack: a
+// square patrol at 1–1.5 m altitude, flown by the containerized
+// controller while the safety controller shadows the vehicle as a
+// position-hold fallback.
+//
+// It then repeats the mission with a mid-flight controller kill,
+// demonstrating how Simplex semantics interact with missions: the
+// safety controller freezes and holds where the vehicle was — it does
+// not fly the rest of the mission, because only the (now dead)
+// complex controller knows it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"containerdrone/internal/attack"
+	"containerdrone/internal/control"
+	"containerdrone/internal/core"
+	"containerdrone/internal/physics"
+	"containerdrone/internal/telemetry"
+)
+
+func missionConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Duration = 40 * time.Second
+	// Mission legs tilt well past the hover envelope; loosen the
+	// attitude rule accordingly (see EXPERIMENTS.md on this trade-off).
+	cfg.Rules.MaxAttitudeError = 25 * math.Pi / 180
+	cfg.Mission = []control.Waypoint{
+		{Pos: physics.Vec3{X: 1, Z: 1}, Hold: time.Second},
+		{Pos: physics.Vec3{X: 1, Y: 1, Z: 1.5}, Hold: time.Second},
+		{Pos: physics.Vec3{Y: 1, Z: 1}, Hold: time.Second},
+		{Pos: physics.Vec3{Z: 1}, Hold: time.Second},
+	}
+	return cfg
+}
+
+func fly(cfg core.Config) *core.Result {
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.Run()
+}
+
+func main() {
+	fmt.Println("Square patrol mission (4 waypoints, 40 s)")
+	res := fly(missionConfig())
+	fmt.Printf("  mission complete: %v   crashed: %v   switched: %v\n",
+		res.MissionComplete, res.Crashed, res.Switched)
+	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 60))
+	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 60))
+	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 60))
+
+	fmt.Println("\nSame mission, complex controller killed at t=6s")
+	cfg := missionConfig()
+	cfg.Attack = attack.Plan{Kind: attack.KindKill, Start: 6 * time.Second}
+	res = fly(cfg)
+	fmt.Printf("  mission complete: %v   crashed: %v\n", res.MissionComplete, res.Crashed)
+	if res.Switched {
+		fmt.Printf("  Simplex switch at %.2fs (%s) — safety controller holds position\n",
+			res.SwitchTime.Seconds(), res.SwitchRule)
+	}
+	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 60))
+	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 60))
+	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 60))
+	for _, ev := range res.Trace.Events() {
+		fmt.Println(" ", ev)
+	}
+}

@@ -1,0 +1,78 @@
+package attack
+
+import (
+	"time"
+
+	"containerdrone/internal/sched"
+)
+
+// ForkBomb models the process-table exhaustion attack: malicious code
+// inside the container spawning children as fast as it can. The
+// container runtime's pids limit (Docker --pids-limit) is the defense;
+// without it the spawner would flood the scheduler with busy tasks.
+//
+// The spawn function abstracts Container.StartTask; it returns an
+// error when the pids controller refuses the fork.
+type ForkBomb struct {
+	// SpawnPerSecond is the attempted fork rate.
+	SpawnPerSecond float64
+
+	spawn    func(t *sched.Task) error
+	core     int
+	attempts int64
+	children int64
+	refused  int64
+	n        int
+}
+
+// NewForkBomb builds the attack. spawn launches one child into the
+// container (typically Container.StartTask).
+func NewForkBomb(spawn func(*sched.Task) error, core int, perSec float64) *ForkBomb {
+	if perSec <= 0 {
+		perSec = 1000
+	}
+	return &ForkBomb{SpawnPerSecond: perSec, spawn: spawn, core: core}
+}
+
+// Attempts, Children, Refused report the attack's progress.
+func (f *ForkBomb) Attempts() int64 { return f.attempts }
+
+// Children returns how many forks succeeded.
+func (f *ForkBomb) Children() int64 { return f.children }
+
+// Refused returns how many forks the pids controller denied.
+func (f *ForkBomb) Refused() int64 { return f.refused }
+
+// Task returns the driver task: a 100 Hz periodic process attempting
+// SpawnPerSecond/100 forks per job. Each child is a low-priority busy
+// loop (the classic ":(){ :|:& };:" payload burns CPU in every child).
+func (f *ForkBomb) Task(core int) *sched.Task {
+	burst := int(f.SpawnPerSecond / 100)
+	if burst < 1 {
+		burst = 1
+	}
+	return &sched.Task{
+		Name:     "attack-forkbomb",
+		Core:     core,
+		Priority: sched.PrioContainer,
+		Period:   10 * time.Millisecond,
+		WCET:     100 * time.Microsecond,
+		Work: func(time.Duration) {
+			for i := 0; i < burst; i++ {
+				f.attempts++
+				f.n++
+				child := &sched.Task{
+					Name:     "bomb-child",
+					Core:     f.core,
+					Priority: sched.PrioContainer,
+					// Busy loop: no period, burns its core share.
+				}
+				if err := f.spawn(child); err != nil {
+					f.refused++
+					continue
+				}
+				f.children++
+			}
+		},
+	}
+}

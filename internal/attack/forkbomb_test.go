@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"containerdrone/internal/cgroup"
+	"containerdrone/internal/container"
+	"containerdrone/internal/netsim"
+	"containerdrone/internal/sched"
+)
+
+func TestForkBombCountsRefusals(t *testing.T) {
+	limit := 5
+	spawned := 0
+	spawn := func(*sched.Task) error {
+		if spawned >= limit {
+			return errors.New("pids limit")
+		}
+		spawned++
+		return nil
+	}
+	fb := NewForkBomb(spawn, 3, 1000)
+	task := fb.Task(3)
+	for i := 0; i < 10; i++ { // 10 jobs × 10 forks
+		task.Work(time.Duration(i) * 10 * time.Millisecond)
+	}
+	if fb.Attempts() != 100 {
+		t.Fatalf("attempts = %d, want 100", fb.Attempts())
+	}
+	if fb.Children() != 5 {
+		t.Fatalf("children = %d, want 5", fb.Children())
+	}
+	if fb.Refused() != 95 {
+		t.Fatalf("refused = %d, want 95", fb.Refused())
+	}
+}
+
+func TestForkBombDefaults(t *testing.T) {
+	fb := NewForkBomb(func(*sched.Task) error { return nil }, 3, 0)
+	if fb.SpawnPerSecond != 1000 {
+		t.Fatalf("default rate = %v", fb.SpawnPerSecond)
+	}
+}
+
+// End-to-end against the real container runtime: the pids limit
+// contains the bomb; without a limit the bomb floods the scheduler.
+func TestForkBombContainedByPIDLimit(t *testing.T) {
+	cpu := sched.NewCPU(4, 100*time.Microsecond, nil, nil)
+	net := netsim.New(nil, nil)
+	rt, err := container.NewRuntime(container.Config{
+		CPU: cpu, Net: net, Root: cgroup.NewRoot(), HostName: "hce",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cce, err := rt.Create(container.Spec{
+		Name:      "cce",
+		CPUSet:    cgroup.NewCPUSet(3),
+		RTPrioCap: sched.PrioContainer,
+		PIDLimit:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cce.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fb := NewForkBomb(cce.StartTask, 3, 10000)
+	if err := cce.StartTask(fb.Task(3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ { // 1 s
+		cpu.Tick(time.Duration(i) * 100 * time.Microsecond)
+	}
+	// Bomb driver + children ≤ pids limit.
+	if got := len(cce.Tasks()); got > 16 {
+		t.Fatalf("container holds %d tasks, limit 16", got)
+	}
+	if fb.Refused() == 0 {
+		t.Fatal("pids limit never refused a fork")
+	}
+	// The host side is untouched either way (cpuset), but the
+	// scheduler must not be flooded.
+	if got := len(cpu.Tasks()); got > 20 {
+		t.Fatalf("scheduler holds %d tasks", got)
+	}
+}
+
+func TestForkBombUnlimitedFloodsScheduler(t *testing.T) {
+	cpu := sched.NewCPU(4, 100*time.Microsecond, nil, nil)
+	net := netsim.New(nil, nil)
+	rt, _ := container.NewRuntime(container.Config{
+		CPU: cpu, Net: net, Root: cgroup.NewRoot(), HostName: "hce",
+	})
+	cce, _ := rt.Create(container.Spec{
+		Name:      "cce",
+		CPUSet:    cgroup.NewCPUSet(3),
+		RTPrioCap: sched.PrioContainer,
+		// no PIDLimit
+	})
+	cce.Start()
+	fb := NewForkBomb(cce.StartTask, 3, 10000)
+	cce.StartTask(fb.Task(3))
+	for i := 0; i < 2000; i++ { // 200 ms
+		cpu.Tick(time.Duration(i) * 100 * time.Microsecond)
+	}
+	if fb.Children() < 100 {
+		t.Fatalf("unlimited bomb spawned only %d children", fb.Children())
+	}
+	// Even so, cpuset keeps the damage on core 3: a driver-priority
+	// host task on core 0 is unaffected.
+	driver := cpu.Add(&sched.Task{
+		Name: "driver", Core: 0, Priority: sched.PrioDriver,
+		Period: 4 * time.Millisecond, WCET: time.Millisecond,
+	})
+	for i := 2000; i < 12000; i++ {
+		cpu.Tick(time.Duration(i) * 100 * time.Microsecond)
+	}
+	if driver.Stats().Missed != 0 {
+		t.Fatal("fork bomb on core 3 affected a core-0 driver")
+	}
+}

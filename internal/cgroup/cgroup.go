@@ -1,0 +1,208 @@
+// Package cgroup models the three Linux control-group controllers the
+// paper's framework configures through Docker (§III-C, §III-D):
+//
+//   - cpuset: pins a group of tasks to a set of CPU cores,
+//   - cpu: caps the real-time FIFO priority tasks in the group may use,
+//   - memory: limits the bytes of RAM the group may allocate.
+//
+// Groups form a hierarchy; a child's effective constraints are the
+// intersection of its own and every ancestor's. Note that — exactly as
+// the paper observes — the memory controller limits *allocation*, not
+// *bandwidth*; the Bandwidth attack fits comfortably inside its memory
+// limit while saturating the DRAM bus, which is why MemGuard exists.
+package cgroup
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CPUSet is a set of CPU core indices.
+type CPUSet map[int]bool
+
+// NewCPUSet builds a set from core indices.
+func NewCPUSet(cores ...int) CPUSet {
+	s := make(CPUSet, len(cores))
+	for _, c := range cores {
+		s[c] = true
+	}
+	return s
+}
+
+// Contains reports whether the core is in the set.
+func (s CPUSet) Contains(core int) bool { return s[core] }
+
+// Intersect returns the cores present in both sets. A nil set means
+// "all cores" and acts as identity.
+func (s CPUSet) Intersect(o CPUSet) CPUSet {
+	if s == nil {
+		return o
+	}
+	if o == nil {
+		return s
+	}
+	out := make(CPUSet)
+	for c := range s {
+		if o[c] {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// Empty reports whether the set has no cores. A nil set is NOT empty
+// (it means unrestricted).
+func (s CPUSet) Empty() bool { return s != nil && len(s) == 0 }
+
+// String renders the set like the kernel's cpuset file, e.g. "0-2".
+func (s CPUSet) String() string {
+	if s == nil {
+		return "all"
+	}
+	cores := make([]int, 0, len(s))
+	for c := range s {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	parts := make([]string, len(cores))
+	for i, c := range cores {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Errors returned by group operations.
+var (
+	ErrMemoryLimit   = errors.New("cgroup: memory limit exceeded")
+	ErrCoreForbidden = errors.New("cgroup: core outside cpuset")
+	ErrPrioForbidden = errors.New("cgroup: priority above rt cap")
+	ErrDuplicate     = errors.New("cgroup: duplicate child name")
+)
+
+// Group is one node of the cgroup hierarchy.
+type Group struct {
+	name     string
+	parent   *Group
+	children map[string]*Group
+
+	cpuset   CPUSet // nil = inherit/unrestricted
+	rtPrio   int    // max FIFO priority; 0 = unrestricted
+	memLimit int64  // bytes; 0 = unrestricted
+	memUsed  int64  // bytes charged to this group (not descendants)
+	pidLimit int    // processes; 0 = unrestricted (pids controller)
+	pids     int    // processes charged to this group
+}
+
+// NewRoot creates the hierarchy root (unrestricted).
+func NewRoot() *Group {
+	return &Group{name: "/", children: make(map[string]*Group)}
+}
+
+// NewChild creates a child group.
+func (g *Group) NewChild(name string) (*Group, error) {
+	if _, dup := g.children[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	c := &Group{name: name, parent: g, children: make(map[string]*Group)}
+	g.children[name] = c
+	return c, nil
+}
+
+// Name returns the group's name; Path the full hierarchy path.
+func (g *Group) Name() string { return g.name }
+
+// Path returns the slash-joined path from the root.
+func (g *Group) Path() string {
+	if g.parent == nil {
+		return "/"
+	}
+	p := g.parent.Path()
+	if p == "/" {
+		return "/" + g.name
+	}
+	return p + "/" + g.name
+}
+
+// SetCPUSet pins the group to a set of cores (cpuset controller).
+func (g *Group) SetCPUSet(s CPUSet) { g.cpuset = s }
+
+// SetRTPrioCap caps the FIFO priority of tasks in the group (the cpu
+// controller's rt limits; Docker uses this to prevent containers from
+// raising their own priority, §III-C).
+func (g *Group) SetRTPrioCap(p int) { g.rtPrio = p }
+
+// SetMemoryLimit bounds bytes allocated by the group.
+func (g *Group) SetMemoryLimit(bytes int64) { g.memLimit = bytes }
+
+// EffectiveCPUSet intersects cpusets up the hierarchy.
+func (g *Group) EffectiveCPUSet() CPUSet {
+	var eff CPUSet
+	for n := g; n != nil; n = n.parent {
+		eff = eff.Intersect(n.cpuset)
+	}
+	return eff
+}
+
+// EffectiveRTPrioCap returns the tightest priority cap up the
+// hierarchy (0 = unrestricted).
+func (g *Group) EffectiveRTPrioCap() int {
+	cap := 0
+	for n := g; n != nil; n = n.parent {
+		if n.rtPrio > 0 && (cap == 0 || n.rtPrio < cap) {
+			cap = n.rtPrio
+		}
+	}
+	return cap
+}
+
+// CheckPlacement validates that a task pinned to core at the given
+// FIFO priority is admissible for this group.
+func (g *Group) CheckPlacement(core, priority int) error {
+	eff := g.EffectiveCPUSet()
+	if eff != nil && !eff.Contains(core) {
+		return fmt.Errorf("%w: core %d not in %v (group %s)", ErrCoreForbidden, core, eff, g.Path())
+	}
+	if cap := g.EffectiveRTPrioCap(); cap > 0 && priority > cap {
+		return fmt.Errorf("%w: prio %d > cap %d (group %s)", ErrPrioForbidden, priority, cap, g.Path())
+	}
+	return nil
+}
+
+// Allocate charges bytes to the group, enforcing every ancestor's
+// limit against the subtree usage it can see.
+func (g *Group) Allocate(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("cgroup: negative allocation %d", bytes)
+	}
+	for n := g; n != nil; n = n.parent {
+		if n.memLimit > 0 && n.SubtreeUsage()+bytes > n.memLimit {
+			return fmt.Errorf("%w: %d + %d > %d (group %s)",
+				ErrMemoryLimit, n.SubtreeUsage(), bytes, n.memLimit, n.Path())
+		}
+	}
+	g.memUsed += bytes
+	return nil
+}
+
+// Free returns bytes to the group; freeing more than allocated clamps
+// to zero (mirrors the kernel's non-negative usage counter).
+func (g *Group) Free(bytes int64) {
+	g.memUsed -= bytes
+	if g.memUsed < 0 {
+		g.memUsed = 0
+	}
+}
+
+// Usage returns bytes charged directly to this group.
+func (g *Group) Usage() int64 { return g.memUsed }
+
+// SubtreeUsage returns bytes charged to this group and descendants.
+func (g *Group) SubtreeUsage() int64 {
+	total := g.memUsed
+	for _, c := range g.children {
+		total += c.SubtreeUsage()
+	}
+	return total
+}

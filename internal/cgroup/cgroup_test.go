@@ -1,0 +1,193 @@
+package cgroup
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCPUSetBasics(t *testing.T) {
+	s := NewCPUSet(0, 1, 2)
+	if !s.Contains(1) || s.Contains(3) {
+		t.Fatal("membership wrong")
+	}
+	if s.String() != "0,1,2" {
+		t.Fatalf("String = %q", s.String())
+	}
+	var all CPUSet
+	if all.String() != "all" {
+		t.Fatalf("nil set String = %q", all.String())
+	}
+}
+
+func TestCPUSetIntersect(t *testing.T) {
+	a := NewCPUSet(0, 1, 2)
+	b := NewCPUSet(2, 3)
+	got := a.Intersect(b)
+	if !got.Contains(2) || got.Contains(0) || got.Contains(3) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if a.Intersect(nil).String() != a.String() {
+		t.Fatal("nil should act as identity")
+	}
+	var n CPUSet
+	if n.Intersect(b).String() != b.String() {
+		t.Fatal("nil receiver should act as identity")
+	}
+	if !NewCPUSet(0).Intersect(NewCPUSet(1)).Empty() {
+		t.Fatal("disjoint intersect should be empty")
+	}
+}
+
+func TestHierarchyPath(t *testing.T) {
+	root := NewRoot()
+	docker, err := root.NewChild("docker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cce, err := docker.NewChild("cce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cce.Path() != "/docker/cce" {
+		t.Fatalf("Path = %q", cce.Path())
+	}
+	if root.Path() != "/" {
+		t.Fatalf("root path = %q", root.Path())
+	}
+}
+
+func TestDuplicateChildRejected(t *testing.T) {
+	root := NewRoot()
+	if _, err := root.NewChild("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.NewChild("x"); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestEffectiveCPUSetIntersectsAncestors(t *testing.T) {
+	root := NewRoot()
+	root.SetCPUSet(NewCPUSet(0, 1, 2, 3))
+	docker, _ := root.NewChild("docker")
+	docker.SetCPUSet(NewCPUSet(2, 3))
+	cce, _ := docker.NewChild("cce")
+	cce.SetCPUSet(NewCPUSet(3))
+	eff := cce.EffectiveCPUSet()
+	if !eff.Contains(3) || eff.Contains(2) {
+		t.Fatalf("effective = %v, want {3}", eff)
+	}
+}
+
+func TestCheckPlacementCPUSet(t *testing.T) {
+	root := NewRoot()
+	cce, _ := root.NewChild("cce")
+	cce.SetCPUSet(NewCPUSet(3))
+	if err := cce.CheckPlacement(3, 10); err != nil {
+		t.Fatalf("core 3 rejected: %v", err)
+	}
+	if err := cce.CheckPlacement(0, 10); !errors.Is(err, ErrCoreForbidden) {
+		t.Fatalf("err = %v, want ErrCoreForbidden", err)
+	}
+}
+
+func TestCheckPlacementPriorityCap(t *testing.T) {
+	root := NewRoot()
+	cce, _ := root.NewChild("cce")
+	cce.SetRTPrioCap(10)
+	if err := cce.CheckPlacement(0, 10); err != nil {
+		t.Fatalf("prio at cap rejected: %v", err)
+	}
+	// The paper's defense: the container cannot raise its priority to
+	// compete with the 90-priority drivers.
+	if err := cce.CheckPlacement(0, 90); !errors.Is(err, ErrPrioForbidden) {
+		t.Fatalf("err = %v, want ErrPrioForbidden", err)
+	}
+}
+
+func TestPriorityCapTightestAncestorWins(t *testing.T) {
+	root := NewRoot()
+	root.SetRTPrioCap(50)
+	child, _ := root.NewChild("c")
+	child.SetRTPrioCap(80) // looser than parent: parent still binds
+	if got := child.EffectiveRTPrioCap(); got != 50 {
+		t.Fatalf("effective cap = %d, want 50", got)
+	}
+	grand, _ := child.NewChild("g")
+	grand.SetRTPrioCap(10)
+	if got := grand.EffectiveRTPrioCap(); got != 10 {
+		t.Fatalf("effective cap = %d, want 10", got)
+	}
+}
+
+func TestMemoryLimitEnforced(t *testing.T) {
+	root := NewRoot()
+	cce, _ := root.NewChild("cce")
+	cce.SetMemoryLimit(1 << 20) // 1 MiB
+	if err := cce.Allocate(1 << 19); err != nil {
+		t.Fatal(err)
+	}
+	if err := cce.Allocate(1 << 19); err != nil {
+		t.Fatal(err)
+	}
+	if err := cce.Allocate(1); !errors.Is(err, ErrMemoryLimit) {
+		t.Fatalf("err = %v, want ErrMemoryLimit", err)
+	}
+	cce.Free(1 << 19)
+	if err := cce.Allocate(100); err != nil {
+		t.Fatalf("allocation after free rejected: %v", err)
+	}
+}
+
+func TestMemoryLimitCountsSubtree(t *testing.T) {
+	root := NewRoot()
+	docker, _ := root.NewChild("docker")
+	docker.SetMemoryLimit(1000)
+	a, _ := docker.NewChild("a")
+	b, _ := docker.NewChild("b")
+	if err := a.Allocate(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Allocate(600); !errors.Is(err, ErrMemoryLimit) {
+		t.Fatalf("sibling overflow accepted: %v", err)
+	}
+	if docker.SubtreeUsage() != 600 {
+		t.Fatalf("SubtreeUsage = %d", docker.SubtreeUsage())
+	}
+	if docker.Usage() != 0 {
+		t.Fatalf("Usage = %d, direct usage should be 0", docker.Usage())
+	}
+}
+
+func TestFreeClampsAtZero(t *testing.T) {
+	root := NewRoot()
+	root.Free(100)
+	if root.Usage() != 0 {
+		t.Fatalf("Usage = %d after over-free", root.Usage())
+	}
+}
+
+func TestNegativeAllocationRejected(t *testing.T) {
+	if err := NewRoot().Allocate(-1); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+}
+
+// The paper's key observation (§III-D): the memory *size* limit does
+// not stop a bandwidth attack — a small buffer accessed intensively
+// stays within the limit.
+func TestMemorySizeLimitDoesNotBoundBandwidth(t *testing.T) {
+	root := NewRoot()
+	cce, _ := root.NewChild("cce")
+	cce.SetMemoryLimit(64 << 20) // generous 64 MiB
+	// The Bandwidth attack allocates one small array…
+	if err := cce.Allocate(4 << 20); err != nil {
+		t.Fatalf("attack buffer rejected: %v", err)
+	}
+	// …and the cgroup layer has no further say in how often it is
+	// accessed. Nothing in this package can express an access-rate
+	// bound — that is memguard's job. This test documents the gap.
+	if cce.SubtreeUsage() >= 64<<20 {
+		t.Fatal("attack buffer should be comfortably inside the limit")
+	}
+}

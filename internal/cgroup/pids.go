@@ -1,0 +1,55 @@
+package cgroup
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The pids controller bounds the number of processes a group may
+// hold — Docker's --pids-limit. It is the defense against fork-bomb
+// style DoS from inside the container: without it, a malicious update
+// could exhaust the global process table and starve the HCE of kernel
+// resources the cpuset cannot protect.
+
+// ErrPIDLimit is returned when a fork would exceed the pids limit of
+// the group or any ancestor.
+var ErrPIDLimit = errors.New("cgroup: pids limit exceeded")
+
+// SetPIDLimit bounds the processes in the group's subtree; 0 removes
+// the limit.
+func (g *Group) SetPIDLimit(n int) { g.pidLimit = n }
+
+// PIDLimit returns the group's own limit (0 = unlimited).
+func (g *Group) PIDLimit() int { return g.pidLimit }
+
+// PIDs returns the processes charged directly to this group.
+func (g *Group) PIDs() int { return g.pids }
+
+// SubtreePIDs counts processes in this group and all descendants.
+func (g *Group) SubtreePIDs() int {
+	total := g.pids
+	for _, c := range g.children {
+		total += c.SubtreePIDs()
+	}
+	return total
+}
+
+// Fork charges one process to the group, enforcing every ancestor's
+// pids limit against its subtree count.
+func (g *Group) Fork() error {
+	for n := g; n != nil; n = n.parent {
+		if n.pidLimit > 0 && n.SubtreePIDs()+1 > n.pidLimit {
+			return fmt.Errorf("%w: %d at limit %d (group %s)",
+				ErrPIDLimit, n.SubtreePIDs(), n.pidLimit, n.Path())
+		}
+	}
+	g.pids++
+	return nil
+}
+
+// Exit returns one process; the count never goes negative.
+func (g *Group) Exit() {
+	if g.pids > 0 {
+		g.pids--
+	}
+}

@@ -1,0 +1,77 @@
+package cgroup
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPIDLimitEnforced(t *testing.T) {
+	root := NewRoot()
+	cce, _ := root.NewChild("cce")
+	cce.SetPIDLimit(3)
+	for i := 0; i < 3; i++ {
+		if err := cce.Fork(); err != nil {
+			t.Fatalf("fork %d refused: %v", i, err)
+		}
+	}
+	if err := cce.Fork(); !errors.Is(err, ErrPIDLimit) {
+		t.Fatalf("err = %v, want ErrPIDLimit", err)
+	}
+	if cce.PIDs() != 3 {
+		t.Fatalf("PIDs = %d", cce.PIDs())
+	}
+}
+
+func TestPIDExitReplenishes(t *testing.T) {
+	root := NewRoot()
+	g, _ := root.NewChild("g")
+	g.SetPIDLimit(1)
+	if err := g.Fork(); err != nil {
+		t.Fatal(err)
+	}
+	g.Exit()
+	if err := g.Fork(); err != nil {
+		t.Fatalf("fork after exit refused: %v", err)
+	}
+}
+
+func TestPIDExitNeverNegative(t *testing.T) {
+	g := NewRoot()
+	g.Exit()
+	if g.PIDs() != 0 {
+		t.Fatalf("PIDs = %d after over-exit", g.PIDs())
+	}
+}
+
+func TestPIDLimitCountsSubtree(t *testing.T) {
+	root := NewRoot()
+	docker, _ := root.NewChild("docker")
+	docker.SetPIDLimit(5)
+	a, _ := docker.NewChild("a")
+	b, _ := docker.NewChild("b")
+	for i := 0; i < 3; i++ {
+		if err := a.Fork(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Fork(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Fork(); !errors.Is(err, ErrPIDLimit) {
+		t.Fatalf("subtree overflow accepted: %v", err)
+	}
+	if docker.SubtreePIDs() != 5 {
+		t.Fatalf("SubtreePIDs = %d", docker.SubtreePIDs())
+	}
+}
+
+func TestPIDUnlimitedByDefault(t *testing.T) {
+	g := NewRoot()
+	for i := 0; i < 10000; i++ {
+		if err := g.Fork(); err != nil {
+			t.Fatalf("unlimited fork %d refused: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package container
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"containerdrone/internal/cgroup"
+	"containerdrone/internal/netsim"
+	"containerdrone/internal/sched"
+)
+
+const tick = 100 * time.Microsecond
+
+func testRuntime(t *testing.T) (*Runtime, *sched.CPU, *netsim.Network) {
+	t.Helper()
+	cpu := sched.NewCPU(4, tick, nil, nil)
+	net := netsim.New(nil, nil)
+	rt, err := NewRuntime(Config{
+		CPU: cpu, Net: net, Root: cgroup.NewRoot(), HostName: "hce",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, cpu, net
+}
+
+func cceSpec() Spec {
+	return Spec{
+		Name:             "cce",
+		Image:            Image{Name: "resin/rpi-raspbian", Tag: "jessie", SizeMB: 120},
+		CPUSet:           cgroup.NewCPUSet(3),
+		RTPrioCap:        sched.PrioContainer,
+		MemoryLimitBytes: 256 << 20,
+		Ports: []PortMapping{
+			{HostPort: 14600, ContainerPort: 14600},
+			{HostPort: 14660, ContainerPort: 14660},
+		},
+	}
+}
+
+func TestImageString(t *testing.T) {
+	img := Image{Name: "resin/rpi-raspbian", Tag: "jessie"}
+	if img.String() != "resin/rpi-raspbian:jessie" {
+		t.Fatalf("String = %q", img.String())
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	c, err := rt.Create(cceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateCreated {
+		t.Fatalf("state = %v", c.State())
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateRunning {
+		t.Fatalf("state = %v", c.State())
+	}
+	if err := c.Start(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double start: %v", err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double stop: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	c.Kill()
+	if c.State() != StateKilled {
+		t.Fatalf("state = %v", c.State())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		StateCreated: "created", StateRunning: "running",
+		StateStopped: "stopped", StateKilled: "killed", State(9): "unknown",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestPrivilegedRefused(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	spec := cceSpec()
+	spec.Privileged = true
+	if _, err := rt.Create(spec); !errors.Is(err, ErrPrivileged) {
+		t.Fatalf("err = %v, want ErrPrivileged", err)
+	}
+}
+
+func TestDuplicateNameRefused(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	if _, err := rt.Create(cceSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Create(cceSpec()); !errors.Is(err, ErrDupContainer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGet(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	created, _ := rt.Create(cceSpec())
+	got, ok := rt.Get("cce")
+	if !ok || got != created {
+		t.Fatal("Get failed")
+	}
+	if _, ok := rt.Get("nope"); ok {
+		t.Fatal("Get found a ghost")
+	}
+}
+
+func TestTaskPlacementEnforced(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Legal: core 3, low priority.
+	ok := &sched.Task{Name: "px4", Core: 3, Priority: sched.PrioContainer,
+		Period: 4 * time.Millisecond, WCET: time.Millisecond}
+	if err := c.StartTask(ok); err != nil {
+		t.Fatalf("legal task rejected: %v", err)
+	}
+	// Escaping the cpuset is refused.
+	esc := &sched.Task{Name: "escape", Core: 0, Priority: 5,
+		Period: 4 * time.Millisecond, WCET: time.Millisecond}
+	if err := c.StartTask(esc); !errors.Is(err, cgroup.ErrCoreForbidden) {
+		t.Fatalf("err = %v, want ErrCoreForbidden", err)
+	}
+	// Raising priority above the cap is refused (paper §III-C).
+	raise := &sched.Task{Name: "raise", Core: 3, Priority: sched.PrioDriver,
+		Period: 4 * time.Millisecond, WCET: time.Millisecond}
+	if err := c.StartTask(raise); !errors.Is(err, cgroup.ErrPrioForbidden) {
+		t.Fatalf("err = %v, want ErrPrioForbidden", err)
+	}
+}
+
+func TestTaskRequiresRunning(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	task := &sched.Task{Name: "t", Core: 3, Priority: 5,
+		Period: time.Millisecond, WCET: 100 * time.Microsecond}
+	if err := c.StartTask(task); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("err = %v, want ErrNotRunning", err)
+	}
+}
+
+func TestKillRemovesTasks(t *testing.T) {
+	rt, cpu, _ := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	c.Start()
+	task := &sched.Task{Name: "px4", Core: 3, Priority: 5,
+		Period: time.Millisecond, WCET: 100 * time.Microsecond}
+	if err := c.StartTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if len(cpu.Tasks()) != 1 {
+		t.Fatalf("tasks = %d", len(cpu.Tasks()))
+	}
+	c.Kill()
+	if len(cpu.Tasks()) != 0 {
+		t.Fatal("kill left tasks in the scheduler")
+	}
+	if len(c.Tasks()) != 0 {
+		t.Fatal("container still lists tasks")
+	}
+}
+
+func TestStopTaskSingle(t *testing.T) {
+	rt, cpu, _ := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	c.Start()
+	a := &sched.Task{Name: "a", Core: 3, Priority: 5, Period: time.Millisecond, WCET: 100 * time.Microsecond}
+	b := &sched.Task{Name: "b", Core: 3, Priority: 5, Period: time.Millisecond, WCET: 100 * time.Microsecond}
+	c.StartTask(a)
+	c.StartTask(b)
+	c.StopTask(a)
+	if len(cpu.Tasks()) != 1 || cpu.Tasks()[0] != b {
+		t.Fatal("StopTask removed the wrong task")
+	}
+}
+
+func TestNetworkSandbox(t *testing.T) {
+	rt, _, net := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	c.Start()
+	hceEp := net.Bind(netsim.Addr{Host: "hce", Port: 14600}, 16)
+	// Mapped port: allowed.
+	if err := c.Send(5000, 14600, []byte("motor")); err != nil {
+		t.Fatalf("mapped send failed: %v", err)
+	}
+	net.Step(0)
+	if hceEp.Pending() != 1 {
+		t.Fatal("mapped packet not delivered")
+	}
+	// Unmapped host port: blocked by the namespace.
+	net.Bind(netsim.Addr{Host: "hce", Port: 22}, 16)
+	if err := c.Send(5000, 22, []byte("ssh")); !errors.Is(err, ErrPortBlocked) {
+		t.Fatalf("err = %v, want ErrPortBlocked", err)
+	}
+}
+
+func TestHostToContainerDirection(t *testing.T) {
+	rt, _, net := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	c.Start()
+	ep, err := c.Bind(14660, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.HostSend(c, 9000, 14660, []byte("imu")); err != nil {
+		t.Fatal(err)
+	}
+	net.Step(0)
+	if ep.Pending() != 1 {
+		t.Fatal("sensor packet not delivered to container")
+	}
+	// Unmapped container port refused both ways.
+	if _, err := c.Bind(9999, 8); !errors.Is(err, ErrPortBlocked) {
+		t.Fatalf("bind unmapped: %v", err)
+	}
+	if err := rt.HostSend(c, 9000, 9999, []byte("x")); !errors.Is(err, ErrPortBlocked) {
+		t.Fatalf("send unmapped: %v", err)
+	}
+}
+
+func TestSendRequiresRunning(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	if err := c.Send(1, 14600, []byte("x")); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := rt.HostSend(c, 1, 14660, []byte("x")); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemoryLimitViaGroup(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	if err := c.Group().Allocate(512 << 20); !errors.Is(err, cgroup.ErrMemoryLimit) {
+		t.Fatalf("512MiB inside 256MiB limit: %v", err)
+	}
+	if err := c.Group().Allocate(64 << 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonOverheadTask(t *testing.T) {
+	cpu := sched.NewCPU(4, tick, nil, nil)
+	net := netsim.New(nil, nil)
+	_, err := NewRuntime(Config{
+		CPU: cpu, Net: net, Root: cgroup.NewRoot(), HostName: "hce",
+		DaemonCore: 0, DaemonUtil: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpu.Tasks()) != 1 || cpu.Tasks()[0].Name != "dockerd" {
+		t.Fatal("daemon task not registered")
+	}
+	if u := cpu.Tasks()[0].Utilization(); u < 0.009 || u > 0.011 {
+		t.Fatalf("daemon utilization = %v, want 0.01", u)
+	}
+}
+
+func TestRuntimeConfigValidation(t *testing.T) {
+	if _, err := NewRuntime(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

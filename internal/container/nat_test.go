@@ -1,0 +1,63 @@
+package container
+
+import (
+	"errors"
+	"testing"
+
+	"containerdrone/internal/netsim"
+)
+
+func TestHostSendGoesThroughNAT(t *testing.T) {
+	rt, _, net := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	c.Start()
+	ep, err := c.Bind(14660, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.HostSend(c, 9000, 14660, []byte("imu")); err != nil {
+		t.Fatal(err)
+	}
+	net.Step(0)
+	if ep.Pending() != 1 {
+		t.Fatal("translated datagram not delivered")
+	}
+	if rt.NAT().Translations(14660) != 1 {
+		t.Fatalf("conntrack = %d, want 1", rt.NAT().Translations(14660))
+	}
+}
+
+func TestNATRuleConflictAcrossContainers(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	if _, err := rt.Create(cceSpec()); err != nil {
+		t.Fatal(err)
+	}
+	second := cceSpec()
+	second.Name = "cce2"
+	if _, err := rt.Create(second); !errors.Is(err, netsim.ErrNATConflict) {
+		t.Fatalf("duplicate published port accepted: %v", err)
+	}
+}
+
+func TestKillWithdrawsNATRules(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	c, _ := rt.Create(cceSpec())
+	c.Start()
+	if rt.NAT().Rules() != 2 {
+		t.Fatalf("rules = %d, want 2", rt.NAT().Rules())
+	}
+	c.Kill()
+	if rt.NAT().Rules() != 0 {
+		t.Fatalf("rules = %d after kill, want 0", rt.NAT().Rules())
+	}
+	if err := rt.HostSend(c, 9000, 14660, []byte("x")); err == nil {
+		t.Fatal("HostSend to a killed container's port succeeded")
+	}
+}
+
+func TestRuntimeHairpinEnabled(t *testing.T) {
+	rt, _, _ := testRuntime(t)
+	if !rt.NAT().Hairpin() {
+		t.Fatal("runtime should enable hairpin NAT (paper §IV-B)")
+	}
+}

@@ -1,0 +1,38 @@
+package control
+
+import (
+	"testing"
+
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sensors"
+)
+
+func BenchmarkCascadeCompute(b *testing.B) {
+	c := NewCascade(ComplexGains(), AirframeFrom(physics.DefaultParams()), 400)
+	in := Inputs{
+		IMU: sensors.IMUReading{Quat: physics.FromEuler(0.02, -0.01, 0.1), Gyro: physics.Vec3{X: 0.01}},
+		GPS: sensors.GPSReading{Pos: physics.Vec3{X: 0.1, Z: 1}, FixOK: true},
+		RC:  sensors.RCReading{Mode: sensors.ModePosition},
+	}
+	sp := Setpoint{Pos: physics.Vec3{Z: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.IMU.TimeUS += 2500
+		_ = c.Compute(in, sp)
+	}
+}
+
+func BenchmarkMix(b *testing.B) {
+	var out [4]float64
+	for i := 0; i < b.N; i++ {
+		out = Mix(0.55, 0.02, -0.01, 0.005)
+	}
+	_ = out
+}
+
+func BenchmarkPIDUpdate(b *testing.B) {
+	p := PID{Kp: 2, Ki: 0.5, Kd: 0.02, OutLimit: 1, ILimit: 2}
+	for i := 0; i < b.N; i++ {
+		p.Update(0.1, 0.0025)
+	}
+}

@@ -1,0 +1,46 @@
+package control_test
+
+import (
+	"fmt"
+
+	"containerdrone/internal/control"
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sensors"
+)
+
+// ExampleMix shows how torque commands map to the quad-X motors:
+// a pure roll command boosts the left pair against the right pair.
+func ExampleMix() {
+	motors := control.Mix(0.5, 0.1, 0, 0)
+	fmt.Printf("front-right %.1f back-left %.1f front-left %.1f back-right %.1f\n",
+		motors[0], motors[1], motors[2], motors[3])
+	// Output:
+	// front-right 0.4 back-left 0.6 front-left 0.6 back-right 0.4
+}
+
+// ExampleNewCascade runs one control cycle of the safety controller.
+func ExampleNewCascade() {
+	af := control.AirframeFrom(physics.DefaultParams())
+	ctl := control.NewCascade(control.SafetyGains(), af, 250)
+	in := control.Inputs{
+		IMU: sensors.IMUReading{Quat: physics.IdentityQuat()},
+		GPS: sensors.GPSReading{Pos: physics.Vec3{Z: 1}, FixOK: true},
+		RC:  sensors.RCReading{Mode: sensors.ModePosition},
+	}
+	motors := ctl.Compute(in, control.Setpoint{Pos: physics.Vec3{Z: 1}})
+	// At the setpoint with level attitude, all four motors sit at the
+	// hover trim.
+	fmt.Printf("trim: %.2f %.2f %.2f %.2f\n", motors[0], motors[1], motors[2], motors[3])
+	// Output:
+	// trim: 0.70 0.70 0.70 0.70
+}
+
+// ExamplePID demonstrates the regulator's clamped output.
+func ExamplePID() {
+	pid := control.PID{Kp: 2, OutLimit: 1}
+	fmt.Println(pid.Update(0.25, 0.004))
+	fmt.Println(pid.Update(5, 0.004)) // clamped
+	// Output:
+	// 0.5
+	// 1
+}

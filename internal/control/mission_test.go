@@ -1,0 +1,116 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"containerdrone/internal/physics"
+)
+
+func TestMissionSequencesWaypoints(t *testing.T) {
+	m := NewMission(
+		Waypoint{Pos: physics.Vec3{X: 1, Z: 1}},
+		Waypoint{Pos: physics.Vec3{X: 1, Y: 1, Z: 1}},
+	)
+	m.SlewRate = 0 // jump setpoints for this test
+	if m.Done() {
+		t.Fatal("fresh mission done")
+	}
+	sp := m.Update(0, physics.Vec3{Z: 1}, 0.01)
+	if sp.Pos.X != 1 {
+		t.Fatalf("first target = %v", sp.Pos)
+	}
+	// Arrive at WP0 (zero hold): advances.
+	m.Update(time.Second, physics.Vec3{X: 1, Z: 1}, 0.01)
+	sp = m.Update(time.Second+time.Millisecond, physics.Vec3{X: 1, Z: 1}, 0.01)
+	if sp.Pos.Y != 1 {
+		t.Fatalf("second target = %v", sp.Pos)
+	}
+	// Arrive at WP1: mission completes and keeps emitting the last WP.
+	m.Update(2*time.Second, physics.Vec3{X: 1, Y: 1, Z: 1}, 0.01)
+	if !m.Done() {
+		t.Fatal("mission not done after both arrivals")
+	}
+	sp = m.Update(3*time.Second, physics.Vec3{}, 0.01)
+	if sp.Pos != (physics.Vec3{X: 1, Y: 1, Z: 1}) {
+		t.Fatalf("post-completion setpoint = %v", sp.Pos)
+	}
+}
+
+func TestMissionHoldTime(t *testing.T) {
+	m := NewMission(Waypoint{Pos: physics.Vec3{Z: 1}, Hold: 2 * time.Second})
+	m.SlewRate = 0
+	at := physics.Vec3{Z: 1}
+	m.Update(0, at, 0.01)
+	m.Update(time.Second, at, 0.01)
+	if m.Done() {
+		t.Fatal("advanced before hold elapsed")
+	}
+	m.Update(2100*time.Millisecond, at, 0.01)
+	if !m.Done() {
+		t.Fatal("did not advance after hold")
+	}
+}
+
+func TestMissionHoldResetsOnDeparture(t *testing.T) {
+	m := NewMission(Waypoint{Pos: physics.Vec3{Z: 1}, Hold: time.Second})
+	m.SlewRate = 0
+	m.Update(0, physics.Vec3{Z: 1}, 0.01)                     // arrive, hold starts
+	m.Update(500*time.Millisecond, physics.Vec3{X: 2}, 0.01)  // blown away
+	m.Update(1100*time.Millisecond, physics.Vec3{Z: 1}, 0.01) // re-arrive
+	if m.Done() {
+		t.Fatal("hold should have restarted after departure")
+	}
+	m.Update(2200*time.Millisecond, physics.Vec3{Z: 1}, 0.01)
+	if !m.Done() {
+		t.Fatal("hold never completed")
+	}
+}
+
+func TestMissionSlewLimitsSetpoint(t *testing.T) {
+	m := NewMission(Waypoint{Pos: physics.Vec3{X: 10}})
+	m.SlewRate = 1 // 1 m/s
+	sp := m.Update(0, physics.Vec3{}, 0.1)
+	if sp.Pos.X > 0.11 {
+		t.Fatalf("slew step = %v, want ≤0.1", sp.Pos.X)
+	}
+	for i := 0; i < 50; i++ {
+		sp = m.Update(time.Duration(i)*100*time.Millisecond, physics.Vec3{}, 0.1)
+	}
+	if sp.Pos.X > 5.1 {
+		t.Fatalf("after 5s of 1m/s slew, sp=%v", sp.Pos.X)
+	}
+}
+
+func TestMissionAcceptanceRadius(t *testing.T) {
+	m := NewMission(Waypoint{Pos: physics.Vec3{Z: 1}, Radius: 0.5})
+	m.SlewRate = 0
+	m.Update(0, physics.Vec3{X: 0.4, Z: 1}, 0.01) // inside custom radius
+	if !m.Done() {
+		t.Fatal("custom acceptance radius ignored")
+	}
+}
+
+func TestEmptyMissionHoldsCurrent(t *testing.T) {
+	m := NewMission()
+	sp := m.Update(0, physics.Vec3{X: 2, Z: 1}, 0.01)
+	if sp.Pos != (physics.Vec3{X: 2, Z: 1}) {
+		t.Fatalf("empty mission setpoint = %v, want current position", sp.Pos)
+	}
+	if !m.Done() {
+		t.Fatal("empty mission should be done")
+	}
+}
+
+func TestMissionTarget(t *testing.T) {
+	m := NewMission(Waypoint{Pos: physics.Vec3{X: 3}})
+	wp, ok := m.Target()
+	if !ok || wp.Pos.X != 3 {
+		t.Fatalf("Target = %v %v", wp, ok)
+	}
+	m.SlewRate = 0
+	m.Update(0, physics.Vec3{X: 3}, 0.01)
+	if _, ok := m.Target(); ok {
+		t.Fatal("Target on done mission should be false")
+	}
+}

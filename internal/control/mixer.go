@@ -1,0 +1,54 @@
+package control
+
+// Mix converts a collective thrust command and normalized body-torque
+// commands into the four motor throttles of the quad-X airframe. The
+// rotor numbering and torque signs match physics.Quad:
+//
+//	rotor 0: front-right (x=+1, y=-1, CCW)
+//	rotor 1: back-left   (x=-1, y=+1, CCW)
+//	rotor 2: front-left  (x=+1, y=+1, CW)
+//	rotor 3: back-right  (x=-1, y=-1, CW)
+//
+// Positive roll command boosts the y=+1 rotors (τx = Σ yᵢ·L·tᵢ),
+// positive pitch boosts the x=−1 rotors (τy = −Σ xᵢ·L·tᵢ), positive
+// yaw boosts the CCW pair. Outputs are clamped to [0,1]; thrust is
+// reduced before torque authority (torque has priority near the
+// limits, the same choice PX4's mixer makes for attitude authority).
+func Mix(thrust, roll, pitch, yaw float64) [4]float64 {
+	geom := [4]struct{ y, negx, dir float64 }{
+		{-1, -1, +1}, // rotor 0: front-right CCW
+		{+1, +1, +1}, // rotor 1: back-left CCW
+		{+1, -1, -1}, // rotor 2: front-left CW
+		{-1, +1, -1}, // rotor 3: back-right CW
+	}
+	var out [4]float64
+	// First pass: raw mix.
+	maxOver, minUnder := 0.0, 0.0
+	for i, g := range geom {
+		v := thrust + roll*g.y + pitch*g.negx + yaw*g.dir
+		out[i] = v
+		if v > 1 && v-1 > maxOver {
+			maxOver = v - 1
+		}
+		if v < 0 && -v > minUnder {
+			minUnder = -v
+		}
+	}
+	// Shift collective to keep torque differentials when saturated.
+	shift := 0.0
+	if maxOver > 0 && minUnder == 0 {
+		shift = -maxOver
+	} else if minUnder > 0 && maxOver == 0 {
+		shift = minUnder
+	}
+	for i := range out {
+		v := out[i] + shift
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out
+}

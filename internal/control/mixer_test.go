@@ -1,0 +1,116 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"containerdrone/internal/physics"
+)
+
+func TestMixPureThrust(t *testing.T) {
+	out := Mix(0.6, 0, 0, 0)
+	for i, v := range out {
+		if v != 0.6 {
+			t.Fatalf("motor %d = %v, want 0.6", i, v)
+		}
+	}
+}
+
+func TestMixClamps(t *testing.T) {
+	for _, v := range Mix(2, 0, 0, 0) {
+		if v != 1 {
+			t.Fatalf("overdriven motor = %v", v)
+		}
+	}
+	for _, v := range Mix(-1, 0, 0, 0) {
+		if v != 0 {
+			t.Fatalf("negative thrust motor = %v", v)
+		}
+	}
+}
+
+// applyToQuad spins a quad briefly with the mixed outputs and returns
+// the resulting body rates — the ground truth for sign consistency.
+func applyToQuad(u [4]float64) physics.Vec3 {
+	q := physics.NewQuad(physics.DefaultParams())
+	q.State.Pos = physics.Vec3{Z: 5}
+	q.SetMotors(u)
+	q.SettleRotors()
+	for i := 0; i < 500; i++ {
+		q.Step(0.0001)
+	}
+	return q.State.Omega
+}
+
+func TestMixRollSign(t *testing.T) {
+	w := applyToQuad(Mix(0.55, 0.05, 0, 0))
+	if w.X <= 0 {
+		t.Fatalf("positive roll command gave roll rate %v", w.X)
+	}
+	if math.Abs(w.Y) > math.Abs(w.X)/5 || math.Abs(w.Z) > math.Abs(w.X)/5 {
+		t.Fatalf("roll command cross-coupled: %v", w)
+	}
+}
+
+func TestMixPitchSign(t *testing.T) {
+	w := applyToQuad(Mix(0.55, 0, 0.05, 0))
+	if w.Y <= 0 {
+		t.Fatalf("positive pitch command gave pitch rate %v", w.Y)
+	}
+}
+
+func TestMixYawSign(t *testing.T) {
+	w := applyToQuad(Mix(0.55, 0, 0, 0.05))
+	if w.Z <= 0 {
+		t.Fatalf("positive yaw command gave yaw rate %v", w.Z)
+	}
+}
+
+func TestMixTorquePriorityUnderSaturation(t *testing.T) {
+	// At near-full collective, a roll command must still produce a
+	// rotor differential (collective shifts down to make room).
+	out := Mix(0.99, 0.1, 0, 0)
+	left := out[1] + out[2]  // y=+1 rotors
+	right := out[0] + out[3] // y=-1 rotors
+	if left-right < 0.1 {
+		t.Fatalf("saturated mix lost roll authority: %v", out)
+	}
+}
+
+// Property: outputs always within [0,1].
+func TestMixBoundsProperty(t *testing.T) {
+	f := func(thr, r, p, y float64) bool {
+		for _, v := range Mix(mod1(thr), mod1(r), mod1(p), mod1(y)) {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the roll differential matches the command sign whenever
+// unsaturated headroom exists.
+func TestMixDifferentialSignProperty(t *testing.T) {
+	f := func(r float64) bool {
+		cmd := math.Mod(math.Abs(r), 0.2) + 0.01
+		out := Mix(0.5, cmd, 0, 0)
+		left := out[1] + out[2]
+		right := out[0] + out[3]
+		return left > right
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mod1(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1.5)
+}

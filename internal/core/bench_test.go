@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSystemTick measures the cost of one 100 µs co-simulation
+// tick of the full ContainerDrone stack (scheduler + bus + network +
+// physics + telemetry).
+func BenchmarkSystemTick(b *testing.B) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Engine.Step()
+	}
+}
+
+// BenchmarkFlightSecond measures one simulated second of flight.
+func BenchmarkFlightSecond(b *testing.B) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Engine.Run(time.Second)
+	}
+}

@@ -1,0 +1,169 @@
+// Package core assembles the ContainerDrone framework: the host
+// control environment (sensor drivers, feeder threads, safety
+// controller, security monitor, PWM output), the container control
+// environment (Docker-style runtime, PX4-style complex controller),
+// and the shared physical substrates (quad-core FIFO scheduler, DRAM
+// bus, MemGuard, UDP bridge, quadrotor physics) into one deterministic
+// co-simulation.
+//
+// Every experiment in the paper is a Config: which controller runs
+// where, which protections are on, and which attack fires when.
+package core
+
+import (
+	"time"
+
+	"containerdrone/internal/attack"
+	"containerdrone/internal/control"
+	"containerdrone/internal/monitor"
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sensors"
+)
+
+// Network ports from Table I: the CCE receives sensor data on 14660
+// and the HCE receives motor output on 14600.
+const (
+	PortSensors = 14660
+	PortMotor   = 14600
+)
+
+// Core assignment: three host cores and one container core, the
+// paper's cpuset split ("one of the four cores is assigned exclusively
+// for CCE use").
+const (
+	CoreDriver    = 0 // kernel drivers, PWM output
+	CoreSafety    = 1 // safety controller, receiver, monitor
+	CoreHost      = 2 // host-side complex controller (memdos scenario)
+	CoreContainer = 3 // the CCE core
+	NumCores      = 4
+)
+
+// Config fully describes one scenario run.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// Duration is the simulated flight length.
+	Duration time.Duration
+	// Setpoint is the position-hold target (experiments hover at it).
+	Setpoint physics.Vec3
+
+	// Mission, when non-empty, replaces the static setpoint with a
+	// waypoint sequence flown by the complex controller — the
+	// "advanced features like mission planning" of the paper's CCE.
+	// The safety controller then acts as a position-hold fallback: it
+	// tracks the vehicle until a Simplex switch and freezes its
+	// setpoint there. Mission flight tilts the vehicle far more than
+	// hover, so the attitude-error rule needs a looser threshold (see
+	// the mission example and TestMissionFalsePositive).
+	Mission []control.Waypoint
+
+	// ComplexInContainer selects the deployment: true is the full
+	// ContainerDrone architecture (complex controller inside the CCE,
+	// Simplex switching armed); false runs the complex controller on
+	// the host, the configuration of the memory-DoS experiment where
+	// the container holds only the attacker.
+	ComplexInContainer bool
+
+	// MemGuard configuration (§III-D).
+	MemGuardEnabled bool
+	// MemGuardBudget is the CCE core's budget in accesses/second
+	// (converted to per-period internally).
+	MemGuardBudget float64
+
+	// IPTablesRate/Burst rate-limit packets into the HCE motor port
+	// (§III-E); 0 disables the limit.
+	IPTablesRate  float64
+	IPTablesBurst float64
+
+	// MonitorEnabled arms the security monitor after ArmDelay.
+	MonitorEnabled bool
+	Rules          monitor.Rules
+	// Envelope adds the extended geofence/descent rules (zero = the
+	// paper's two rules only).
+	Envelope monitor.EnvelopeRules
+	ArmDelay time.Duration
+
+	// Attack is the adversary's plan.
+	Attack attack.Plan
+
+	// BusCapacity is the DRAM service rate in accesses/second. The
+	// latency-inflation factor λ folds in bank-conflict amplification,
+	// calibrated so a saturating attacker slows fully memory-bound
+	// victims by the 15–25× reported for RPi3-class boards.
+	BusCapacity float64
+
+	// ManualUntil scripts the paper's flight procedure: "the drone
+	// operator first flies the drone to a safe height in manual mode
+	// and then switches to position control mode". Until this time the
+	// RC feed reports manual mode with hover throttle; zero starts
+	// directly in position mode (the scenario default, since runs
+	// begin mid-flight).
+	ManualUntil time.Duration
+
+	// Noise selects the sensor error model; Wind enables gusts.
+	Noise sensors.Noise
+	Wind  bool
+
+	// TelemetryRate is the flight-log sampling rate in Hz.
+	TelemetryRate float64
+}
+
+// DefaultConfig returns the baseline scenario: full ContainerDrone
+// deployment, all protections on, no attack, 30-second hover at
+// (0, 0, 1) — the flight envelope of every figure in the paper.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		Duration:           30 * time.Second,
+		Setpoint:           physics.Vec3{Z: 1},
+		ComplexInContainer: true,
+		MemGuardEnabled:    true,
+		MemGuardBudget:     30e6,
+		IPTablesRate:       8000,
+		IPTablesBurst:      512,
+		MonitorEnabled:     true,
+		Rules:              monitor.DefaultRules(),
+		ArmDelay:           time.Second,
+		BusCapacity:        100e6,
+		Noise:              sensors.DefaultNoise(),
+		Wind:               true,
+		TelemetryRate:      50,
+	}
+}
+
+// MemDoSAccessRate is the Bandwidth attack's demand used by the
+// memory experiments: saturating enough that unregulated interference
+// collapses the host control pipeline (λ ≈ 40 with the default bus).
+const MemDoSAccessRate = 4e9
+
+// ScenarioMemDoS reproduces Figs 4 (guard off) and 5 (guard on): the
+// complex controller flies from the host, the container runs only the
+// Bandwidth attack from t = 10 s.
+func ScenarioMemDoS(memguardOn bool) Config {
+	cfg := DefaultConfig()
+	cfg.ComplexInContainer = false
+	cfg.MonitorEnabled = false // this experiment isolates the memory defense
+	cfg.MemGuardEnabled = memguardOn
+	cfg.Attack = attack.Plan{Kind: attack.KindBandwidth, Start: 10 * time.Second, Rate: MemDoSAccessRate}
+	return cfg
+}
+
+// ScenarioKill reproduces Fig 6: the attacker shuts down the complex
+// controller at t = 12 s; the receiving-interval rule must fire.
+func ScenarioKill() Config {
+	cfg := DefaultConfig()
+	cfg.Attack = attack.Plan{Kind: attack.KindKill, Start: 12 * time.Second}
+	return cfg
+}
+
+// ScenarioFlood reproduces Fig 7: a UDP flood into the HCE motor port
+// from t = 8 s; the attitude-error rule must fire and the safety
+// controller must recover the vehicle.
+func ScenarioFlood() Config {
+	cfg := DefaultConfig()
+	cfg.Attack = attack.Plan{Kind: attack.KindFlood, Start: 8 * time.Second, Rate: 20000}
+	return cfg
+}
+
+// ScenarioBaseline is an attack-free flight of the full architecture.
+func ScenarioBaseline() Config { return DefaultConfig() }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"containerdrone/internal/monitor"
+)
+
+// TestEnvelopeRulesCatchWhatAttitudeMisses runs the UDP flood with the
+// attitude rule effectively disabled: the extended descent/geofence
+// envelope must still rescue the vehicle. This is the gap the
+// extension closes — a destabilized loop can lose altitude while
+// oscillating below any reasonable attitude threshold.
+func TestEnvelopeRulesCatchWhatAttitudeMisses(t *testing.T) {
+	cfg := ScenarioFlood()
+	cfg.Rules.MaxAttitudeError = 10 // radians: never fires
+	// Tight hover envelope: the vertical-velocity estimate lags the
+	// 10 Hz position fixes, so detection thresholds must lead the
+	// physical limits by a margin.
+	cfg.Envelope = monitor.DefaultEnvelopeRules()
+	cfg.Envelope.MaxDescentRate = 0.5
+	cfg.Envelope.GeofenceRadius = 0.4
+	r := mustRun(t, cfg)
+	if r.Crashed {
+		t.Fatalf("crashed at %v despite envelope rules", r.CrashTime)
+	}
+	if !r.Switched {
+		t.Fatal("envelope rules never fired")
+	}
+	if r.SwitchRule != monitor.RuleDescent && r.SwitchRule != monitor.RuleGeofence {
+		t.Fatalf("switch rule = %v, want an envelope rule", r.SwitchRule)
+	}
+}
+
+// TestEnvelopeRulesQuietInNormalFlight guards against false positives:
+// the default envelope must never fire during a clean hover.
+func TestEnvelopeRulesQuietInNormalFlight(t *testing.T) {
+	cfg := ScenarioBaseline()
+	cfg.Envelope = monitor.DefaultEnvelopeRules()
+	r := mustRun(t, cfg)
+	if r.Switched {
+		t.Fatalf("envelope rule %v fired during clean flight", r.SwitchRule)
+	}
+	if r.Crashed {
+		t.Fatal("clean flight crashed")
+	}
+}
+
+// TestEnvelopePlusPaperRulesCompose verifies the rule sets compose:
+// with both active during the flood, whichever fires first wins and
+// the flight still recovers.
+func TestEnvelopePlusPaperRulesCompose(t *testing.T) {
+	cfg := ScenarioFlood()
+	cfg.Envelope = monitor.DefaultEnvelopeRules()
+	r := mustRun(t, cfg)
+	if r.Crashed {
+		t.Fatalf("crashed at %v", r.CrashTime)
+	}
+	if !r.Switched {
+		t.Fatal("no rule fired")
+	}
+}

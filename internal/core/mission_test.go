@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"containerdrone/internal/attack"
+	"containerdrone/internal/control"
+	"containerdrone/internal/physics"
+)
+
+// missionConfig returns a square patrol at 1 m altitude with rules
+// loosened for maneuvering flight (mission legs tilt the vehicle far
+// beyond the hover envelope the default attitude threshold assumes).
+func missionConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Duration = 40 * time.Second
+	cfg.Rules.MaxAttitudeError = 25 * math.Pi / 180
+	cfg.Mission = []control.Waypoint{
+		{Pos: physics.Vec3{X: 1, Z: 1}, Hold: time.Second},
+		{Pos: physics.Vec3{X: 1, Y: 1, Z: 1.5}, Hold: time.Second},
+		{Pos: physics.Vec3{Y: 1, Z: 1}, Hold: time.Second},
+		{Pos: physics.Vec3{Z: 1}, Hold: time.Second},
+	}
+	return cfg
+}
+
+func TestMissionCompletes(t *testing.T) {
+	r := mustRun(t, missionConfig())
+	if r.Crashed {
+		t.Fatalf("mission flight crashed at %v", r.CrashTime)
+	}
+	if r.Switched {
+		t.Fatalf("mission tripped the monitor (%v at %v)", r.SwitchRule, r.SwitchTime)
+	}
+	if !r.MissionComplete {
+		t.Fatal("mission did not visit every waypoint in 40s")
+	}
+}
+
+func TestMissionNotConfiguredNotComplete(t *testing.T) {
+	cfg := ScenarioBaseline()
+	cfg.Duration = 2 * time.Second
+	r := mustRun(t, cfg)
+	if r.MissionComplete {
+		t.Fatal("MissionComplete true without a mission")
+	}
+}
+
+func TestMissionKillFailoverHoldsPosition(t *testing.T) {
+	// The Fig-6 attack during a mission: the safety controller must
+	// freeze and hold, not continue the mission.
+	cfg := missionConfig()
+	cfg.Attack = attack.Plan{Kind: attack.KindKill, Start: 6 * time.Second}
+	r := mustRun(t, cfg)
+	if r.Crashed {
+		t.Fatalf("crashed at %v", r.CrashTime)
+	}
+	if !r.Switched {
+		t.Fatal("monitor did not fail over after mid-mission kill")
+	}
+	if r.MissionComplete {
+		t.Fatal("mission 'completed' after its controller was killed")
+	}
+	// After the switch the vehicle parks: position variance over the
+	// tail must be small.
+	tail := r.Log.Window(cfg.Duration-8*time.Second, cfg.Duration)
+	if len(tail) == 0 {
+		t.Fatal("no tail samples")
+	}
+	ref := tail[0].Position
+	for _, smp := range tail {
+		if smp.Position.Sub(ref).Norm() > 0.4 {
+			t.Fatalf("vehicle still wandering after failover: %v vs %v", smp.Position, ref)
+		}
+	}
+}
+
+func TestMissionHoverRulesFalsePositive(t *testing.T) {
+	// Design trade-off the framework documents: the hover-calibrated
+	// attitude threshold (6°) treats aggressive mission legs as a
+	// violation. This is the false-positive side of the §III-E rule.
+	cfg := missionConfig()
+	cfg.Rules = DefaultConfig().Rules // hover-tuned 6° threshold
+	r := mustRun(t, cfg)
+	if r.Crashed {
+		t.Fatalf("crashed at %v", r.CrashTime)
+	}
+	if !r.Switched {
+		t.Skip("mission flew gently enough to avoid the hover threshold — acceptable")
+	}
+	// A switch is the expected false positive: the flight must still
+	// end safely (that is the Simplex guarantee).
+	if r.MissionComplete {
+		t.Fatal("mission completed despite safety takeover")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"containerdrone/internal/cgroup"
+	"containerdrone/internal/container"
+	"containerdrone/internal/netsim"
+	"containerdrone/internal/sched"
+	"containerdrone/internal/sim"
+	"containerdrone/internal/vm"
+)
+
+// OverheadCase selects a row of the paper's Table II.
+type OverheadCase int
+
+// Table II rows.
+const (
+	OverheadNative    OverheadCase = iota // "No container nor VM"
+	OverheadVM                            // "One VM"
+	OverheadContainer                     // "One container"
+)
+
+// String names the case as the paper's row label.
+func (c OverheadCase) String() string {
+	switch c {
+	case OverheadNative:
+		return "No container nor VM"
+	case OverheadVM:
+		return "One VM"
+	case OverheadContainer:
+		return "One container"
+	default:
+		return "unknown"
+	}
+}
+
+// OverheadResult is one measured Table II row: per-core idle rates.
+type OverheadResult struct {
+	Case      OverheadCase
+	IdleRates [NumCores]float64
+}
+
+// RunOverheadCase measures per-core CPU idle rates over the given
+// duration with the selected virtualization layer running idle beside
+// the baseline OS load — the paper's Table II methodology.
+func RunOverheadCase(c OverheadCase, duration time.Duration) (OverheadResult, error) {
+	cpu := sched.NewCPU(NumCores, sim.Tick, nil, nil)
+	AddSystemBaseline(cpu)
+
+	switch c {
+	case OverheadNative:
+		// nothing extra
+	case OverheadVM:
+		if _, err := vm.Start(cpu, vm.DefaultQEMUConfig()); err != nil {
+			return OverheadResult{}, err
+		}
+	case OverheadContainer:
+		net := netsim.New(nil, nil)
+		rt, err := container.NewRuntime(container.Config{
+			CPU: cpu, Net: net, Root: cgroup.NewRoot(), HostName: hceHost,
+			DaemonCore: CoreDriver, DaemonUtil: 0.002,
+		})
+		if err != nil {
+			return OverheadResult{}, err
+		}
+		cce, err := rt.Create(container.Spec{
+			Name:   "idle-cce",
+			Image:  container.Image{Name: "resin/rpi-raspbian", Tag: "jessie", SizeMB: 120},
+			CPUSet: cgroup.NewCPUSet(CoreContainer),
+		})
+		if err != nil {
+			return OverheadResult{}, err
+		}
+		if err := cce.Start(); err != nil {
+			return OverheadResult{}, err
+		}
+		// The idle container still runs an init/idle process.
+		idle := &sched.Task{
+			Name: "container-init", Core: CoreContainer, Priority: 1,
+			Period: 10 * time.Millisecond, WCET: 100 * time.Microsecond,
+		}
+		if err := cce.StartTask(idle); err != nil {
+			return OverheadResult{}, err
+		}
+	default:
+		return OverheadResult{}, fmt.Errorf("core: unknown overhead case %d", c)
+	}
+
+	steps := int64(duration / sim.Tick)
+	for i := int64(0); i < steps; i++ {
+		cpu.Tick(time.Duration(i) * sim.Tick)
+	}
+	res := OverheadResult{Case: c}
+	for core := 0; core < NumCores; core++ {
+		res.IdleRates[core] = cpu.IdleRate(core)
+	}
+	return res, nil
+}
+
+// TableII runs all three cases and returns the rows in paper order.
+func TableII(duration time.Duration) ([]OverheadResult, error) {
+	var out []OverheadResult
+	for _, c := range []OverheadCase{OverheadNative, OverheadVM, OverheadContainer} {
+		r, err := RunOverheadCase(c, duration)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

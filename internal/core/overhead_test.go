@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const overheadDur = 10 * time.Second
+
+func TestOverheadNativeMatchesTableII(t *testing.T) {
+	r, err := RunOverheadCase(OverheadNative, overheadDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [NumCores]float64{0.95, 0.99, 0.99, 0.99}
+	for core, w := range want {
+		if math.Abs(r.IdleRates[core]-w) > 0.01 {
+			t.Errorf("native core %d idle = %.3f, want %.2f", core, r.IdleRates[core], w)
+		}
+	}
+}
+
+func TestOverheadVMMatchesTableII(t *testing.T) {
+	r, err := RunOverheadCase(OverheadVM, overheadDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [NumCores]float64{0.86, 0.83, 0.81, 0.77}
+	for core, w := range want {
+		if math.Abs(r.IdleRates[core]-w) > 0.02 {
+			t.Errorf("VM core %d idle = %.3f, want %.2f", core, r.IdleRates[core], w)
+		}
+	}
+}
+
+func TestOverheadContainerMatchesTableII(t *testing.T) {
+	r, err := RunOverheadCase(OverheadContainer, overheadDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [NumCores]float64{0.95, 0.99, 0.99, 0.98}
+	for core, w := range want {
+		if math.Abs(r.IdleRates[core]-w) > 0.01 {
+			t.Errorf("container core %d idle = %.3f, want %.2f", core, r.IdleRates[core], w)
+		}
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	// The paper's headline: container overhead ≈ native ≫ VM.
+	rows, err := TableII(overheadDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, vmRow, cont := rows[0], rows[1], rows[2]
+	for core := 0; core < NumCores; core++ {
+		if vmRow.IdleRates[core] >= cont.IdleRates[core] {
+			t.Errorf("core %d: VM idle %.3f not below container idle %.3f",
+				core, vmRow.IdleRates[core], cont.IdleRates[core])
+		}
+		if native.IdleRates[core]-cont.IdleRates[core] > 0.02 {
+			t.Errorf("core %d: container overhead %.3f not close to native",
+				core, native.IdleRates[core]-cont.IdleRates[core])
+		}
+	}
+}
+
+func TestOverheadCaseString(t *testing.T) {
+	if OverheadNative.String() != "No container nor VM" ||
+		OverheadVM.String() != "One VM" ||
+		OverheadContainer.String() != "One container" {
+		t.Fatal("case labels do not match the paper's row names")
+	}
+	if OverheadCase(9).String() != "unknown" {
+		t.Fatal("unknown case label")
+	}
+}
+
+func TestOverheadUnknownCase(t *testing.T) {
+	if _, err := RunOverheadCase(OverheadCase(42), time.Second); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+}

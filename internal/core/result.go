@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"containerdrone/internal/monitor"
+	"containerdrone/internal/sim"
+	"containerdrone/internal/telemetry"
+)
+
+// Result summarizes one scenario run.
+type Result struct {
+	Cfg Config
+
+	Crashed   bool
+	CrashTime time.Duration
+
+	Switched    bool
+	SwitchTime  time.Duration
+	SwitchRule  monitor.Rule
+	Violations  []monitor.Violation
+	GarbagePkts int64
+
+	// MissionComplete reports whether a configured mission visited
+	// every waypoint (false when no mission was configured).
+	MissionComplete bool
+
+	// Whole-flight and attack-window tracking metrics.
+	Metrics       telemetry.Metrics
+	AttackMetrics telemetry.Metrics
+
+	Streams   []StreamStat
+	IdleRates [NumCores]float64
+
+	// Tasks reports per-task scheduling outcomes — the quantitative
+	// reading of the resource-DoS figures (deadline misses and latency
+	// inflation during the attack window).
+	Tasks []TaskReport
+
+	Log   *telemetry.FlightLog
+	Trace *sim.Trace
+}
+
+// Run executes the scenario to completion and returns the result.
+func (s *System) Run() *Result {
+	s.Engine.Run(s.Cfg.Duration)
+	return s.Result()
+}
+
+// Result snapshots the current outcome without advancing time.
+func (s *System) Result() *Result {
+	r := &Result{Cfg: s.Cfg, Log: s.Log, Trace: s.Trace, GarbagePkts: s.garbage}
+	r.Crashed, r.CrashTime = s.Log.Crashed()
+	if at, rule, ok := s.Monitor.SwitchedAt(); ok {
+		r.Switched, r.SwitchTime, r.SwitchRule = true, at, rule
+	}
+	r.Violations = s.Monitor.Violations()
+	if s.mission != nil {
+		r.MissionComplete = s.mission.Done()
+	}
+	r.Metrics = s.Log.Metrics()
+	if s.Cfg.Attack.Kind != 0 {
+		r.AttackMetrics = s.Log.WindowMetrics(s.Cfg.Attack.Start, s.Cfg.Duration)
+	}
+	for _, st := range s.streams {
+		r.Streams = append(r.Streams, *st)
+	}
+	sort.Slice(r.Streams, func(i, j int) bool { return r.Streams[i].Name < r.Streams[j].Name })
+	for core := 0; core < NumCores; core++ {
+		r.IdleRates[core] = s.CPU.IdleRate(core)
+	}
+	for _, task := range s.CPU.Tasks() {
+		st := task.Stats()
+		r.Tasks = append(r.Tasks, TaskReport{
+			Name:       task.Name,
+			Core:       task.Core,
+			Priority:   task.Priority,
+			Released:   st.Released,
+			Completed:  st.Completed,
+			Missed:     st.Missed,
+			MissRate:   st.MissRate(),
+			AvgLatency: st.AvgLatency(),
+			MaxLatency: st.MaxLatency,
+		})
+	}
+	sort.Slice(r.Tasks, func(i, j int) bool {
+		if r.Tasks[i].Core != r.Tasks[j].Core {
+			return r.Tasks[i].Core < r.Tasks[j].Core
+		}
+		return r.Tasks[i].Name < r.Tasks[j].Name
+	})
+	return r
+}
+
+// TaskReport is one task's scheduling outcome over the run.
+type TaskReport struct {
+	Name       string
+	Core       int
+	Priority   int
+	Released   int64
+	Completed  int64
+	Missed     int64
+	MissRate   float64
+	AvgLatency time.Duration
+	MaxLatency time.Duration
+}
+
+// Summary renders a human-readable digest of the run.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight %v  attack=%v@%v\n", r.Cfg.Duration, r.Cfg.Attack.Kind, r.Cfg.Attack.Start)
+	if r.Crashed {
+		fmt.Fprintf(&b, "  CRASHED at %.1fs\n", r.CrashTime.Seconds())
+	} else {
+		fmt.Fprintf(&b, "  survived\n")
+	}
+	if r.Switched {
+		fmt.Fprintf(&b, "  Simplex switch at %.2fs (%s)\n", r.SwitchTime.Seconds(), r.SwitchRule)
+	}
+	fmt.Fprintf(&b, "  RMS err %.3fm  max dev %.3fm  max tilt %.1f°\n",
+		r.Metrics.RMSError, r.Metrics.MaxDeviation, r.Metrics.MaxTilt*180/3.14159265)
+	return b.String()
+}

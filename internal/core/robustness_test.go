@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"containerdrone/internal/monitor"
+)
+
+// Multi-seed robustness: the experiment outcomes must hold across
+// noise/wind realizations, not just at the documented seed.
+
+func TestBaselineStableAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		cfg := ScenarioBaseline()
+		cfg.Seed = seed
+		cfg.Duration = 12 * time.Second
+		r := mustRun(t, cfg)
+		if r.Crashed {
+			t.Errorf("seed %d: baseline crashed at %v", seed, r.CrashTime)
+		}
+		if r.Switched {
+			t.Errorf("seed %d: baseline tripped %v", seed, r.SwitchRule)
+		}
+	}
+}
+
+func TestFig4CrashesAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := ScenarioMemDoS(false)
+		cfg.Seed = seed
+		r := mustRun(t, cfg)
+		if !r.Crashed {
+			t.Errorf("seed %d: unprotected memory DoS did not crash", seed)
+		}
+	}
+}
+
+func TestFig5SurvivesAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := ScenarioMemDoS(true)
+		cfg.Seed = seed
+		r := mustRun(t, cfg)
+		if r.Crashed {
+			t.Errorf("seed %d: MemGuard-protected flight crashed at %v", seed, r.CrashTime)
+		}
+	}
+}
+
+func TestFig6RecoversAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := ScenarioKill()
+		cfg.Seed = seed
+		r := mustRun(t, cfg)
+		if r.Crashed {
+			t.Errorf("seed %d: kill scenario crashed", seed)
+			continue
+		}
+		if !r.Switched || r.SwitchRule != monitor.RuleInterval {
+			t.Errorf("seed %d: switch = %v (%v)", seed, r.Switched, r.SwitchRule)
+		}
+	}
+}
+
+func TestFig7RecoversAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := ScenarioFlood()
+		cfg.Seed = seed
+		r := mustRun(t, cfg)
+		if r.Crashed {
+			t.Errorf("seed %d: flood scenario crashed at %v", seed, r.CrashTime)
+			continue
+		}
+		if !r.Switched {
+			t.Errorf("seed %d: flood never tripped the monitor", seed)
+		}
+	}
+}

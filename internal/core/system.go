@@ -1,0 +1,608 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"containerdrone/internal/attack"
+	"containerdrone/internal/cgroup"
+	"containerdrone/internal/container"
+	"containerdrone/internal/control"
+	"containerdrone/internal/estimate"
+	"containerdrone/internal/mavlink"
+	"containerdrone/internal/membw"
+	"containerdrone/internal/memguard"
+	"containerdrone/internal/monitor"
+	"containerdrone/internal/netsim"
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sched"
+	"containerdrone/internal/sensors"
+	"containerdrone/internal/sim"
+	"containerdrone/internal/telemetry"
+)
+
+// physDT is the physics integration step (one engine tick).
+const physDT = 0.0001
+
+// hceHost is the host's identity on the simulated bridge.
+const hceHost = "hce"
+
+// StreamStat counts one Table-I stream.
+type StreamStat struct {
+	Name      string
+	Port      int
+	FrameSize int
+	Packets   int64
+}
+
+// System is one fully wired scenario instance.
+type System struct {
+	Cfg     Config
+	Engine  *sim.Engine
+	CPU     *sched.CPU
+	Bus     *membw.Bus
+	Guard   *memguard.Guard
+	Net     *netsim.Network
+	Runtime *container.Runtime
+	CCE     *container.Container
+	Quad    *physics.Quad
+	Monitor *monitor.Monitor
+	Log     *telemetry.FlightLog
+	Trace   *sim.Trace
+
+	safetyCtl  *control.Cascade
+	complexCtl *control.Cascade
+	wind       *physics.Wind
+	rcScript   *sensors.RCScript
+	suite      *sensors.Suite
+
+	// Each control environment runs its own state estimator, exactly
+	// as each PX4 instance runs its own EKF: the HCE filter feeds the
+	// safety controller and the monitor; the CCE filter is owned by
+	// the complex controller and fed from the MAVLink stream.
+	hostEst *estimate.Filter
+	cceEst  *estimate.Filter
+
+	// Mission state (nil when flying a static setpoint).
+	mission     *control.Mission
+	curSetpoint physics.Vec3 // what the complex controller is tracking
+	holdSP      physics.Vec3 // the safety controller's hold target
+
+	// host-side sensor caches written by the driver tasks
+	lastIMU  sensors.IMUReading
+	lastGPS  sensors.GPSReading
+	lastBaro sensors.BaroReading
+	lastRC   sensors.RCReading
+
+	// actuator command paths
+	complexCmd   [4]float64
+	complexCmdAt time.Duration
+	safetyCmd    [4]float64
+	hostCmd      [4]float64
+
+	hceMotorEP  *netsim.Endpoint
+	cceSensorEP *netsim.Endpoint
+
+	complexTask *sched.Task
+	recvTask    *sched.Task
+	flood       *attack.Flood
+
+	streams map[string]*StreamStat
+	seqOut  uint32
+	garbage int64 // undecodable packets seen by the receiver
+}
+
+// New builds and wires a system from the config.
+func New(cfg Config) (*System, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("core: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.BusCapacity <= 0 {
+		return nil, fmt.Errorf("core: non-positive bus capacity %v", cfg.BusCapacity)
+	}
+	s := &System{
+		Cfg:     cfg,
+		Engine:  sim.NewEngine(),
+		Log:     telemetry.NewFlightLog(),
+		Trace:   sim.NewTrace(4096),
+		streams: make(map[string]*StreamStat),
+	}
+	rng := sim.NewRNG(cfg.Seed)
+
+	// --- physical substrates -------------------------------------
+	s.Bus = membw.NewBus(NumCores, cfg.BusCapacity, sim.Tick)
+	s.Guard = memguard.New(NumCores)
+	s.Guard.SetEnabled(cfg.MemGuardEnabled)
+	if cfg.MemGuardBudget > 0 {
+		s.Guard.SetBudget(CoreContainer, cfg.MemGuardBudget*memguard.DefaultPeriod.Seconds())
+	}
+	s.CPU = sched.NewCPU(NumCores, sim.Tick, s.Bus, s.Guard)
+
+	netRNG := rng.Split()
+	s.Net = netsim.New(netRNG.Norm, netRNG.Float64)
+	if cfg.IPTablesRate > 0 {
+		s.Net.Limit(netsim.Addr{Host: hceHost, Port: PortMotor}, cfg.IPTablesRate, cfg.IPTablesBurst)
+	}
+
+	root := cgroup.NewRoot()
+	rt, err := container.NewRuntime(container.Config{
+		CPU: s.CPU, Net: s.Net, Root: root, HostName: hceHost,
+		DaemonCore: CoreDriver, DaemonUtil: 0.002,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Runtime = rt
+	cce, err := rt.Create(container.Spec{
+		Name:             "cce",
+		Image:            container.Image{Name: "resin/rpi-raspbian", Tag: "jessie", SizeMB: 120},
+		CPUSet:           cgroup.NewCPUSet(CoreContainer),
+		RTPrioCap:        sched.PrioContainer,
+		MemoryLimitBytes: 256 << 20,
+		Ports: []container.PortMapping{
+			{HostPort: PortMotor, ContainerPort: PortMotor},
+			{HostPort: PortSensors, ContainerPort: PortSensors},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.CCE = cce
+	if err := cce.Start(); err != nil {
+		return nil, err
+	}
+
+	// --- vehicle, sensors, controllers ---------------------------
+	s.Quad = physics.NewQuad(physics.DefaultParams())
+	s.Quad.State.Pos = cfg.Setpoint
+	hov := s.Quad.HoverThrottle()
+	trim := [4]float64{hov, hov, hov, hov}
+	s.Quad.SetMotors(trim)
+	s.Quad.SettleRotors()
+	s.complexCmd, s.safetyCmd, s.hostCmd = trim, trim, trim
+
+	s.curSetpoint = cfg.Setpoint
+	s.holdSP = cfg.Setpoint
+	if len(cfg.Mission) > 0 {
+		s.mission = control.NewMission(cfg.Mission...)
+	}
+
+	sensorRNG := rng.Split()
+	s.suite = sensors.NewSuite(cfg.Noise, sensorRNG.Norm)
+	s.rcScript = sensors.NewRCScript()
+	if cfg.ManualUntil > 0 {
+		s.rcScript.
+			Add(0, sensors.RCReading{Mode: sensors.ModeManual, Throttle: 0.5}).
+			Add(uint64(cfg.ManualUntil/time.Microsecond),
+				sensors.RCReading{Mode: sensors.ModePosition, Throttle: 0.5})
+	}
+	if cfg.Wind {
+		windRNG := rng.Split()
+		s.wind = physics.NewWind(0.25, 0.6, 2.0, windRNG.Norm)
+	}
+
+	af := control.AirframeFrom(s.Quad.Params)
+	s.safetyCtl = control.NewCascade(control.SafetyGains(), af, 250)
+	s.complexCtl = control.NewCascade(control.ComplexGains(), af, 400)
+	s.hostEst = estimate.New(estimate.DefaultConfig())
+	s.cceEst = estimate.New(estimate.DefaultConfig())
+
+	s.Monitor = monitor.New(cfg.Rules)
+	s.Monitor.SetEnvelope(cfg.Envelope)
+	s.Monitor.OnSwitch = func(now time.Duration, rule monitor.Rule) {
+		s.Trace.Add(now, "monitor", "rule %s violated: switching to safety controller, killing receiver", rule)
+		if s.recvTask != nil {
+			s.CPU.Remove(s.recvTask)
+		}
+	}
+
+	s.hceMotorEP = s.Net.Bind(netsim.Addr{Host: hceHost, Port: PortMotor}, 256)
+	if ep, err := cce.Bind(PortSensors, 256); err == nil {
+		s.cceSensorEP = ep
+	} else {
+		return nil, err
+	}
+
+	s.registerStream("IMU", PortSensors, mavlink.IMUPayloadSize+mavlink.Overhead)
+	s.registerStream("Barometer", PortSensors, mavlink.BaroPayloadSize+mavlink.Overhead)
+	s.registerStream("GPS", PortSensors, mavlink.GPSPayloadSize+mavlink.Overhead)
+	s.registerStream("RC", PortSensors, mavlink.RCPayloadSize+mavlink.Overhead)
+	s.registerStream("Motor Output", PortMotor, mavlink.MotorPayloadSize+mavlink.Overhead)
+
+	s.buildHCETasks()
+	if cfg.ComplexInContainer {
+		if err := s.buildCCEController(); err != nil {
+			return nil, err
+		}
+	} else {
+		s.buildHostComplexController()
+	}
+	s.buildEngineProcs()
+	s.scheduleAttack()
+
+	if cfg.MonitorEnabled {
+		s.Engine.At(cfg.ArmDelay, func(now time.Duration) {
+			s.Monitor.Arm(now)
+			s.Trace.Add(now, "monitor", "armed")
+		})
+	}
+	return s, nil
+}
+
+func (s *System) registerStream(name string, port, size int) {
+	s.streams[name] = &StreamStat{Name: name, Port: port, FrameSize: size}
+}
+
+// sendToCCE encodes and ships one sensor frame into the container.
+func (s *System) sendToCCE(stream string, msgID uint8, payload []byte) {
+	if !s.Cfg.ComplexInContainer {
+		return
+	}
+	frame := mavlink.Encode(mavlink.Frame{
+		Seq: uint8(s.seqOut), SysID: 1, CompID: 1, MsgID: msgID, Payload: payload,
+	})
+	s.seqOut++
+	if err := s.Runtime.HostSend(s.CCE, 9000, PortSensors, frame); err == nil {
+		s.streams[stream].Packets++
+	}
+}
+
+// nowUS converts engine time to the microsecond timestamps sensors use.
+func nowUS(now time.Duration) uint64 { return uint64(now / time.Microsecond) }
+
+// buildHCETasks registers the host control environment's task set:
+// kernel drivers at FIFO 90, receiver and monitor as middle-priority
+// I/O threads, safety controller at FIFO 20, plus baseline system load
+// (the paper's "about 40 priority" Linux interrupt work).
+func (s *System) buildHCETasks() {
+	// Baseline OS load (matches the native row of Table II).
+	AddSystemBaseline(s.CPU)
+
+	// IMU driver: samples inertial state, caches it, feeds the CCE.
+	s.CPU.Add(&sched.Task{
+		Name: "drv-imu", Core: CoreDriver, Priority: sched.PrioDriver,
+		Period: 4 * time.Millisecond, WCET: 300 * time.Microsecond,
+		AccessRate: 15e6, MemBound: 0.6,
+		Work: func(now time.Duration) {
+			s.lastIMU = s.suite.SampleIMU(s.Quad, nowUS(now))
+			s.hostEst.FeedIMU(s.lastIMU)
+			s.sendToCCE("IMU", mavlink.MsgIDIMU, mavlink.EncodeIMU(s.lastIMU))
+		},
+	})
+	// Barometer driver.
+	s.CPU.Add(&sched.Task{
+		Name: "drv-baro", Core: CoreDriver, Priority: sched.PrioDriver,
+		Period: 20 * time.Millisecond, WCET: 120 * time.Microsecond,
+		AccessRate: 5e6, MemBound: 0.5,
+		Work: func(now time.Duration) {
+			s.lastBaro = s.suite.SampleBaro(s.Quad, nowUS(now))
+			s.sendToCCE("Barometer", mavlink.MsgIDBaro, mavlink.EncodeBaro(s.lastBaro))
+		},
+	})
+	// GPS/Vicon driver.
+	s.CPU.Add(&sched.Task{
+		Name: "drv-gps", Core: CoreDriver, Priority: sched.PrioDriver,
+		Period: 100 * time.Millisecond, WCET: 150 * time.Microsecond,
+		AccessRate: 5e6, MemBound: 0.5,
+		Work: func(now time.Duration) {
+			s.lastGPS = s.suite.SampleGPS(s.Quad, nowUS(now))
+			s.hostEst.FeedFix(s.lastGPS)
+			s.sendToCCE("GPS", mavlink.MsgIDGPS, mavlink.EncodeGPS(s.lastGPS))
+		},
+	})
+	// RC driver.
+	s.CPU.Add(&sched.Task{
+		Name: "drv-rc", Core: CoreDriver, Priority: sched.PrioDriver,
+		Period: 20 * time.Millisecond, WCET: 100 * time.Microsecond,
+		AccessRate: 4e6, MemBound: 0.5,
+		Work: func(now time.Duration) {
+			s.lastRC = s.rcScript.Sample(nowUS(now))
+			s.sendToCCE("RC", mavlink.MsgIDRC, mavlink.EncodeRC(s.lastRC))
+		},
+	})
+	// PWM output: applies the selected actuator command to the ESCs.
+	s.CPU.Add(&sched.Task{
+		Name: "drv-pwm", Core: CoreDriver, Priority: sched.PrioDriver,
+		Period: 2500 * time.Microsecond, WCET: 150 * time.Microsecond,
+		AccessRate: 8e6, MemBound: 0.5,
+		Work: func(now time.Duration) { s.Quad.SetMotors(s.selectCommand()) },
+	})
+	// Safety controller: hot standby on every sensor update.
+	s.CPU.Add(&sched.Task{
+		Name: "safety-ctl", Core: CoreSafety, Priority: sched.PrioSafety,
+		Period: 4 * time.Millisecond, WCET: 500 * time.Microsecond,
+		AccessRate: 10e6, MemBound: 0.6,
+		Work: func(now time.Duration) {
+			s.safetyCmd = s.safetyCtl.Compute(s.hostInputs(), control.Setpoint{Pos: s.safetyTarget()})
+		},
+	})
+	if s.Cfg.ComplexInContainer {
+		// HCE receiving thread: drains the motor port, decodes, and
+		// forwards valid commands to the PWM path.
+		s.recvTask = s.CPU.Add(&sched.Task{
+			Name: "hce-recv", Core: CoreSafety, Priority: 50,
+			Period: 2500 * time.Microsecond, WCET: 150 * time.Microsecond,
+			AccessRate: 6e6, MemBound: 0.4,
+			Work: s.drainMotorPort,
+		})
+		// Security monitor task.
+		s.CPU.Add(&sched.Task{
+			Name: "sec-monitor", Core: CoreSafety, Priority: 60,
+			Period: 10 * time.Millisecond, WCET: 60 * time.Microsecond,
+			AccessRate: 2e6, MemBound: 0.3,
+			Work: func(now time.Duration) {
+				refRoll, refPitch, _ := s.safetyCtl.AttitudeSetpoint()
+				est := s.hostEst.State()
+				roll, pitch, _ := est.Attitude.Euler()
+				s.Monitor.Check(now, monitor.AttitudeError(refRoll, refPitch, roll, pitch))
+				posErr := est.Pos.Sub(s.safetyTarget()).Norm()
+				s.Monitor.CheckEnvelope(now, posErr, est.Vel.Z)
+			},
+		})
+	}
+}
+
+// drainMotorPort is the receiving thread's job: up to 16 datagrams per
+// 2.5 ms period — the bounded service rate the UDP flood overwhelms.
+func (s *System) drainMotorPort(now time.Duration) {
+	for i := 0; i < 16; i++ {
+		pkt, ok := s.hceMotorEP.Recv()
+		if !ok {
+			return
+		}
+		frame, _, err := mavlink.Decode(pkt.Payload)
+		if err != nil || frame.MsgID != mavlink.MsgIDMotor {
+			s.garbage++
+			continue
+		}
+		cmd, err := mavlink.DecodeMotor(frame.Payload)
+		if err != nil {
+			s.garbage++
+			continue
+		}
+		s.complexCmd = cmd.Motors
+		s.complexCmdAt = now
+		s.streams["Motor Output"].Packets++
+		s.Monitor.NoteComplexOutput(now)
+	}
+}
+
+// hostInputs assembles controller inputs from the host estimator's
+// fused state plus the raw barometer/RC channels.
+func (s *System) hostInputs() control.Inputs {
+	return control.Inputs{
+		IMU:  s.hostEst.Inputs(s.lastBaro, s.lastRC),
+		GPS:  s.hostEst.GPSLike(),
+		Baro: s.lastBaro,
+		RC:   s.lastRC,
+	}
+}
+
+// safetyTarget returns the safety controller's setpoint. For static
+// flights it is the configured setpoint; during a mission it shadows
+// the vehicle until a Simplex switch and then freezes, so failover
+// means "hold position here", not "fly the rest of the mission".
+func (s *System) safetyTarget() physics.Vec3 {
+	if s.mission == nil {
+		return s.Cfg.Setpoint
+	}
+	if s.Monitor.Output() == monitor.OutputComplex {
+		s.holdSP = s.hostEst.State().Pos
+	}
+	return s.holdSP
+}
+
+// complexSetpoint advances the mission (if any) and returns the
+// setpoint the complex controller tracks this cycle.
+func (s *System) complexSetpoint(now time.Duration, pos physics.Vec3, dt float64) control.Setpoint {
+	if s.mission == nil {
+		return control.Setpoint{Pos: s.Cfg.Setpoint}
+	}
+	sp := s.mission.Update(now, pos, dt)
+	s.curSetpoint = sp.Pos
+	return sp
+}
+
+// selectCommand is the Simplex decision point: the PWM driver applies
+// the complex controller's output until the monitor switches.
+func (s *System) selectCommand() [4]float64 {
+	if !s.Cfg.ComplexInContainer {
+		return s.hostCmd
+	}
+	if s.Monitor.Output() == monitor.OutputSafety {
+		return s.safetyCmd
+	}
+	return s.complexCmd
+}
+
+// buildCCEController starts the PX4-style complex controller inside
+// the container: it consumes the sensor stream from port 14660 and
+// emits motor frames to host port 14600 at 400 Hz (Table I).
+func (s *System) buildCCEController() error {
+	var in control.Inputs
+	var seq uint32
+	task := &sched.Task{
+		Name: "px4-complex", Core: CoreContainer, Priority: sched.PrioContainer,
+		Period: 2500 * time.Microsecond, WCET: 900 * time.Microsecond,
+		AccessRate: 25e6, MemBound: 0.6,
+		Work: func(now time.Duration) {
+			// Drain the sensor port into the input cache.
+			for {
+				pkt, ok := s.cceSensorEP.Recv()
+				if !ok {
+					break
+				}
+				frame, _, err := mavlink.Decode(pkt.Payload)
+				if err != nil {
+					continue
+				}
+				switch frame.MsgID {
+				case mavlink.MsgIDIMU:
+					if r, err := mavlink.DecodeIMU(frame.Payload); err == nil {
+						s.cceEst.FeedIMU(r)
+					}
+				case mavlink.MsgIDBaro:
+					if r, err := mavlink.DecodeBaro(frame.Payload); err == nil {
+						in.Baro = r
+					}
+				case mavlink.MsgIDGPS:
+					if r, err := mavlink.DecodeGPS(frame.Payload); err == nil {
+						s.cceEst.FeedFix(r)
+					}
+				case mavlink.MsgIDRC:
+					if r, err := mavlink.DecodeRC(frame.Payload); err == nil {
+						in.RC = r
+					}
+				}
+			}
+			in.IMU = s.cceEst.Inputs(in.Baro, in.RC)
+			in.GPS = s.cceEst.GPSLike()
+			cmd := s.complexCtl.Compute(in, s.complexSetpoint(now, in.GPS.Pos, 1.0/400))
+			seq++
+			payload := mavlink.EncodeMotor(mavlink.MotorCommand{
+				TimeUS: nowUS(now), Motors: cmd, Seq: seq, Armed: true,
+			})
+			frame := mavlink.Encode(mavlink.Frame{
+				Seq: uint8(seq), SysID: 2, CompID: 1, MsgID: mavlink.MsgIDMotor, Payload: payload,
+			})
+			// Best-effort UDP: namespace violations would be bugs, but
+			// a full fabric just drops.
+			_ = s.CCE.Send(9001, PortMotor, frame)
+		},
+	}
+	if err := s.CCE.StartTask(task); err != nil {
+		return err
+	}
+	s.complexTask = task
+	return nil
+}
+
+// buildHostComplexController runs the complex controller on the host
+// (the memory-DoS experiment's deployment).
+func (s *System) buildHostComplexController() {
+	s.CPU.Add(&sched.Task{
+		Name: "px4-host", Core: CoreHost, Priority: 30,
+		Period: 4 * time.Millisecond, WCET: 1200 * time.Microsecond,
+		AccessRate: 30e6, MemBound: 0.8,
+		Work: func(now time.Duration) {
+			in := s.hostInputs()
+			s.hostCmd = s.complexCtl.Compute(in, s.complexSetpoint(now, in.GPS.Pos, 1.0/250))
+		},
+	})
+}
+
+// buildEngineProcs registers the per-tick infrastructure: network
+// delivery, scheduler, wind, physics, telemetry.
+func (s *System) buildEngineProcs() {
+	s.Engine.Register("net", sim.Tick, 0, sim.ProcFunc(func(now time.Duration) {
+		s.Net.Step(now)
+	}))
+	s.Engine.Register("sched", sim.Tick, 10, sim.ProcFunc(func(now time.Duration) {
+		s.CPU.Tick(now)
+	}))
+	if s.wind != nil {
+		s.Engine.Register("wind", 10*time.Millisecond, 19, sim.ProcFunc(func(now time.Duration) {
+			s.Quad.SetDisturbance(s.wind.Step(0.01), physics.Vec3{})
+		}))
+	}
+	s.Engine.Register("physics", sim.Tick, 20, sim.ProcFunc(func(now time.Duration) {
+		s.Quad.Step(physDT)
+		if crashed, at := s.Quad.Crashed(); crashed {
+			if already, _ := s.Log.Crashed(); !already {
+				s.Log.MarkCrash(time.Duration(at * float64(time.Second)))
+				s.Trace.Add(now, "physics", "vehicle crashed")
+			}
+		}
+	}))
+	period := time.Duration(float64(time.Second) / s.Cfg.TelemetryRate)
+	s.Engine.Register("telemetry", period, 30, sim.ProcFunc(func(now time.Duration) {
+		roll, pitch, yaw := s.Quad.State.RollPitchYaw()
+		src := "complex"
+		if !s.Cfg.ComplexInContainer {
+			src = "host"
+		} else if s.Monitor.Output() == monitor.OutputSafety {
+			src = "safety"
+		}
+		sp := s.curSetpoint
+		if s.mission != nil && s.Monitor.Output() == monitor.OutputSafety {
+			sp = s.holdSP
+		}
+		s.Log.Add(telemetry.Sample{
+			Time: now, Setpoint: sp, Position: s.Quad.State.Pos,
+			Roll: roll, Pitch: pitch, Yaw: yaw, Source: src,
+		})
+	}))
+}
+
+// scheduleAttack arms the configured attack plan.
+func (s *System) scheduleAttack() {
+	plan := s.Cfg.Attack
+	switch plan.Kind {
+	case attack.KindNone:
+		return
+	case attack.KindBandwidth:
+		s.Engine.At(plan.Start, func(now time.Duration) {
+			t := attack.Bandwidth(CoreContainer, plan.Rate)
+			if err := s.CCE.StartTask(t); err != nil {
+				s.Trace.Add(now, "attack", "bandwidth launch failed: %v", err)
+				return
+			}
+			s.Trace.Add(now, "attack", "bandwidth attack launched (%.0f acc/s)", t.AccessRate)
+		})
+	case attack.KindFlood:
+		s.Engine.At(plan.Start, func(now time.Duration) {
+			s.flood = attack.NewFlood(func(p []byte) {
+				_ = s.CCE.Send(40000, PortMotor, p)
+			}, plan.Rate, 64)
+			if err := s.CCE.StartTask(s.flood.Task(CoreContainer)); err != nil {
+				s.Trace.Add(now, "attack", "flood launch failed: %v", err)
+				return
+			}
+			s.Trace.Add(now, "attack", "UDP flood launched (%.0f pkt/s)", s.flood.PacketsPerSecond)
+		})
+	case attack.KindKill:
+		s.Engine.At(plan.Start, func(now time.Duration) {
+			if s.complexTask != nil {
+				s.CCE.StopTask(s.complexTask)
+				s.Trace.Add(now, "attack", "complex controller killed")
+			}
+		})
+	case attack.KindCPUHog:
+		s.Engine.At(plan.Start, func(now time.Duration) {
+			t := attack.CPUHog(CoreContainer, sched.PrioContainer)
+			if err := s.CCE.StartTask(t); err != nil {
+				s.Trace.Add(now, "attack", "cpu hog launch failed: %v", err)
+				return
+			}
+			s.Trace.Add(now, "attack", "CPU hog launched")
+		})
+	}
+}
+
+// Schedulability runs fixed-priority response-time analysis over the
+// system's current task set — the paper's §VII future work ("provide
+// hard real-time proof and schedulability analysis"). Call it on a
+// freshly built System to audit the flight-critical task set before
+// any attack task is admitted.
+func (s *System) Schedulability() []sched.AnalysisResult {
+	return sched.Analyze(s.CPU)
+}
+
+// AddSystemBaseline registers the idle OS load present in every
+// Table-II case: kernel threads and interrupt handling, ~5% on core 0
+// and ~1% on the others (calibrated to the paper's native row).
+func AddSystemBaseline(cpu *sched.CPU) {
+	utils := []float64{0.05, 0.01, 0.01, 0.01}
+	const period = 10 * time.Millisecond
+	for core, u := range utils {
+		cpu.Add(&sched.Task{
+			Name:     fmt.Sprintf("sys-core%d", core),
+			Core:     core,
+			Priority: sched.PrioInterrupt,
+			Period:   period,
+			WCET:     time.Duration(u * float64(period)),
+			// Kernel housekeeping touches memory lightly.
+			AccessRate: 1e6, MemBound: 0.3,
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package mavlink
+
+import (
+	"testing"
+
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sensors"
+)
+
+func BenchmarkEncodeIMUFrame(b *testing.B) {
+	r := sensors.IMUReading{
+		TimeUS: 123456,
+		Gyro:   physics.Vec3{X: 0.1, Y: -0.2, Z: 0.05},
+		Accel:  physics.Vec3{Z: 9.81},
+		Quat:   physics.FromEuler(0.1, 0.05, 0.7),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(Frame{MsgID: MsgIDIMU, Payload: EncodeIMU(r)})
+	}
+}
+
+func BenchmarkDecodeIMUFrame(b *testing.B) {
+	r := sensors.IMUReading{TimeUS: 123456, Quat: physics.IdentityQuat()}
+	wire := Encode(Frame{MsgID: MsgIDIMU, Payload: EncodeIMU(r)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, _, err := Decode(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeIMU(f.Payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeMotorFrame(b *testing.B) {
+	m := MotorCommand{TimeUS: 99, Motors: [4]float64{0.5, 0.5, 0.5, 0.5}, Seq: 7, Armed: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(Frame{MsgID: MsgIDMotor, Payload: EncodeMotor(m)})
+	}
+}
+
+func BenchmarkCRC(b *testing.B) {
+	data := make([]byte, 52)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = crcX25(data, 39)
+	}
+}

@@ -1,0 +1,159 @@
+// Package mavlink implements the lightweight robotic messaging
+// protocol the HCE and CCE exchange sensor data and actuator commands
+// over (Table I of the paper). The frame layout follows MAVLink v1:
+//
+//	magic(1) len(1) seq(1) sysid(1) compid(1) msgid(1) payload(len) crc(2)
+//
+// giving 8 bytes of overhead, so the five Table-I message payloads are
+// sized to reproduce the paper's exact on-wire sizes: IMU 52 B,
+// barometer 32 B, GPS 44 B, RC 50 B, motor output 29 B.
+//
+// The checksum is the MAVLink CRC-16 (MCRF4XX variant of the X.25
+// polynomial, init 0xFFFF, no final xor), covering everything after
+// the magic byte plus a per-message CRC_EXTRA seed byte, exactly as
+// the real protocol does.
+package mavlink
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Magic is the MAVLink v1 start-of-frame marker.
+const Magic = 0xFE
+
+// Overhead is the number of non-payload bytes in a frame.
+const Overhead = 8
+
+// Frame is a decoded MAVLink frame.
+type Frame struct {
+	Seq     uint8
+	SysID   uint8
+	CompID  uint8
+	MsgID   uint8
+	Payload []byte
+}
+
+// WireSize returns the total encoded size of the frame.
+func (f Frame) WireSize() int { return Overhead + len(f.Payload) }
+
+// Errors returned by Decode.
+var (
+	ErrShortFrame  = errors.New("mavlink: frame truncated")
+	ErrBadMagic    = errors.New("mavlink: bad start marker")
+	ErrBadChecksum = errors.New("mavlink: checksum mismatch")
+	ErrUnknownMsg  = errors.New("mavlink: unknown message id")
+)
+
+// crcAccumulate folds one byte into the X25 CRC state.
+func crcAccumulate(b byte, crc uint16) uint16 {
+	tmp := b ^ byte(crc&0xFF)
+	tmp ^= tmp << 4
+	return (crc >> 8) ^ uint16(tmp)<<8 ^ uint16(tmp)<<3 ^ uint16(tmp)>>4
+}
+
+// crcX25 computes the checksum over data, then folds in extra.
+func crcX25(data []byte, extra byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crcAccumulate(b, crc)
+	}
+	return crcAccumulate(extra, crc)
+}
+
+// crcExtra returns the per-message CRC seed byte. Unknown message ids
+// get seed 0; Decode rejects them before checksum verification anyway.
+func crcExtra(msgID uint8) byte {
+	if e, ok := registry[msgID]; ok {
+		return e.crcExtra
+	}
+	return 0
+}
+
+// Encode serializes the frame. The caller owns the returned slice.
+func Encode(f Frame) []byte {
+	if len(f.Payload) > 255 {
+		panic(fmt.Sprintf("mavlink: payload %d bytes exceeds 255", len(f.Payload)))
+	}
+	out := make([]byte, 0, f.WireSize())
+	out = append(out, Magic, byte(len(f.Payload)), f.Seq, f.SysID, f.CompID, f.MsgID)
+	out = append(out, f.Payload...)
+	crc := crcX25(out[1:], crcExtra(f.MsgID))
+	out = append(out, byte(crc&0xFF), byte(crc>>8))
+	return out
+}
+
+// Decode parses one frame from the start of data. It returns the
+// frame and the number of bytes consumed.
+func Decode(data []byte) (Frame, int, error) {
+	if len(data) < Overhead {
+		return Frame{}, 0, ErrShortFrame
+	}
+	if data[0] != Magic {
+		return Frame{}, 0, ErrBadMagic
+	}
+	plen := int(data[1])
+	total := Overhead + plen
+	if len(data) < total {
+		return Frame{}, 0, ErrShortFrame
+	}
+	f := Frame{
+		Seq:     data[2],
+		SysID:   data[3],
+		CompID:  data[4],
+		MsgID:   data[5],
+		Payload: append([]byte(nil), data[6:6+plen]...),
+	}
+	if _, ok := registry[f.MsgID]; !ok {
+		return Frame{}, total, fmt.Errorf("%w: %d", ErrUnknownMsg, f.MsgID)
+	}
+	want := uint16(data[total-2]) | uint16(data[total-1])<<8
+	got := crcX25(data[1:total-2], crcExtra(f.MsgID))
+	if got != want {
+		return Frame{}, total, ErrBadChecksum
+	}
+	return f, total, nil
+}
+
+// registryEntry describes one known message type.
+type registryEntry struct {
+	name        string
+	payloadSize int
+	crcExtra    byte
+}
+
+var registry = map[uint8]registryEntry{}
+
+// registerMessage declares a message type; called from init in
+// messages.go. Duplicate ids are a programming error.
+func registerMessage(id uint8, name string, payloadSize int, crcExtra byte) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("mavlink: duplicate message id %d", id))
+	}
+	registry[id] = registryEntry{name: name, payloadSize: payloadSize, crcExtra: crcExtra}
+}
+
+// RegisterExternal declares a message type defined outside this
+// package (e.g. the GCS link's telemetry/setpoint messages). It panics
+// on a duplicate id, which is a wiring bug: message ids are a global
+// protocol namespace.
+func RegisterExternal(id uint8, name string, payloadSize int, crcExtra byte) {
+	registerMessage(id, name, payloadSize, crcExtra)
+}
+
+// MessageName returns the registered name for a message id.
+func MessageName(id uint8) string {
+	if e, ok := registry[id]; ok {
+		return e.name
+	}
+	return fmt.Sprintf("unknown(%d)", id)
+}
+
+// PayloadSize returns the registered payload size for a message id,
+// or -1 if unknown.
+func PayloadSize(id uint8) int {
+	if e, ok := registry[id]; ok {
+		return e.payloadSize
+	}
+	return -1
+}

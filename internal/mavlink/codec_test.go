@@ -1,0 +1,190 @@
+package mavlink
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := Frame{Seq: 7, SysID: 1, CompID: 2, MsgID: MsgIDMotor, Payload: make([]byte, MotorPayloadSize)}
+	for i := range f.Payload {
+		f.Payload[i] = byte(i * 3)
+	}
+	wire := Encode(f)
+	got, n, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(wire) {
+		t.Fatalf("consumed %d, want %d", n, len(wire))
+	}
+	if got.Seq != f.Seq || got.SysID != f.SysID || got.CompID != f.CompID || got.MsgID != f.MsgID {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range f.Payload {
+		if got.Payload[i] != f.Payload[i] {
+			t.Fatalf("payload byte %d mismatch", i)
+		}
+	}
+}
+
+func TestWireSizesMatchTableI(t *testing.T) {
+	// The paper's Table I: IMU 52, Baro 32, GPS 44, RC 50, Motor 29.
+	cases := []struct {
+		id   uint8
+		want int
+	}{
+		{MsgIDIMU, 52},
+		{MsgIDBaro, 32},
+		{MsgIDGPS, 44},
+		{MsgIDRC, 50},
+		{MsgIDMotor, 29},
+	}
+	for _, c := range cases {
+		f := Frame{MsgID: c.id, Payload: make([]byte, PayloadSize(c.id))}
+		if got := len(Encode(f)); got != c.want {
+			t.Errorf("%s frame size = %d, want %d", MessageName(c.id), got, c.want)
+		}
+		if f.WireSize() != c.want {
+			t.Errorf("%s WireSize = %d, want %d", MessageName(c.id), f.WireSize(), c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	wire := Encode(Frame{MsgID: MsgIDBaro, Payload: make([]byte, BaroPayloadSize)})
+	wire[0] = 0x55
+	if _, _, err := Decode(wire); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	wire := Encode(Frame{MsgID: MsgIDGPS, Payload: make([]byte, GPSPayloadSize)})
+	if _, _, err := Decode(wire[:5]); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("err = %v, want ErrShortFrame", err)
+	}
+	if _, _, err := Decode(wire[:len(wire)-1]); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestDecodeRejectsCorruptPayload(t *testing.T) {
+	wire := Encode(Frame{MsgID: MsgIDIMU, Payload: make([]byte, IMUPayloadSize)})
+	wire[10] ^= 0xFF
+	if _, _, err := Decode(wire); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeRejectsCorruptCRC(t *testing.T) {
+	wire := Encode(Frame{MsgID: MsgIDIMU, Payload: make([]byte, IMUPayloadSize)})
+	wire[len(wire)-1] ^= 0x01
+	if _, _, err := Decode(wire); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeRejectsUnknownMessage(t *testing.T) {
+	f := Frame{MsgID: 200, Payload: []byte{1, 2, 3}}
+	wire := Encode(f)
+	_, n, err := Decode(wire)
+	if !errors.Is(err, ErrUnknownMsg) {
+		t.Fatalf("err = %v, want ErrUnknownMsg", err)
+	}
+	if n != len(wire) {
+		t.Fatalf("unknown message consumed %d bytes, want %d to allow resync", n, len(wire))
+	}
+}
+
+func TestDecodeDifferentMessagesProtectedByCRCExtra(t *testing.T) {
+	// A frame re-labeled with another message id of the same payload
+	// size must fail the checksum because CRC_EXTRA differs.
+	f := Frame{MsgID: MsgIDIMU, Payload: make([]byte, IMUPayloadSize)}
+	wire := Encode(f)
+	if PayloadSize(MsgIDIMU) == PayloadSize(MsgIDBaro) {
+		t.Skip("sizes equal; relabel test needs distinct crcExtra check elsewhere")
+	}
+	wire[5] = MsgIDBaro // relabel; length byte now also wrong, but CRC fires first or ShortFrame
+	if _, _, err := Decode(wire); err == nil {
+		t.Fatal("relabeled frame decoded successfully")
+	}
+}
+
+func TestEncodePanicsOnOversizePayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize payload did not panic")
+		}
+	}()
+	Encode(Frame{MsgID: MsgIDIMU, Payload: make([]byte, 300)})
+}
+
+func TestMessageNames(t *testing.T) {
+	if MessageName(MsgIDIMU) != "IMU" || MessageName(MsgIDMotor) != "MOTOR" {
+		t.Fatal("registered names wrong")
+	}
+	if MessageName(250) != "unknown(250)" {
+		t.Fatalf("unknown name = %q", MessageName(250))
+	}
+	if PayloadSize(250) != -1 {
+		t.Fatal("unknown PayloadSize should be -1")
+	}
+}
+
+func TestCRCKnownVector(t *testing.T) {
+	// MAVLink's checksum is CRC-16/MCRF4XX (the X.25 polynomial with
+	// init 0xFFFF and no final xor); its check value for "123456789"
+	// is 0x6F91.
+	crc := uint16(0xFFFF)
+	for _, b := range []byte("123456789") {
+		crc = crcAccumulate(b, crc)
+	}
+	if crc != 0x6F91 {
+		t.Fatalf("CRC(123456789) = %#x, want 0x6f91", crc)
+	}
+}
+
+// Property: any payload of the registered size round-trips bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq, sysid uint8, raw []byte) bool {
+		payload := make([]byte, RCPayloadSize)
+		copy(payload, raw)
+		fr := Frame{Seq: seq, SysID: sysid, MsgID: MsgIDRC, Payload: payload}
+		got, _, err := Decode(Encode(fr))
+		if err != nil {
+			return false
+		}
+		if got.Seq != seq || got.SysID != sysid {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: single-byte corruption anywhere after the magic byte is
+// always detected (CRC or structural error).
+func TestCorruptionDetectedProperty(t *testing.T) {
+	f := func(pos uint8, bit uint8, raw []byte) bool {
+		payload := make([]byte, BaroPayloadSize)
+		copy(payload, raw)
+		wire := Encode(Frame{MsgID: MsgIDBaro, Payload: payload})
+		p := 1 + int(pos)%(len(wire)-1) // skip magic: corrupting it is ErrBadMagic trivially
+		mut := append([]byte(nil), wire...)
+		mut[p] ^= 1 << (bit % 8)
+		_, _, err := Decode(mut)
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package mavlink
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode exercises the frame parser against arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode to the
+// same wire bytes (the receiver faces exactly this input during the
+// UDP flood, whose payloads are attacker-controlled).
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(Frame{MsgID: MsgIDMotor, Payload: make([]byte, MotorPayloadSize)}))
+	f.Add(Encode(Frame{MsgID: MsgIDIMU, Seq: 7, Payload: make([]byte, IMUPayloadSize)}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFE})
+	f.Add(bytes.Repeat([]byte{0xA5}, 64)) // the flood payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		re := Encode(frame)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", data[:n], re)
+		}
+	})
+}
+
+// FuzzDecodeMessages feeds arbitrary payloads to every message
+// decoder; none may panic.
+func FuzzDecodeMessages(f *testing.F) {
+	f.Add(make([]byte, IMUPayloadSize))
+	f.Add(make([]byte, MotorPayloadSize))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		_, _ = DecodeIMU(p)
+		_, _ = DecodeBaro(p)
+		_, _ = DecodeGPS(p)
+		_, _ = DecodeRC(p)
+		_, _ = DecodeMotor(p)
+	})
+}

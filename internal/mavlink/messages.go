@@ -1,0 +1,202 @@
+package mavlink
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sensors"
+)
+
+// Message ids for the five Table-I streams.
+const (
+	MsgIDIMU   uint8 = 30 // ATTITUDE-class inertial sample
+	MsgIDBaro  uint8 = 29 // SCALED_PRESSURE-class
+	MsgIDGPS   uint8 = 32 // LOCAL_POSITION-class (Vicon feed)
+	MsgIDRC    uint8 = 65 // RC_CHANNELS-class
+	MsgIDMotor uint8 = 36 // SERVO_OUTPUT-class actuator command
+)
+
+// Payload sizes chosen so frame sizes match Table I exactly
+// (payload + 8 bytes overhead).
+const (
+	IMUPayloadSize   = 44 // → 52-byte frame
+	BaroPayloadSize  = 24 // → 32-byte frame
+	GPSPayloadSize   = 36 // → 44-byte frame
+	RCPayloadSize    = 42 // → 50-byte frame
+	MotorPayloadSize = 21 // → 29-byte frame
+)
+
+func init() {
+	registerMessage(MsgIDIMU, "IMU", IMUPayloadSize, 39)
+	registerMessage(MsgIDBaro, "BARO", BaroPayloadSize, 115)
+	registerMessage(MsgIDGPS, "GPS", GPSPayloadSize, 185)
+	registerMessage(MsgIDRC, "RC", RCPayloadSize, 118)
+	registerMessage(MsgIDMotor, "MOTOR", MotorPayloadSize, 222)
+}
+
+func putF32(b []byte, v float64) { binary.LittleEndian.PutUint32(b, math.Float32bits(float32(v))) }
+func getF32(b []byte) float64    { return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))) }
+
+// EncodeIMU packs an IMU reading: time(8) gyro(12) accel(12) rpy(12).
+func EncodeIMU(r sensors.IMUReading) []byte {
+	p := make([]byte, IMUPayloadSize)
+	binary.LittleEndian.PutUint64(p[0:], r.TimeUS)
+	putF32(p[8:], r.Gyro.X)
+	putF32(p[12:], r.Gyro.Y)
+	putF32(p[16:], r.Gyro.Z)
+	putF32(p[20:], r.Accel.X)
+	putF32(p[24:], r.Accel.Y)
+	putF32(p[28:], r.Accel.Z)
+	roll, pitch, yaw := r.Quat.Euler()
+	putF32(p[32:], roll)
+	putF32(p[36:], pitch)
+	putF32(p[40:], yaw)
+	return p
+}
+
+// DecodeIMU unpacks an IMU payload. The attitude quaternion is
+// reconstructed from the transported Euler angles.
+func DecodeIMU(p []byte) (sensors.IMUReading, error) {
+	if len(p) != IMUPayloadSize {
+		return sensors.IMUReading{}, fmt.Errorf("mavlink: IMU payload %d bytes, want %d", len(p), IMUPayloadSize)
+	}
+	var r sensors.IMUReading
+	r.TimeUS = binary.LittleEndian.Uint64(p[0:])
+	r.Gyro = physics.Vec3{X: getF32(p[8:]), Y: getF32(p[12:]), Z: getF32(p[16:])}
+	r.Accel = physics.Vec3{X: getF32(p[20:]), Y: getF32(p[24:]), Z: getF32(p[28:])}
+	r.Quat = physics.FromEuler(getF32(p[32:]), getF32(p[36:]), getF32(p[40:]))
+	return r, nil
+}
+
+// EncodeBaro packs a barometer reading:
+// time(8) pressure-f64(8) alt(4) temp(4).
+func EncodeBaro(r sensors.BaroReading) []byte {
+	p := make([]byte, BaroPayloadSize)
+	binary.LittleEndian.PutUint64(p[0:], r.TimeUS)
+	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(r.Pressure))
+	putF32(p[16:], r.AltM)
+	putF32(p[20:], r.TempC)
+	return p
+}
+
+// DecodeBaro unpacks a barometer payload.
+func DecodeBaro(p []byte) (sensors.BaroReading, error) {
+	if len(p) != BaroPayloadSize {
+		return sensors.BaroReading{}, fmt.Errorf("mavlink: BARO payload %d bytes, want %d", len(p), BaroPayloadSize)
+	}
+	var r sensors.BaroReading
+	r.TimeUS = binary.LittleEndian.Uint64(p[0:])
+	r.Pressure = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+	r.AltM = getF32(p[16:])
+	r.TempC = getF32(p[20:])
+	return r, nil
+}
+
+// EncodeGPS packs a position fix: time(8) pos(12) vel(12) sats(1)
+// fix(1) pad(2).
+func EncodeGPS(r sensors.GPSReading) []byte {
+	p := make([]byte, GPSPayloadSize)
+	binary.LittleEndian.PutUint64(p[0:], r.TimeUS)
+	putF32(p[8:], r.Pos.X)
+	putF32(p[12:], r.Pos.Y)
+	putF32(p[16:], r.Pos.Z)
+	putF32(p[20:], r.Vel.X)
+	putF32(p[24:], r.Vel.Y)
+	putF32(p[28:], r.Vel.Z)
+	p[32] = r.NumSats
+	if r.FixOK {
+		p[33] = 1
+	}
+	return p
+}
+
+// DecodeGPS unpacks a position payload.
+func DecodeGPS(p []byte) (sensors.GPSReading, error) {
+	if len(p) != GPSPayloadSize {
+		return sensors.GPSReading{}, fmt.Errorf("mavlink: GPS payload %d bytes, want %d", len(p), GPSPayloadSize)
+	}
+	var r sensors.GPSReading
+	r.TimeUS = binary.LittleEndian.Uint64(p[0:])
+	r.Pos = physics.Vec3{X: getF32(p[8:]), Y: getF32(p[12:]), Z: getF32(p[16:])}
+	r.Vel = physics.Vec3{X: getF32(p[20:]), Y: getF32(p[24:]), Z: getF32(p[28:])}
+	r.NumSats = p[32]
+	r.FixOK = p[33] == 1
+	return r, nil
+}
+
+// EncodeRC packs a pilot-input frame: time(8) chan[8]-f32(32) mode(1)
+// flags(1). Channels 0-3 carry roll/pitch/yaw/throttle; 4-7 are the
+// aux channels a real RC link transports.
+func EncodeRC(r sensors.RCReading) []byte {
+	p := make([]byte, RCPayloadSize)
+	binary.LittleEndian.PutUint64(p[0:], r.TimeUS)
+	putF32(p[8:], r.Roll)
+	putF32(p[12:], r.Pitch)
+	putF32(p[16:], r.Yaw)
+	putF32(p[20:], r.Throttle)
+	// Aux channels 4..7 are zero.
+	p[40] = byte(r.Mode)
+	return p
+}
+
+// DecodeRC unpacks a pilot-input payload.
+func DecodeRC(p []byte) (sensors.RCReading, error) {
+	if len(p) != RCPayloadSize {
+		return sensors.RCReading{}, fmt.Errorf("mavlink: RC payload %d bytes, want %d", len(p), RCPayloadSize)
+	}
+	var r sensors.RCReading
+	r.TimeUS = binary.LittleEndian.Uint64(p[0:])
+	r.Roll = getF32(p[8:])
+	r.Pitch = getF32(p[12:])
+	r.Yaw = getF32(p[16:])
+	r.Throttle = getF32(p[20:])
+	r.Mode = sensors.FlightMode(p[40])
+	return r, nil
+}
+
+// MotorCommand is the actuator output message: four normalized motor
+// throttles plus a sequence number the security monitor uses to detect
+// stale or missing outputs.
+type MotorCommand struct {
+	TimeUS uint64
+	Motors [4]float64 // normalized [0,1]
+	Seq    uint32
+	Armed  bool
+}
+
+// EncodeMotor packs the actuator command: time(8) motors-u16[4](8)
+// seq(4) flags(1). Throttles quantize to 16 bits like PWM outputs.
+func EncodeMotor(m MotorCommand) []byte {
+	p := make([]byte, MotorPayloadSize)
+	binary.LittleEndian.PutUint64(p[0:], m.TimeUS)
+	for i, v := range m.Motors {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		binary.LittleEndian.PutUint16(p[8+2*i:], uint16(v*65535+0.5))
+	}
+	binary.LittleEndian.PutUint32(p[16:], m.Seq)
+	if m.Armed {
+		p[20] = 1
+	}
+	return p
+}
+
+// DecodeMotor unpacks an actuator command payload.
+func DecodeMotor(p []byte) (MotorCommand, error) {
+	if len(p) != MotorPayloadSize {
+		return MotorCommand{}, fmt.Errorf("mavlink: MOTOR payload %d bytes, want %d", len(p), MotorPayloadSize)
+	}
+	var m MotorCommand
+	m.TimeUS = binary.LittleEndian.Uint64(p[0:])
+	for i := range m.Motors {
+		m.Motors[i] = float64(binary.LittleEndian.Uint16(p[8+2*i:])) / 65535
+	}
+	m.Seq = binary.LittleEndian.Uint32(p[16:])
+	m.Armed = p[20] == 1
+	return m, nil
+}

@@ -1,0 +1,187 @@
+package mavlink
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sensors"
+)
+
+func TestIMURoundTrip(t *testing.T) {
+	in := sensors.IMUReading{
+		TimeUS: 1234567,
+		Gyro:   physics.Vec3{X: 0.1, Y: -0.2, Z: 0.3},
+		Accel:  physics.Vec3{X: 0.01, Y: 0.02, Z: 9.81},
+		Quat:   physics.FromEuler(0.1, -0.05, 0.7),
+	}
+	p := EncodeIMU(in)
+	if len(p) != IMUPayloadSize {
+		t.Fatalf("payload size %d, want %d", len(p), IMUPayloadSize)
+	}
+	out, err := DecodeIMU(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TimeUS != in.TimeUS {
+		t.Fatalf("TimeUS %d != %d", out.TimeUS, in.TimeUS)
+	}
+	if math.Abs(out.Gyro.X-0.1) > 1e-6 || math.Abs(out.Gyro.Z-0.3) > 1e-6 {
+		t.Fatalf("gyro = %v", out.Gyro)
+	}
+	ri, pi, yi := in.Quat.Euler()
+	ro, po, yo := out.Quat.Euler()
+	if math.Abs(ri-ro) > 1e-6 || math.Abs(pi-po) > 1e-6 || math.Abs(yi-yo) > 1e-6 {
+		t.Fatalf("attitude (%v,%v,%v) != (%v,%v,%v)", ro, po, yo, ri, pi, yi)
+	}
+}
+
+func TestBaroRoundTrip(t *testing.T) {
+	in := sensors.BaroReading{TimeUS: 42, Pressure: 101300.5, AltM: 1.25, TempC: 22}
+	out, err := DecodeBaro(EncodeBaro(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TimeUS != 42 || out.Pressure != 101300.5 {
+		t.Fatalf("out = %+v", out)
+	}
+	if math.Abs(out.AltM-1.25) > 1e-6 {
+		t.Fatalf("alt = %v", out.AltM)
+	}
+}
+
+func TestGPSRoundTrip(t *testing.T) {
+	in := sensors.GPSReading{
+		TimeUS:  99,
+		Pos:     physics.Vec3{X: 1.5, Y: -2.25, Z: 0.75},
+		Vel:     physics.Vec3{X: 0.125},
+		NumSats: 12,
+		FixOK:   true,
+	}
+	out, err := DecodeGPS(EncodeGPS(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pos != in.Pos || out.Vel != in.Vel {
+		t.Fatalf("pos/vel mismatch: %+v", out)
+	}
+	if out.NumSats != 12 || !out.FixOK {
+		t.Fatalf("fix fields: %+v", out)
+	}
+}
+
+func TestRCRoundTrip(t *testing.T) {
+	in := sensors.RCReading{TimeUS: 5, Roll: 0.25, Pitch: -0.5, Yaw: 0.125, Throttle: 0.75, Mode: sensors.ModePosition}
+	out, err := DecodeRC(EncodeRC(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("out = %+v, want %+v", out, in)
+	}
+}
+
+func TestMotorRoundTrip(t *testing.T) {
+	in := MotorCommand{TimeUS: 777, Motors: [4]float64{0, 0.25, 0.5, 1}, Seq: 123456, Armed: true}
+	out, err := DecodeMotor(EncodeMotor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TimeUS != 777 || out.Seq != 123456 || !out.Armed {
+		t.Fatalf("out = %+v", out)
+	}
+	for i := range in.Motors {
+		if math.Abs(out.Motors[i]-in.Motors[i]) > 1.0/65535 {
+			t.Fatalf("motor %d: %v vs %v", i, out.Motors[i], in.Motors[i])
+		}
+	}
+}
+
+func TestMotorClampsOutOfRange(t *testing.T) {
+	in := MotorCommand{Motors: [4]float64{-0.5, 1.5, 0.5, 0.5}}
+	out, err := DecodeMotor(EncodeMotor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Motors[0] != 0 || out.Motors[1] != 1 {
+		t.Fatalf("clamping failed: %v", out.Motors)
+	}
+}
+
+func TestDecodersRejectWrongSizes(t *testing.T) {
+	if _, err := DecodeIMU(make([]byte, 10)); err == nil {
+		t.Fatal("IMU accepted short payload")
+	}
+	if _, err := DecodeBaro(make([]byte, 100)); err == nil {
+		t.Fatal("Baro accepted long payload")
+	}
+	if _, err := DecodeGPS(nil); err == nil {
+		t.Fatal("GPS accepted nil payload")
+	}
+	if _, err := DecodeRC(make([]byte, RCPayloadSize-1)); err == nil {
+		t.Fatal("RC accepted short payload")
+	}
+	if _, err := DecodeMotor(make([]byte, MotorPayloadSize+1)); err == nil {
+		t.Fatal("Motor accepted long payload")
+	}
+}
+
+// Property: motor quantization error is bounded by one LSB of the
+// 16-bit PWM encoding for any in-range command.
+func TestMotorQuantizationProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		m := MotorCommand{Motors: [4]float64{frac(a), frac(b), frac(c), frac(d)}}
+		out, err := DecodeMotor(EncodeMotor(m))
+		if err != nil {
+			return false
+		}
+		for i := range m.Motors {
+			if math.Abs(out.Motors[i]-m.Motors[i]) > 1.0/65535 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frac(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return math.Abs(math.Mod(x, 1))
+}
+
+// Property: full frame encode→decode round trip for IMU readings.
+func TestIMUFrameRoundTripProperty(t *testing.T) {
+	f := func(gx, gy, gz float64, tus uint64) bool {
+		in := sensors.IMUReading{
+			TimeUS: tus,
+			Gyro:   physics.Vec3{X: trim(gx), Y: trim(gy), Z: trim(gz)},
+			Quat:   physics.IdentityQuat(),
+		}
+		wire := Encode(Frame{MsgID: MsgIDIMU, Payload: EncodeIMU(in)})
+		fr, _, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeIMU(fr.Payload)
+		if err != nil {
+			return false
+		}
+		return out.TimeUS == tus && math.Abs(out.Gyro.X-trim(gx)) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func trim(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 10)
+}

@@ -1,0 +1,158 @@
+package membw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testBus() *Bus {
+	// 100M accesses/s, 100 µs tick → 10,000 accesses per tick.
+	return NewBus(4, 100e6, 100*time.Microsecond)
+}
+
+func TestCapacityPerTick(t *testing.T) {
+	b := testBus()
+	if got := b.CapacityPerTick(); math.Abs(got-10000) > 1e-6 {
+		t.Fatalf("CapacityPerTick = %v, want 10000", got)
+	}
+	if b.Cores() != 4 {
+		t.Fatalf("Cores = %d", b.Cores())
+	}
+}
+
+func TestNoContentionLambdaOne(t *testing.T) {
+	b := testBus()
+	b.BeginTick()
+	b.AddDemand(0, 2000)
+	b.AddDemand(1, 3000)
+	if got := b.Resolve(); got != 1 {
+		t.Fatalf("under-capacity λ = %v, want 1", got)
+	}
+}
+
+func TestSaturationLambda(t *testing.T) {
+	b := testBus()
+	b.BeginTick()
+	b.AddDemand(3, 40000) // 4× capacity
+	if got := b.Resolve(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("λ = %v, want 4", got)
+	}
+	if b.Lambda() != 4 {
+		t.Fatalf("Lambda() = %v", b.Lambda())
+	}
+}
+
+func TestDemandAccumulates(t *testing.T) {
+	b := testBus()
+	b.BeginTick()
+	b.AddDemand(0, 1000)
+	b.AddDemand(0, 500)
+	if b.Demand(0) != 1500 {
+		t.Fatalf("Demand = %v, want 1500", b.Demand(0))
+	}
+	b.BeginTick()
+	if b.Demand(0) != 0 {
+		t.Fatal("BeginTick did not clear demand")
+	}
+}
+
+func TestSlowdownShape(t *testing.T) {
+	if Slowdown(1, 0.5) != 1 {
+		t.Fatal("λ=1 must give full speed")
+	}
+	if Slowdown(4, 0) != 1 {
+		t.Fatal("m=0 task must be immune")
+	}
+	// λ=4, m=0.3: 1/(1+3·0.3) ≈ 0.526
+	if got := Slowdown(4, 0.3); math.Abs(got-1/1.9) > 1e-12 {
+		t.Fatalf("Slowdown(4,0.3) = %v", got)
+	}
+	// Fully memory-bound task slows by λ.
+	if got := Slowdown(4, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Slowdown(4,1) = %v", got)
+	}
+	// Oversized m clamps to 1.
+	if Slowdown(4, 2) != Slowdown(4, 1) {
+		t.Fatal("m>1 should clamp")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	b := testBus()
+	b.Charge(2, 100)
+	b.Charge(2, 50.4)
+	if got := b.Counter(2); got != 150 {
+		t.Fatalf("Counter = %d, want 150", got)
+	}
+	if old := b.ResetCounter(2); old != 150 {
+		t.Fatalf("ResetCounter returned %d", old)
+	}
+	if b.Counter(2) != 0 {
+		t.Fatal("counter not cleared")
+	}
+}
+
+func TestNegativeDemandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative demand did not panic")
+		}
+	}()
+	testBus().AddDemand(0, -1)
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBus(0, 1e6, time.Millisecond) },
+		func() { NewBus(4, 0, time.Millisecond) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: λ ≥ 1 always, and Slowdown ∈ (0, 1].
+func TestLambdaSlowdownBoundsProperty(t *testing.T) {
+	f := func(d0, d1, d2, d3 float64, m float64) bool {
+		b := testBus()
+		b.BeginTick()
+		for core, d := range []float64{d0, d1, d2, d3} {
+			b.AddDemand(core, math.Abs(math.Mod(d, 1e6)))
+		}
+		lambda := b.Resolve()
+		s := Slowdown(lambda, math.Abs(math.Mod(m, 1)))
+		return lambda >= 1 && s > 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more attacker demand never speeds up a victim (monotone
+// interference).
+func TestInterferenceMonotoneProperty(t *testing.T) {
+	f := func(base, extra float64) bool {
+		atk1 := math.Abs(math.Mod(base, 1e6))
+		atk2 := atk1 + math.Abs(math.Mod(extra, 1e6))
+		victim := 2000.0
+		lam := func(atk float64) float64 {
+			b := testBus()
+			b.BeginTick()
+			b.AddDemand(0, victim)
+			b.AddDemand(3, atk)
+			return b.Resolve()
+		}
+		return Slowdown(lam(atk2), 0.3) <= Slowdown(lam(atk1), 0.3)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package memguard_test
+
+import (
+	"fmt"
+	"time"
+
+	"containerdrone/internal/memguard"
+)
+
+// Example shows the regulation cycle: a core exhausts its budget, is
+// throttled, and is released at the next period boundary.
+func Example() {
+	g := memguard.New(4)
+	g.SetEnabled(true)
+	g.SetBudget(3, 1000) // container core: 1000 accesses per 1 ms
+
+	g.Tick(0)
+	g.Charge(3, 600)
+	fmt.Println("after 600:", g.Throttled(3))
+	g.Charge(3, 600)
+	fmt.Println("after 1200:", g.Throttled(3))
+	g.Tick(time.Millisecond) // period boundary: replenish
+	fmt.Println("next period:", g.Throttled(3))
+	// Output:
+	// after 600: false
+	// after 1200: true
+	// next period: false
+}

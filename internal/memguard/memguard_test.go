@@ -1,0 +1,189 @@
+package memguard
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDisabledGuardNeverThrottles(t *testing.T) {
+	g := New(4)
+	g.SetBudget(3, 100)
+	g.Charge(3, 1e9)
+	if g.Throttled(3) {
+		t.Fatal("disabled guard throttled a core")
+	}
+}
+
+func TestBudgetExhaustionThrottles(t *testing.T) {
+	g := New(4)
+	g.SetEnabled(true)
+	g.SetBudget(3, 100)
+	g.Tick(0)
+	g.Charge(3, 50)
+	if g.Throttled(3) {
+		t.Fatal("throttled before budget exhausted")
+	}
+	g.Charge(3, 50)
+	if !g.Throttled(3) {
+		t.Fatal("not throttled at budget")
+	}
+	if g.Stats(3).ThrottleEvents != 1 {
+		t.Fatalf("ThrottleEvents = %d", g.Stats(3).ThrottleEvents)
+	}
+}
+
+func TestReplenishLiftsThrottle(t *testing.T) {
+	g := New(4)
+	g.SetEnabled(true)
+	g.SetBudget(3, 100)
+	g.Tick(0)
+	g.Charge(3, 200)
+	if !g.Throttled(3) {
+		t.Fatal("expected throttle")
+	}
+	g.Tick(500 * time.Microsecond) // before period boundary
+	if !g.Throttled(3) {
+		t.Fatal("throttle lifted before period boundary")
+	}
+	g.Tick(time.Millisecond)
+	if g.Throttled(3) {
+		t.Fatal("throttle not lifted at period boundary")
+	}
+	if g.Used(3) != 0 {
+		t.Fatalf("usage not reset: %v", g.Used(3))
+	}
+}
+
+func TestUnregulatedCoreNeverThrottles(t *testing.T) {
+	g := New(4)
+	g.SetEnabled(true)
+	// Core 0 has no budget (host core in the paper).
+	g.Tick(0)
+	g.Charge(0, 1e12)
+	if g.Throttled(0) {
+		t.Fatal("unregulated core throttled")
+	}
+	if g.Stats(0).TotalCharged != 1e12 {
+		t.Fatal("stats not recorded for unregulated core")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	g := New(2)
+	g.SetEnabled(true)
+	g.SetBudget(1, 100)
+	g.Tick(0)
+	g.Charge(1, 30)
+	if got := g.Remaining(1); got != 70 {
+		t.Fatalf("Remaining = %v, want 70", got)
+	}
+	g.Charge(1, 200)
+	if got := g.Remaining(1); got != 0 {
+		t.Fatalf("Remaining after overrun = %v, want 0", got)
+	}
+	if got := g.Remaining(0); got >= 0 {
+		t.Fatalf("unregulated Remaining = %v, want negative sentinel", got)
+	}
+}
+
+func TestDisableClearsThrottle(t *testing.T) {
+	g := New(1)
+	g.SetEnabled(true)
+	g.SetBudget(0, 10)
+	g.Tick(0)
+	g.Charge(0, 20)
+	if !g.Throttled(0) {
+		t.Fatal("expected throttle")
+	}
+	g.SetEnabled(false)
+	if g.Throttled(0) {
+		t.Fatal("disable did not clear throttle")
+	}
+}
+
+func TestThrottledTickStats(t *testing.T) {
+	g := New(1)
+	g.SetEnabled(true)
+	g.SetBudget(0, 10)
+	g.Tick(0)
+	g.Charge(0, 20)
+	g.NoteThrottledTick(0)
+	g.NoteThrottledTick(0)
+	if got := g.Stats(0).ThrottledTicks; got != 2 {
+		t.Fatalf("ThrottledTicks = %d", got)
+	}
+}
+
+func TestSetPeriodValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetPeriod(0) did not panic")
+		}
+	}()
+	New(1).SetPeriod(0)
+}
+
+func TestPeriodsCounted(t *testing.T) {
+	g := New(1)
+	g.SetEnabled(true)
+	g.SetBudget(0, 100)
+	for us := 0; us <= 10000; us += 100 {
+		g.Tick(time.Duration(us) * time.Microsecond)
+	}
+	// 10 ms of 1 ms periods: first Tick(0) resets, then every 1 ms.
+	if got := g.Stats(0).Periods; got < 10 || got > 11 {
+		t.Fatalf("Periods = %d, want ~10", got)
+	}
+}
+
+// Property: within any single regulation period, charged accesses that
+// pass the throttle gate never exceed budget + one charge quantum.
+// (The regulator throttles after the budget is crossed, so the excess
+// of the final charge is bounded by that charge's size.)
+func TestBudgetEnforcementProperty(t *testing.T) {
+	f := func(budget16 uint16, charges []uint8) bool {
+		budget := float64(budget16%1000) + 1
+		g := New(1)
+		g.SetEnabled(true)
+		g.SetBudget(0, budget)
+		g.Tick(0)
+		admitted := 0.0
+		maxQuantum := 0.0
+		for _, c := range charges {
+			q := float64(c)
+			if q > maxQuantum {
+				maxQuantum = q
+			}
+			if g.Throttled(0) {
+				continue // scheduler would not run the core
+			}
+			g.Charge(0, q)
+			admitted += q
+		}
+		return admitted <= budget+maxQuantum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: replenishment is periodic — after a Tick at or past the
+// boundary, usage is zero and the throttle is lifted, for any charge
+// history.
+func TestReplenishProperty(t *testing.T) {
+	f := func(charges []uint8) bool {
+		g := New(1)
+		g.SetEnabled(true)
+		g.SetBudget(0, 50)
+		g.Tick(0)
+		for _, c := range charges {
+			g.Charge(0, float64(c))
+		}
+		g.Tick(DefaultPeriod)
+		return g.Used(0) == 0 && !g.Throttled(0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func envMonitor() *Monitor {
+	m := New(Rules{MaxInterval: time.Hour, MaxAttitudeError: 10})
+	m.SetEnvelope(EnvelopeRules{GeofenceRadius: 2, MaxDescentRate: 1.5, Hold: 50 * time.Millisecond})
+	m.Arm(0)
+	return m
+}
+
+func TestGeofenceFiresAfterHold(t *testing.T) {
+	m := envMonitor()
+	m.CheckEnvelope(10*time.Millisecond, 2.5, 0)
+	if m.Output() != OutputComplex {
+		t.Fatal("geofence fired before hold elapsed")
+	}
+	m.CheckEnvelope(70*time.Millisecond, 2.5, 0)
+	if m.Output() != OutputSafety {
+		t.Fatal("persistent geofence violation did not fire")
+	}
+	if _, rule, _ := m.SwitchedAt(); rule != RuleGeofence {
+		t.Fatalf("rule = %v", rule)
+	}
+}
+
+func TestGeofenceResetsOnReturn(t *testing.T) {
+	m := envMonitor()
+	m.CheckEnvelope(10*time.Millisecond, 2.5, 0)
+	m.CheckEnvelope(30*time.Millisecond, 1.0, 0) // back inside
+	m.CheckEnvelope(80*time.Millisecond, 2.5, 0) // new excursion, hold restarts
+	if m.Output() != OutputComplex {
+		t.Fatal("hold did not reset after returning inside the fence")
+	}
+}
+
+func TestDescentRuleFires(t *testing.T) {
+	m := envMonitor()
+	m.CheckEnvelope(10*time.Millisecond, 0, -2.0) // descending 2 m/s
+	m.CheckEnvelope(70*time.Millisecond, 0, -2.0)
+	if m.Output() != OutputSafety {
+		t.Fatal("persistent fast descent did not fire")
+	}
+	if _, rule, _ := m.SwitchedAt(); rule != RuleDescent {
+		t.Fatalf("rule = %v", rule)
+	}
+}
+
+func TestClimbDoesNotTripDescentRule(t *testing.T) {
+	m := envMonitor()
+	for ms := 0; ms < 500; ms += 10 {
+		m.CheckEnvelope(time.Duration(ms)*time.Millisecond, 0, +3.0) // climbing
+	}
+	if m.Output() != OutputComplex {
+		t.Fatal("climb tripped the descent rule")
+	}
+}
+
+func TestEnvelopeDisabledByZeroValues(t *testing.T) {
+	m := New(Rules{MaxInterval: time.Hour, MaxAttitudeError: 10})
+	m.Arm(0)
+	for ms := 0; ms < 500; ms += 10 {
+		m.CheckEnvelope(time.Duration(ms)*time.Millisecond, 100, -100)
+	}
+	if m.Output() != OutputComplex {
+		t.Fatal("disabled envelope rules fired")
+	}
+}
+
+func TestEnvelopeRespectsArming(t *testing.T) {
+	m := New(Rules{MaxInterval: time.Hour, MaxAttitudeError: 10})
+	m.SetEnvelope(DefaultEnvelopeRules())
+	for ms := 0; ms < 500; ms += 10 {
+		m.CheckEnvelope(time.Duration(ms)*time.Millisecond, 100, -100)
+	}
+	if m.Output() != OutputComplex {
+		t.Fatal("disarmed monitor fired envelope rules")
+	}
+}
+
+func TestEnvelopeNoDoubleSwitch(t *testing.T) {
+	m := envMonitor()
+	calls := 0
+	m.OnSwitch = func(time.Duration, Rule) { calls++ }
+	for ms := 0; ms < 300; ms += 10 {
+		m.CheckEnvelope(time.Duration(ms)*time.Millisecond, 10, -10)
+	}
+	if calls != 1 {
+		t.Fatalf("OnSwitch calls = %d", calls)
+	}
+}
+
+func TestDefaultEnvelopeRulesSane(t *testing.T) {
+	r := DefaultEnvelopeRules()
+	if r.GeofenceRadius <= 0 || r.MaxDescentRate <= 0 || r.Hold <= 0 {
+		t.Fatalf("defaults = %+v", r)
+	}
+}

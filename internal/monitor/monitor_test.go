@@ -1,0 +1,156 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func armed(r Rules) *Monitor {
+	m := New(r)
+	m.Arm(0)
+	return m
+}
+
+func TestStartsOnComplex(t *testing.T) {
+	m := New(DefaultRules())
+	if m.Output() != OutputComplex {
+		t.Fatal("fresh monitor not on complex output")
+	}
+	if m.Armed() {
+		t.Fatal("fresh monitor should be disarmed")
+	}
+	if _, _, ok := m.SwitchedAt(); ok {
+		t.Fatal("fresh monitor claims to have switched")
+	}
+}
+
+func TestOutputString(t *testing.T) {
+	if OutputComplex.String() != "complex" || OutputSafety.String() != "safety" {
+		t.Fatal("output names wrong")
+	}
+}
+
+func TestIntervalRuleFires(t *testing.T) {
+	m := armed(Rules{MaxInterval: 100 * time.Millisecond, MaxAttitudeError: 1})
+	var gotRule Rule
+	m.OnSwitch = func(_ time.Duration, r Rule) { gotRule = r }
+	m.NoteComplexOutput(0)
+	m.Check(50*time.Millisecond, 0)
+	if m.Output() != OutputComplex {
+		t.Fatal("switched before threshold")
+	}
+	m.Check(101*time.Millisecond, 0)
+	if m.Output() != OutputSafety {
+		t.Fatal("did not switch after interval exceeded")
+	}
+	if gotRule != RuleInterval {
+		t.Fatalf("rule = %q", gotRule)
+	}
+	at, rule, ok := m.SwitchedAt()
+	if !ok || rule != RuleInterval || at != 101*time.Millisecond {
+		t.Fatalf("SwitchedAt = %v %v %v", at, rule, ok)
+	}
+}
+
+func TestIntervalRuleResetByTraffic(t *testing.T) {
+	m := armed(Rules{MaxInterval: 100 * time.Millisecond, MaxAttitudeError: 1})
+	for ms := 0; ms <= 1000; ms += 50 {
+		now := time.Duration(ms) * time.Millisecond
+		m.NoteComplexOutput(now)
+		m.Check(now, 0)
+	}
+	if m.Output() != OutputComplex {
+		t.Fatal("healthy stream tripped the interval rule")
+	}
+}
+
+func TestAttitudeRuleNeedsPersistence(t *testing.T) {
+	r := Rules{MaxInterval: time.Second, MaxAttitudeError: 0.5, AttitudeHold: 80 * time.Millisecond}
+	m := armed(r)
+	m.NoteComplexOutput(0)
+	// One bad sample then recovery: no trip.
+	m.Check(10*time.Millisecond, 0.6)
+	m.Check(20*time.Millisecond, 0.1)
+	m.Check(110*time.Millisecond, 0.6)
+	if m.Output() != OutputSafety {
+		// still within hold window — not yet
+	} else {
+		t.Fatal("single bad samples tripped the attitude rule")
+	}
+	// Persistent violation trips.
+	for ms := 200; ms <= 300; ms += 10 {
+		m.NoteComplexOutput(time.Duration(ms) * time.Millisecond)
+		m.Check(time.Duration(ms)*time.Millisecond, 0.6)
+	}
+	if m.Output() != OutputSafety {
+		t.Fatal("persistent attitude error did not trip")
+	}
+	if _, rule, _ := m.SwitchedAt(); rule != RuleAttitude {
+		t.Fatalf("rule = %v", rule)
+	}
+}
+
+func TestDisarmedMonitorIgnoresEverything(t *testing.T) {
+	m := New(DefaultRules())
+	m.Check(10*time.Second, math.Pi)
+	if m.Output() != OutputComplex {
+		t.Fatal("disarmed monitor switched")
+	}
+}
+
+func TestNoDoubleSwitch(t *testing.T) {
+	m := armed(Rules{MaxInterval: 10 * time.Millisecond, MaxAttitudeError: 0.1})
+	calls := 0
+	m.OnSwitch = func(time.Duration, Rule) { calls++ }
+	m.NoteComplexOutput(0)
+	m.Check(time.Second, 5) // both rules violated
+	m.Check(2*time.Second, 5)
+	if calls != 1 {
+		t.Fatalf("OnSwitch calls = %d, want 1", calls)
+	}
+	if len(m.Violations()) != 1 {
+		t.Fatalf("violations = %d", len(m.Violations()))
+	}
+}
+
+func TestForceSwitch(t *testing.T) {
+	m := armed(DefaultRules())
+	m.ForceSwitch(time.Second, "operator")
+	if m.Output() != OutputSafety {
+		t.Fatal("ForceSwitch did not switch")
+	}
+	m.ForceSwitch(2*time.Second, "again") // idempotent
+	if len(m.Violations()) != 1 {
+		t.Fatal("double force recorded twice")
+	}
+}
+
+func TestArmResetsReceiveTimer(t *testing.T) {
+	m := New(Rules{MaxInterval: 100 * time.Millisecond, MaxAttitudeError: 1})
+	// Long silence before arming must not trip immediately.
+	m.Arm(10 * time.Second)
+	m.Check(10*time.Second+50*time.Millisecond, 0)
+	if m.Output() != OutputComplex {
+		t.Fatal("pre-arm silence tripped the interval rule")
+	}
+}
+
+func TestAttitudeErrorMetric(t *testing.T) {
+	if got := AttitudeError(0, 0, 0.3, -0.1); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("AttitudeError = %v, want 0.3", got)
+	}
+	if got := AttitudeError(0.1, 0, 0.1, 0.4); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("AttitudeError = %v, want 0.4", got)
+	}
+}
+
+func TestDefaultRulesSane(t *testing.T) {
+	r := DefaultRules()
+	if r.MaxInterval < 10*time.Millisecond {
+		t.Fatal("interval threshold below one output frame")
+	}
+	if r.MaxAttitudeError <= 0 || r.MaxAttitudeError > math.Pi/2 {
+		t.Fatalf("attitude threshold %v out of sane range", r.MaxAttitudeError)
+	}
+}

@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSendDeliverRecv(b *testing.B) {
+	n := New(nil, nil)
+	dst := Addr{Host: "hce", Port: 14600}
+	src := Addr{Host: "cce", Port: 9001}
+	ep := n.Bind(dst, 1024)
+	payload := make([]byte, 29)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Send(src, dst, payload)
+		n.Step(time.Duration(i) * 100 * time.Microsecond)
+		if _, ok := ep.Recv(); !ok {
+			b.Fatal("packet lost")
+		}
+	}
+}
+
+func BenchmarkTokenBucketAllow(b *testing.B) {
+	tb := NewTokenBucket(1e6, 100)
+	for i := 0; i < b.N; i++ {
+		tb.Allow(time.Duration(i) * time.Microsecond)
+	}
+}
+
+func BenchmarkFloodedStep(b *testing.B) {
+	n := New(nil, nil)
+	dst := Addr{Host: "hce", Port: 14600}
+	src := Addr{Host: "cce", Port: 40000}
+	n.Bind(dst, 256)
+	n.Limit(dst, 8000, 512)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ { // ~flood intensity per tick
+			n.Send(src, dst, payload)
+		}
+		n.Step(time.Duration(i) * 100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,46 @@
+package netsim_test
+
+import (
+	"fmt"
+	"time"
+
+	"containerdrone/internal/netsim"
+)
+
+// ExampleNetwork shows the basic send/deliver/receive cycle.
+func ExampleNetwork() {
+	net := netsim.New(nil, nil)
+	hce := netsim.Addr{Host: "hce", Port: 14600}
+	cce := netsim.Addr{Host: "cce", Port: 9001}
+	ep := net.Bind(hce, 16)
+
+	net.Send(cce, hce, []byte("motor frame"))
+	net.Step(0)
+
+	pkt, _ := ep.Recv()
+	fmt.Printf("%s from %s\n", pkt.Payload, pkt.Src)
+	// Output:
+	// motor frame from cce:9001
+}
+
+// ExampleTokenBucket shows the iptables-style limit: burst then refusal.
+func ExampleTokenBucket() {
+	tb := netsim.NewTokenBucket(100, 2) // 100 pps sustained, burst 2
+	fmt.Println(tb.Allow(0), tb.Allow(0), tb.Allow(0))
+	fmt.Println(tb.Allow(10 * time.Millisecond)) // one token replenished
+	// Output:
+	// true true false
+	// true
+}
+
+// ExampleNATTable demonstrates the hairpin DNAT rewrite of §IV-B.
+func ExampleNATTable() {
+	nat := netsim.NewNATTable("hce", true)
+	nat.AddRule(14660, netsim.Addr{Host: "cce", Port: 14660})
+
+	from := netsim.Addr{Host: "hce", Port: 9000}
+	to := nat.Translate(from, netsim.Addr{Host: "hce", Port: 14660})
+	fmt.Println(to)
+	// Output:
+	// cce:14660
+}

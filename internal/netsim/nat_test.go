@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNATTranslatesHostPort(t *testing.T) {
+	n := NewNATTable("hce", true)
+	cceSvc := Addr{Host: "cce", Port: 8080}
+	if err := n.AddRule(80, cceSvc); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Translate(Addr{Host: "gcs", Port: 5000}, Addr{Host: "hce", Port: 80})
+	if got != cceSvc {
+		t.Fatalf("Translate = %v, want %v", got, cceSvc)
+	}
+	if n.Translations(80) != 1 {
+		t.Fatalf("conntrack = %d", n.Translations(80))
+	}
+}
+
+func TestNATLeavesUnmappedAlone(t *testing.T) {
+	n := NewNATTable("hce", true)
+	n.AddRule(80, Addr{Host: "cce", Port: 8080})
+	dst := Addr{Host: "hce", Port: 22}
+	if got := n.Translate(Addr{Host: "gcs", Port: 1}, dst); got != dst {
+		t.Fatalf("unmapped port rewritten: %v", got)
+	}
+	other := Addr{Host: "elsewhere", Port: 80}
+	if got := n.Translate(Addr{Host: "gcs", Port: 1}, other); got != other {
+		t.Fatalf("non-host destination rewritten: %v", got)
+	}
+}
+
+func TestNATHairpin(t *testing.T) {
+	// With hairpin on, the container reaches its own published port
+	// through the host address.
+	n := NewNATTable("hce", true)
+	svc := Addr{Host: "cce", Port: 8080}
+	n.AddRule(80, svc)
+	got := n.Translate(Addr{Host: "cce", Port: 40000}, Addr{Host: "hce", Port: 80})
+	if got != svc {
+		t.Fatalf("hairpin Translate = %v, want %v", got, svc)
+	}
+}
+
+func TestNATNoHairpinAsymmetry(t *testing.T) {
+	// Without hairpin the same datagram is NOT rewritten: the
+	// container cannot reach itself via the host address.
+	n := NewNATTable("hce", false)
+	svc := Addr{Host: "cce", Port: 8080}
+	n.AddRule(80, svc)
+	dst := Addr{Host: "hce", Port: 80}
+	if got := n.Translate(Addr{Host: "cce", Port: 40000}, dst); got != dst {
+		t.Fatalf("no-hairpin Translate = %v, want unchanged", got)
+	}
+	// External traffic still translates.
+	if got := n.Translate(Addr{Host: "gcs", Port: 1}, dst); got != svc {
+		t.Fatalf("external Translate = %v, want %v", got, svc)
+	}
+}
+
+func TestNATConflictAndRemoval(t *testing.T) {
+	n := NewNATTable("hce", true)
+	if err := n.AddRule(80, Addr{Host: "a", Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddRule(80, Addr{Host: "b", Port: 2}); !errors.Is(err, ErrNATConflict) {
+		t.Fatalf("err = %v, want ErrNATConflict", err)
+	}
+	n.RemoveRule(80)
+	if n.Rules() != 0 {
+		t.Fatalf("Rules = %d after removal", n.Rules())
+	}
+	if err := n.AddRule(80, Addr{Host: "b", Port: 2}); err != nil {
+		t.Fatalf("re-add after removal: %v", err)
+	}
+}
+
+// End-to-end through the fabric: an external host reaches a container
+// service via the host's published port.
+func TestNATEndToEnd(t *testing.T) {
+	net := New(nil, nil)
+	nat := NewNATTable("hce", true)
+	svc := Addr{Host: "cce", Port: 8080}
+	nat.AddRule(80, svc)
+	ep := net.Bind(svc, 16)
+
+	src := Addr{Host: "gcs", Port: 5000}
+	dst := nat.Translate(src, Addr{Host: "hce", Port: 80})
+	net.Send(src, dst, []byte("hello"))
+	net.Step(0)
+	pkt, ok := ep.Recv()
+	if !ok || string(pkt.Payload) != "hello" {
+		t.Fatalf("translated datagram lost: %v %v", pkt, ok)
+	}
+}

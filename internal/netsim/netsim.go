@@ -1,0 +1,245 @@
+// Package netsim simulates the UDP communication fabric between the
+// host control environment and the container control environment: the
+// docker0-style bridge, bounded receive queues, iptables-style
+// token-bucket rate limits, and optional latency/jitter/loss. The
+// paper's UDP DoS experiment (Fig 7) is entirely a property of this
+// layer: a flood fills queues and consumes the rate budget, starving
+// the legitimate motor-output stream.
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Addr identifies a simulated UDP endpoint.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// String renders "host:port".
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// Packet is one datagram in flight or queued.
+type Packet struct {
+	Src     Addr
+	Dst     Addr
+	Payload []byte
+	SentAt  time.Duration
+}
+
+// Stats counts per-endpoint delivery outcomes.
+type Stats struct {
+	Delivered      int64 // packets enqueued at the receiver
+	Received       int64 // packets dequeued by the application
+	DroppedQueue   int64 // receiver queue full
+	DroppedLimit   int64 // iptables rate limit exceeded
+	DroppedLoss    int64 // random link loss
+	BytesDelivered int64
+}
+
+// Endpoint is a bound receive queue.
+type Endpoint struct {
+	addr  Addr
+	queue []Packet
+	cap   int
+	stats Stats
+}
+
+// Addr returns the bound address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Pending returns the number of queued packets.
+func (e *Endpoint) Pending() int { return len(e.queue) }
+
+// Recv pops the oldest queued packet, reporting ok=false when empty.
+func (e *Endpoint) Recv() (Packet, bool) {
+	if len(e.queue) == 0 {
+		return Packet{}, false
+	}
+	p := e.queue[0]
+	copy(e.queue, e.queue[1:])
+	e.queue = e.queue[:len(e.queue)-1]
+	e.stats.Received++
+	return p, true
+}
+
+// RecvAll drains the queue, returning packets oldest-first.
+func (e *Endpoint) RecvAll() []Packet {
+	out := make([]Packet, len(e.queue))
+	copy(out, e.queue)
+	e.queue = e.queue[:0]
+	e.stats.Received += int64(len(out))
+	return out
+}
+
+// Stats returns a copy of the endpoint's counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// TokenBucket is the iptables `limit` match: average rate with burst.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Duration
+}
+
+// NewTokenBucket builds a full bucket with the given sustained rate
+// (tokens/second) and burst capacity.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Allow consumes one token if available at time now.
+func (b *TokenBucket) Allow(now time.Duration) bool {
+	dt := (now - b.last).Seconds()
+	if dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Tokens reports the current token count (for tests and telemetry).
+func (b *TokenBucket) Tokens() float64 { return b.tokens }
+
+// NormSource supplies standard normal samples for jitter; UniformSource
+// supplies uniform [0,1) samples for loss.
+type (
+	NormSource    func() float64
+	UniformSource func() float64
+)
+
+// LinkParams models the bridge characteristics.
+type LinkParams struct {
+	Latency time.Duration // fixed one-way latency
+	Jitter  time.Duration // 1-sigma random extra latency
+	Loss    float64       // independent drop probability
+}
+
+// Network is the simulated fabric. Call Step once per simulation tick
+// to move in-flight packets into receive queues.
+type Network struct {
+	endpoints map[Addr]*Endpoint
+	limits    map[Addr]*TokenBucket
+	inflight  []Packet
+	deliverAt []time.Duration
+	link      LinkParams
+	now       time.Duration
+	norm      NormSource
+	uniform   UniformSource
+}
+
+// New builds an empty network. The random sources may be nil when the
+// link is configured without jitter or loss.
+func New(norm NormSource, uniform UniformSource) *Network {
+	if norm == nil {
+		norm = func() float64 { return 0 }
+	}
+	if uniform == nil {
+		uniform = func() float64 { return 1 }
+	}
+	return &Network{
+		endpoints: make(map[Addr]*Endpoint),
+		limits:    make(map[Addr]*TokenBucket),
+		norm:      norm,
+		uniform:   uniform,
+	}
+}
+
+// SetLink configures latency/jitter/loss for all traffic.
+func (n *Network) SetLink(p LinkParams) { n.link = p }
+
+// Bind creates (or returns) the endpoint for addr with the given
+// receive queue capacity. Rebinding keeps the original capacity.
+func (n *Network) Bind(addr Addr, queueCap int) *Endpoint {
+	if ep, ok := n.endpoints[addr]; ok {
+		return ep
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	ep := &Endpoint{addr: addr, cap: queueCap}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// Limit installs an iptables-style token-bucket limit on packets
+// destined to addr: at most rate packets/second sustained, with the
+// given burst. Passing rate <= 0 removes the limit.
+func (n *Network) Limit(addr Addr, rate, burst float64) {
+	if rate <= 0 {
+		delete(n.limits, addr)
+		return
+	}
+	n.limits[addr] = NewTokenBucket(rate, burst)
+}
+
+// Send submits a datagram. Drop decisions (rate limit, loss) happen at
+// send time; queue-full drops happen at delivery time. Returns whether
+// the packet entered the fabric.
+func (n *Network) Send(src, dst Addr, payload []byte) bool {
+	ep, bound := n.endpoints[dst]
+	if !bound {
+		return false // nothing listening: silently dropped like real UDP
+	}
+	if tb, limited := n.limits[dst]; limited && !tb.Allow(n.now) {
+		ep.stats.DroppedLimit++
+		return false
+	}
+	if n.link.Loss > 0 && n.uniform() < n.link.Loss {
+		ep.stats.DroppedLoss++
+		return false
+	}
+	delay := n.link.Latency
+	if n.link.Jitter > 0 {
+		j := time.Duration(float64(n.link.Jitter) * n.norm())
+		if j < 0 {
+			j = -j
+		}
+		delay += j
+	}
+	pkt := Packet{Src: src, Dst: dst, Payload: append([]byte(nil), payload...), SentAt: n.now}
+	n.inflight = append(n.inflight, pkt)
+	n.deliverAt = append(n.deliverAt, n.now+delay)
+	return true
+}
+
+// Step advances the fabric to the given simulated time, delivering
+// every in-flight packet whose latency has elapsed, in send order.
+func (n *Network) Step(now time.Duration) {
+	n.now = now
+	kept := 0
+	for i, pkt := range n.inflight {
+		if n.deliverAt[i] > now {
+			n.inflight[kept] = pkt
+			n.deliverAt[kept] = n.deliverAt[i]
+			kept++
+			continue
+		}
+		ep := n.endpoints[pkt.Dst]
+		if ep == nil {
+			continue
+		}
+		if len(ep.queue) >= ep.cap {
+			ep.stats.DroppedQueue++
+			continue
+		}
+		ep.queue = append(ep.queue, pkt)
+		ep.stats.Delivered++
+		ep.stats.BytesDelivered += int64(len(pkt.Payload))
+	}
+	n.inflight = n.inflight[:kept]
+	n.deliverAt = n.deliverAt[:kept]
+}
+
+// InFlight reports packets not yet delivered.
+func (n *Network) InFlight() int { return len(n.inflight) }

@@ -1,0 +1,204 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecNear(a, b Vec3, tol float64) bool {
+	return near(a.X, b.X, tol) && near(a.Y, b.Y, tol) && near(a.Z, b.Z, tol)
+}
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, -5, 6}
+	if got := a.Add(b); got != (Vec3{5, -3, 9}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{-3, 7, -3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*(-5)+3*6 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x := Vec3{X: 1}
+	y := Vec3{Y: 1}
+	z := Vec3{Z: 1}
+	if got := x.Cross(y); !vecNear(got, z, eps) {
+		t.Fatalf("x×y = %v, want z", got)
+	}
+	if got := y.Cross(z); !vecNear(got, x, eps) {
+		t.Fatalf("y×z = %v, want x", got)
+	}
+	if got := z.Cross(x); !vecNear(got, y, eps) {
+		t.Fatalf("z×x = %v, want y", got)
+	}
+}
+
+func TestVec3Norm(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	if !near(v.Norm(), 5, eps) {
+		t.Fatalf("Norm = %v, want 5", v.Norm())
+	}
+	if !near(v.Normalized().Norm(), 1, eps) {
+		t.Fatal("Normalized not unit length")
+	}
+	zero := Vec3{}
+	if zero.Normalized() != zero {
+		t.Fatal("Normalized zero vector changed")
+	}
+}
+
+func TestVec3Clamp(t *testing.T) {
+	v := Vec3{5, -5, 0.5}
+	got := v.Clamp(1)
+	if got != (Vec3{1, -1, 0.5}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+}
+
+func TestQuatIdentityRotation(t *testing.T) {
+	q := IdentityQuat()
+	v := Vec3{1, 2, 3}
+	if got := q.Rotate(v); !vecNear(got, v, eps) {
+		t.Fatalf("identity rotation changed vector: %v", got)
+	}
+}
+
+func TestQuatAxisAngle90(t *testing.T) {
+	// 90° about Z maps X → Y.
+	q := FromAxisAngle(Vec3{Z: 1}, math.Pi/2)
+	got := q.Rotate(Vec3{X: 1})
+	if !vecNear(got, Vec3{Y: 1}, 1e-12) {
+		t.Fatalf("90° about Z: X → %v, want Y", got)
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	// Two 45° rotations about Z compose to 90°.
+	h := FromAxisAngle(Vec3{Z: 1}, math.Pi/4)
+	q := h.Mul(h)
+	got := q.Rotate(Vec3{X: 1})
+	if !vecNear(got, Vec3{Y: 1}, 1e-12) {
+		t.Fatalf("45°+45° about Z: X → %v, want Y", got)
+	}
+}
+
+func TestQuatConjInverts(t *testing.T) {
+	q := FromEuler(0.3, -0.2, 1.1)
+	v := Vec3{1, 2, 3}
+	back := q.Conj().Rotate(q.Rotate(v))
+	if !vecNear(back, v, 1e-12) {
+		t.Fatalf("conj did not invert: %v", back)
+	}
+}
+
+func TestQuatEulerRoundTrip(t *testing.T) {
+	cases := [][3]float64{
+		{0, 0, 0},
+		{0.1, 0.2, 0.3},
+		{-0.5, 0.4, -1.2},
+		{math.Pi / 4, -math.Pi / 6, math.Pi / 3},
+	}
+	for _, c := range cases {
+		q := FromEuler(c[0], c[1], c[2])
+		r, p, y := q.Euler()
+		if !near(r, c[0], 1e-9) || !near(p, c[1], 1e-9) || !near(y, c[2], 1e-9) {
+			t.Errorf("Euler round trip %v → (%v,%v,%v)", c, r, p, y)
+		}
+	}
+}
+
+func TestQuatNormalizedZero(t *testing.T) {
+	var q Quat
+	if q.Normalized() != IdentityQuat() {
+		t.Fatal("zero quaternion should normalize to identity")
+	}
+}
+
+func TestQuatIntegrateConstantRate(t *testing.T) {
+	// Integrating 1 rad/s about Z for π/2 s in small steps ≈ 90° yaw.
+	q := IdentityQuat()
+	omega := Vec3{Z: 1}
+	dt := 0.001
+	for s := 0.0; s < math.Pi/2; s += dt {
+		q = q.Integrate(omega, dt)
+	}
+	_, _, yaw := q.Euler()
+	if !near(yaw, math.Pi/2, 1e-2) {
+		t.Fatalf("integrated yaw = %v, want ~π/2", yaw)
+	}
+}
+
+func TestQuatIntegrateZeroRate(t *testing.T) {
+	q := FromEuler(0.1, 0.2, 0.3)
+	if q.Integrate(Vec3{}, 0.01) != q {
+		t.Fatal("zero-rate integration changed attitude")
+	}
+}
+
+func TestTiltAngle(t *testing.T) {
+	if !near(IdentityQuat().TiltAngle(), 0, eps) {
+		t.Fatal("level attitude has nonzero tilt")
+	}
+	q := FromEuler(math.Pi/6, 0, 0) // 30° roll
+	if !near(q.TiltAngle(), math.Pi/6, 1e-9) {
+		t.Fatalf("30° roll tilt = %v", q.TiltAngle())
+	}
+	q = FromEuler(math.Pi, 0, 0) // inverted
+	if !near(q.TiltAngle(), math.Pi, 1e-9) {
+		t.Fatalf("inverted tilt = %v", q.TiltAngle())
+	}
+}
+
+// Property: rotation preserves vector length for any attitude.
+func TestQuatRotatePreservesNorm(t *testing.T) {
+	f := func(r, p, y, vx, vy, vz float64) bool {
+		q := FromEuler(math.Mod(r, math.Pi), math.Mod(p, 1.5), math.Mod(y, math.Pi))
+		v := Vec3{math.Mod(vx, 100), math.Mod(vy, 100), math.Mod(vz, 100)}
+		return near(q.Rotate(v).Norm(), v.Norm(), 1e-9*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unit quaternions stay unit under multiplication.
+func TestQuatMulPreservesUnit(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		q1 := FromEuler(math.Mod(a, 3), math.Mod(b, 1.5), math.Mod(c, 3))
+		q2 := FromEuler(math.Mod(d, 3), math.Mod(e, 1.5), math.Mod(g, 3))
+		return near(q1.Mul(q2).Norm(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cross product is anti-commutative and orthogonal to inputs.
+func TestCrossProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{math.Mod(ax, 10), math.Mod(ay, 10), math.Mod(az, 10)}
+		b := Vec3{math.Mod(bx, 10), math.Mod(by, 10), math.Mod(bz, 10)}
+		c := a.Cross(b)
+		anti := c.Add(b.Cross(a))
+		scale := 1 + a.Norm()*b.Norm()
+		return anti.Norm() < 1e-9*scale &&
+			math.Abs(c.Dot(a)) < 1e-9*scale &&
+			math.Abs(c.Dot(b)) < 1e-9*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

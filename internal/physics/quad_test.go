@@ -1,0 +1,234 @@
+package physics
+
+import (
+	"math"
+	"testing"
+)
+
+func hoverQuad() *Quad {
+	q := NewQuad(DefaultParams())
+	q.State.Pos = Vec3{Z: 1}
+	return q
+}
+
+func TestRotorLagConverges(t *testing.T) {
+	r := Rotor{MaxThrust: 6, TimeConstant: 0.04, Direction: 1, TorqueCoeff: 0.016}
+	r.SetCommand(0.8)
+	for i := 0; i < 1000; i++ {
+		r.Step(0.001)
+	}
+	if !near(r.Throttle(), 0.8, 1e-6) {
+		t.Fatalf("throttle after 1s = %v, want 0.8", r.Throttle())
+	}
+}
+
+func TestRotorLagIsGradual(t *testing.T) {
+	r := Rotor{MaxThrust: 6, TimeConstant: 0.04, Direction: 1}
+	r.SetCommand(1)
+	r.Step(0.04) // one time constant
+	if r.Throttle() < 0.5 || r.Throttle() > 0.75 {
+		t.Fatalf("throttle after one τ = %v, want ≈0.63", r.Throttle())
+	}
+}
+
+func TestRotorCommandClamped(t *testing.T) {
+	var r Rotor
+	r.SetCommand(2)
+	if r.Command() != 1 {
+		t.Fatalf("command = %v, want clamped to 1", r.Command())
+	}
+	r.SetCommand(-1)
+	if r.Command() != 0 {
+		t.Fatalf("command = %v, want clamped to 0", r.Command())
+	}
+}
+
+func TestRotorThrustQuadratic(t *testing.T) {
+	r := Rotor{MaxThrust: 8, TimeConstant: 0, Direction: 1}
+	r.SetCommand(0.5)
+	r.Step(0.01)
+	if !near(r.Thrust(), 8*0.25, 1e-9) {
+		t.Fatalf("thrust at half throttle = %v, want 2", r.Thrust())
+	}
+}
+
+func TestRotorReactionTorqueSign(t *testing.T) {
+	ccw := Rotor{MaxThrust: 6, TorqueCoeff: 0.016, Direction: +1}
+	cw := Rotor{MaxThrust: 6, TorqueCoeff: 0.016, Direction: -1}
+	ccw.SetCommand(1)
+	cw.SetCommand(1)
+	ccw.Step(1)
+	cw.Step(1)
+	if ccw.ReactionTorque() <= 0 || cw.ReactionTorque() >= 0 {
+		t.Fatalf("reaction torques = %v, %v; want opposite signs",
+			ccw.ReactionTorque(), cw.ReactionTorque())
+	}
+}
+
+func TestHoverThrottleBalancesGravity(t *testing.T) {
+	q := hoverQuad()
+	h := q.HoverThrottle()
+	perRotor := q.Params.MaxThrustPerRotor * h * h
+	total := 4 * perRotor
+	weight := q.Params.Mass * q.Params.Gravity
+	if !near(total, weight, 1e-9) {
+		t.Fatalf("hover thrust %v != weight %v", total, weight)
+	}
+}
+
+func TestQuadHoversAtTrim(t *testing.T) {
+	q := hoverQuad()
+	h := q.HoverThrottle()
+	q.SetMotors([4]float64{h, h, h, h})
+	q.SettleRotors() // skip spin-up so the trim balance is exact
+	dt := 0.0001
+	for i := 0; i < 50000; i++ { // 5 s
+		q.Step(dt)
+	}
+	if crashed, _ := q.Crashed(); crashed {
+		t.Fatal("quad crashed at hover trim")
+	}
+	// Drag-free vertical trim: altitude should stay near 1 m.
+	if math.Abs(q.State.Pos.Z-1) > 0.1 {
+		t.Fatalf("altitude drifted to %v at trim", q.State.Pos.Z)
+	}
+	if q.State.Attitude.TiltAngle() > 0.01 {
+		t.Fatalf("tilt grew to %v at symmetric trim", q.State.Attitude.TiltAngle())
+	}
+}
+
+func TestQuadFallsWithoutThrust(t *testing.T) {
+	q := hoverQuad()
+	dt := 0.0001
+	for i := 0; i < 60000; i++ { // up to 6 s
+		q.Step(dt)
+		if c, _ := q.Crashed(); c {
+			break
+		}
+	}
+	crashed, when := q.Crashed()
+	if !crashed {
+		t.Fatal("quad did not crash in free fall from 1 m")
+	}
+	if when < 0.3 || when > 2 {
+		t.Fatalf("free-fall crash at %v s, expected well under 2 s", when)
+	}
+	if q.State.Pos.Z != 0 {
+		t.Fatalf("crashed quad Z = %v, want pinned at ground", q.State.Pos.Z)
+	}
+}
+
+func TestQuadStateFreezesAfterCrash(t *testing.T) {
+	q := hoverQuad()
+	for i := 0; i < 100000; i++ {
+		q.Step(0.0001)
+	}
+	crashed, _ := q.Crashed()
+	if !crashed {
+		t.Fatal("expected crash")
+	}
+	before := q.State
+	q.SetMotors([4]float64{1, 1, 1, 1})
+	for i := 0; i < 1000; i++ {
+		q.Step(0.0001)
+	}
+	if q.State != before {
+		t.Fatal("state changed after crash")
+	}
+}
+
+func TestQuadRollTorqueSignConsistency(t *testing.T) {
+	// Boosting the two left rotors (indices 1 and 2, y=+1) must
+	// produce positive roll torque (positive roll rate about X).
+	q := hoverQuad()
+	h := q.HoverThrottle()
+	q.SetMotors([4]float64{h - 0.05, h + 0.05, h + 0.05, h - 0.05})
+	for i := 0; i < 2000; i++ {
+		q.Step(0.0001)
+	}
+	if q.State.Omega.X <= 0 {
+		t.Fatalf("left-rotor boost gave roll rate %v, want positive", q.State.Omega.X)
+	}
+}
+
+func TestQuadPitchTorqueSignConsistency(t *testing.T) {
+	// Boosting the two front rotors (indices 0 and 2, x=+1) must
+	// produce negative pitch torque (nose up = negative Y torque in
+	// our r×F convention).
+	q := hoverQuad()
+	h := q.HoverThrottle()
+	q.SetMotors([4]float64{h + 0.05, h - 0.05, h + 0.05, h - 0.05})
+	for i := 0; i < 2000; i++ {
+		q.Step(0.0001)
+	}
+	if q.State.Omega.Y >= 0 {
+		t.Fatalf("front-rotor boost gave pitch rate %v, want negative", q.State.Omega.Y)
+	}
+}
+
+func TestQuadYawFromRotorImbalance(t *testing.T) {
+	// Boosting CCW rotors (0,1) against CW rotors (2,3) yields net
+	// positive yaw reaction torque.
+	q := hoverQuad()
+	h := q.HoverThrottle()
+	q.SetMotors([4]float64{h + 0.05, h + 0.05, h - 0.05, h - 0.05})
+	for i := 0; i < 2000; i++ {
+		q.Step(0.0001)
+	}
+	if q.State.Omega.Z <= 0 {
+		t.Fatalf("CCW boost gave yaw rate %v, want positive", q.State.Omega.Z)
+	}
+}
+
+func TestQuadTiltCausesLateralAccel(t *testing.T) {
+	q := hoverQuad()
+	q.State.Attitude = FromEuler(0, 0.2, 0) // pitch nose... rotates body Z forward
+	h := q.HoverThrottle()
+	q.SetMotors([4]float64{h, h, h, h})
+	for i := 0; i < 5000; i++ {
+		q.Step(0.0001)
+	}
+	if math.Abs(q.State.Vel.X) < 0.01 {
+		t.Fatalf("pitched quad did not accelerate laterally: vx=%v", q.State.Vel.X)
+	}
+}
+
+func TestQuadDisturbancePushes(t *testing.T) {
+	q := hoverQuad()
+	h := q.HoverThrottle()
+	q.SetMotors([4]float64{h, h, h, h})
+	q.SetDisturbance(Vec3{X: 1}, Vec3{})
+	for i := 0; i < 10000; i++ {
+		q.Step(0.0001)
+	}
+	if q.State.Vel.X <= 0 {
+		t.Fatalf("1N X disturbance gave vx=%v, want positive", q.State.Vel.X)
+	}
+}
+
+func TestWindDeterministic(t *testing.T) {
+	mkNorm := func() func() float64 {
+		vals := []float64{0.5, -0.3, 0.8, 0.1, -0.9, 0.2}
+		i := 0
+		return func() float64 { v := vals[i%len(vals)]; i++; return v }
+	}
+	w1 := NewWind(0.3, 0.5, 2, mkNorm())
+	w2 := NewWind(0.3, 0.5, 2, mkNorm())
+	for i := 0; i < 100; i++ {
+		if w1.Step(0.01) != w2.Step(0.01) {
+			t.Fatal("wind model not deterministic given same noise")
+		}
+	}
+}
+
+func TestWindBounded(t *testing.T) {
+	n := 0
+	norm := func() float64 { n++; return math.Sin(float64(n)) } // bounded pseudo-noise
+	w := NewWind(0.3, 0.5, 2, norm)
+	for i := 0; i < 10000; i++ {
+		f := w.Step(0.001)
+		if f.Norm() > 5 {
+			t.Fatalf("wind force %v unreasonably large", f)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package physics
+
+import "math"
+
+// Rotor models one motor+propeller as a first-order lag from commanded
+// normalized throttle to achieved throttle, with a quadratic thrust
+// map and a reaction (yaw) torque proportional to thrust. The lag is
+// what makes stale actuator commands — the symptom of every DoS attack
+// in the paper — physically consequential.
+type Rotor struct {
+	// MaxThrust is the thrust in newtons at full throttle.
+	MaxThrust float64
+	// TorqueCoeff maps thrust to reaction torque, N·m per N.
+	TorqueCoeff float64
+	// TimeConstant is the first-order lag time constant in seconds.
+	TimeConstant float64
+	// Direction is +1 for counter-clockwise rotors, -1 for clockwise;
+	// it signs the reaction torque.
+	Direction float64
+
+	command  float64 // commanded throttle in [0,1]
+	throttle float64 // achieved throttle in [0,1]
+}
+
+// SetCommand sets the commanded throttle; values are clamped to [0,1]
+// the way an ESC clamps its input.
+func (r *Rotor) SetCommand(u float64) { r.command = clamp01(u) }
+
+// Command returns the last commanded throttle.
+func (r *Rotor) Command() float64 { return r.command }
+
+// Throttle returns the achieved throttle after the motor lag.
+func (r *Rotor) Throttle() float64 { return r.throttle }
+
+// Settle snaps the achieved throttle to the current command,
+// bypassing the lag. Scenario setup uses it to start a vehicle that is
+// already in steady flight, as the paper's experiments do (the
+// operator first flies to a safe height, then the scenario begins).
+func (r *Rotor) Settle() { r.throttle = r.command }
+
+// Step advances the motor lag by dt seconds.
+func (r *Rotor) Step(dt float64) {
+	if r.TimeConstant <= 0 {
+		r.throttle = r.command
+		return
+	}
+	alpha := 1 - math.Exp(-dt/r.TimeConstant)
+	r.throttle += alpha * (r.command - r.throttle)
+}
+
+// Thrust returns the current thrust in newtons. Thrust scales with
+// the square of the (normalized) rotor speed, approximated here by the
+// achieved throttle.
+func (r *Rotor) Thrust() float64 {
+	return r.MaxThrust * r.throttle * r.throttle
+}
+
+// ReactionTorque returns the signed yaw reaction torque in N·m.
+func (r *Rotor) ReactionTorque() float64 {
+	return r.Direction * r.TorqueCoeff * r.Thrust()
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAnalysisSimpleSchedulable(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	c.Add(&Task{Name: "a", Core: 0, Priority: 90, Period: 4 * time.Millisecond, WCET: time.Millisecond})
+	c.Add(&Task{Name: "b", Core: 0, Priority: 50, Period: 10 * time.Millisecond, WCET: 2 * time.Millisecond})
+	res := Analyze(c)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	r := res[0]
+	if !r.Schedulable {
+		t.Fatalf("task set should be schedulable: %+v", r)
+	}
+	// RTA: R_a = 1ms; R_b = 2 + ⌈R_b/4⌉·1 → 2+1=3, ⌈3/4⌉=1 → fixed 3ms.
+	if r.Tasks[0].Response != time.Millisecond {
+		t.Fatalf("R_a = %v", r.Tasks[0].Response)
+	}
+	if r.Tasks[1].Response != 3*time.Millisecond {
+		t.Fatalf("R_b = %v, want 3ms", r.Tasks[1].Response)
+	}
+	if u := r.Utilization; u < 0.449 || u > 0.451 {
+		t.Fatalf("U = %v, want 0.45", u)
+	}
+}
+
+func TestAnalysisInterferenceCounts(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	c.Add(&Task{Name: "hp", Core: 0, Priority: 90, Period: 5 * time.Millisecond, WCET: 2 * time.Millisecond})
+	c.Add(&Task{Name: "lp", Core: 0, Priority: 10, Period: 20 * time.Millisecond, WCET: 5 * time.Millisecond})
+	r := Analyze(c)[0]
+	// R_lp: 5 + ⌈R/5⌉·2; start 5 → 5+2·1=7? ⌈5/5⌉=1 → 7; ⌈7/5⌉=2 → 9;
+	// ⌈9/5⌉=2 → 9. Fixed point 9ms ≤ 20ms.
+	if r.Tasks[1].Response != 9*time.Millisecond {
+		t.Fatalf("R_lp = %v, want 9ms", r.Tasks[1].Response)
+	}
+	if !r.Schedulable {
+		t.Fatal("set should be schedulable")
+	}
+}
+
+func TestAnalysisUnschedulableOverload(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	c.Add(&Task{Name: "hp", Core: 0, Priority: 90, Period: 2 * time.Millisecond, WCET: 1500 * time.Microsecond})
+	c.Add(&Task{Name: "lp", Core: 0, Priority: 10, Period: 4 * time.Millisecond, WCET: 2 * time.Millisecond})
+	r := Analyze(c)[0]
+	if r.Schedulable {
+		t.Fatal("135% utilization reported schedulable")
+	}
+	if r.Tasks[0].Schedulable != true {
+		t.Fatal("highest-priority task should still be schedulable")
+	}
+	if r.Tasks[1].Schedulable {
+		t.Fatal("overloaded low task reported schedulable")
+	}
+}
+
+func TestAnalysisBusyHogStarvesLower(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	c.Add(&Task{Name: "hog", Core: 0, Priority: 50})
+	c.Add(&Task{Name: "victim", Core: 0, Priority: 10, Period: 10 * time.Millisecond, WCET: time.Millisecond})
+	r := Analyze(c)[0]
+	if r.Schedulable {
+		t.Fatal("busy hog above victim should be unschedulable")
+	}
+	var victim ResponseTime
+	for _, rt := range r.Tasks {
+		if rt.Task.Name == "victim" {
+			victim = rt
+		}
+	}
+	if !victim.Unbounded {
+		t.Fatal("victim response should be unbounded")
+	}
+}
+
+func TestAnalysisBusyHogBelowIsHarmless(t *testing.T) {
+	// The ContainerDrone configuration: the container hog sits below
+	// every host-critical task, so the host tasks stay schedulable.
+	c := NewCPU(1, tick, nil, nil)
+	c.Add(&Task{Name: "hog", Core: 0, Priority: PrioContainer})
+	c.Add(&Task{Name: "driver", Core: 0, Priority: PrioDriver, Period: 4 * time.Millisecond, WCET: time.Millisecond})
+	c.Add(&Task{Name: "safety", Core: 0, Priority: PrioSafety, Period: 10 * time.Millisecond, WCET: 2 * time.Millisecond})
+	r := Analyze(c)[0]
+	for _, rt := range r.Tasks {
+		if rt.Task.Name != "hog" && !rt.Schedulable {
+			t.Fatalf("%s unschedulable despite having priority over the hog", rt.Task.Name)
+		}
+	}
+}
+
+func TestAnalysisPerCore(t *testing.T) {
+	c := NewCPU(4, tick, nil, nil)
+	c.Add(&Task{Name: "a", Core: 0, Priority: 90, Period: 4 * time.Millisecond, WCET: time.Millisecond})
+	c.Add(&Task{Name: "hog", Core: 3, Priority: 99})
+	res := Analyze(c)
+	if len(res) != 4 {
+		t.Fatalf("expected 4 per-core results")
+	}
+	if !res[0].Schedulable || !res[1].Schedulable {
+		t.Fatal("cores 0/1 should be schedulable")
+	}
+	if res[3].Utilization != 1 {
+		t.Fatalf("hog core utilization = %v", res[3].Utilization)
+	}
+}
+
+func TestAnalysisMatchesSimulation(t *testing.T) {
+	// Cross-validation: a set RTA declares schedulable must produce
+	// zero misses in simulation (memory modeling off).
+	c := NewCPU(1, tick, nil, nil)
+	a := c.Add(&Task{Name: "a", Core: 0, Priority: 90, Period: 4 * time.Millisecond, WCET: time.Millisecond})
+	b := c.Add(&Task{Name: "b", Core: 0, Priority: 50, Period: 10 * time.Millisecond, WCET: 3 * time.Millisecond})
+	r := Analyze(c)[0]
+	if !r.Schedulable {
+		t.Fatal("expected schedulable set")
+	}
+	run(c, time.Second)
+	if a.Stats().Missed != 0 || b.Stats().Missed != 0 {
+		t.Fatalf("simulation missed deadlines RTA declared safe: a=%d b=%d",
+			a.Stats().Missed, b.Stats().Missed)
+	}
+	// And simulated max latency must not exceed the analytical bound.
+	if b.Stats().MaxLatency > r.Tasks[1].Response {
+		t.Fatalf("simulated latency %v exceeds RTA bound %v",
+			b.Stats().MaxLatency, r.Tasks[1].Response)
+	}
+}
+
+func TestAnalysisStringRenders(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	c.Add(&Task{Name: "a", Core: 0, Priority: 90, Period: 4 * time.Millisecond, WCET: time.Millisecond})
+	s := Analyze(c)[0].String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"containerdrone/internal/membw"
+	"containerdrone/internal/memguard"
+)
+
+func flightTaskSet(c *CPU) {
+	c.Add(&Task{Name: "drv-imu", Core: 0, Priority: 90, Period: 4 * time.Millisecond, WCET: 300 * time.Microsecond, AccessRate: 15e6, MemBound: 0.6})
+	c.Add(&Task{Name: "drv-pwm", Core: 0, Priority: 90, Period: 2500 * time.Microsecond, WCET: 150 * time.Microsecond, AccessRate: 8e6, MemBound: 0.5})
+	c.Add(&Task{Name: "safety", Core: 1, Priority: 20, Period: 4 * time.Millisecond, WCET: 500 * time.Microsecond, AccessRate: 10e6, MemBound: 0.6})
+	c.Add(&Task{Name: "recv", Core: 1, Priority: 50, Period: 2500 * time.Microsecond, WCET: 150 * time.Microsecond, AccessRate: 6e6, MemBound: 0.4})
+	c.Add(&Task{Name: "px4", Core: 3, Priority: 10, Period: 2500 * time.Microsecond, WCET: 900 * time.Microsecond, AccessRate: 25e6, MemBound: 0.6})
+}
+
+func BenchmarkCPUTickIdle(b *testing.B) {
+	c := NewCPU(4, 100*time.Microsecond, nil, nil)
+	for i := 0; i < b.N; i++ {
+		c.Tick(time.Duration(i) * 100 * time.Microsecond)
+	}
+}
+
+func BenchmarkCPUTickFlightSet(b *testing.B) {
+	c := NewCPU(4, 100*time.Microsecond, nil, nil)
+	flightTaskSet(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(time.Duration(i) * 100 * time.Microsecond)
+	}
+}
+
+func BenchmarkCPUTickWithMemoryModel(b *testing.B) {
+	bus := membw.NewBus(4, 100e6, 100*time.Microsecond)
+	guard := memguard.New(4)
+	guard.SetEnabled(true)
+	guard.SetBudget(3, 30000)
+	c := NewCPU(4, 100*time.Microsecond, bus, guard)
+	flightTaskSet(c)
+	c.Add(&Task{Name: "bandwidth", Core: 3, Priority: 10, AccessRate: 4e9, MemBound: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(time.Duration(i) * 100 * time.Microsecond)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	c := NewCPU(4, 100*time.Microsecond, nil, nil)
+	flightTaskSet(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(c)
+	}
+}

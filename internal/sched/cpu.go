@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"containerdrone/internal/membw"
+	"containerdrone/internal/memguard"
+)
+
+// CPU is the multicore fixed-priority FIFO scheduler. It advances in
+// engine ticks: each tick every core runs its highest-priority ready
+// task, with progress scaled by memory-bus contention and gated by
+// MemGuard throttling.
+type CPU struct {
+	cores   int
+	tick    time.Duration
+	tasks   []*Task
+	byCore  [][]*Task
+	bus     *membw.Bus      // optional
+	guard   *memguard.Guard // optional
+	idle    []int64         // idle ticks per core
+	busyT   []int64         // busy ticks per core
+	running []*Task         // chosen task per core this tick
+	demand  []float64       // full-speed demand per core this tick
+	now     time.Duration   // time of the most recent Tick
+}
+
+// NewCPU builds a scheduler for the given core count and tick. The
+// bus and guard are optional; nil disables memory modeling.
+func NewCPU(cores int, tick time.Duration, bus *membw.Bus, guard *memguard.Guard) *CPU {
+	if cores <= 0 {
+		panic("sched: cores must be positive")
+	}
+	if tick <= 0 {
+		panic("sched: tick must be positive")
+	}
+	if bus != nil && bus.Cores() != cores {
+		panic("sched: bus core count mismatch")
+	}
+	return &CPU{
+		cores:   cores,
+		tick:    tick,
+		bus:     bus,
+		guard:   guard,
+		byCore:  make([][]*Task, cores),
+		idle:    make([]int64, cores),
+		busyT:   make([]int64, cores),
+		running: make([]*Task, cores),
+		demand:  make([]float64, cores),
+	}
+}
+
+// Cores returns the core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// Add registers a task; it panics on invalid configuration (task sets
+// are static program configuration, not runtime input).
+func (c *CPU) Add(t *Task) *Task {
+	if err := t.validate(c.cores); err != nil {
+		panic(err)
+	}
+	// A task spawned mid-run releases from now, not from time zero.
+	if !t.Busy() && t.nextRelease < c.now {
+		t.nextRelease = c.now
+	}
+	t.seq = len(c.tasks)
+	c.tasks = append(c.tasks, t)
+	c.byCore[t.Core] = append(c.byCore[t.Core], t)
+	return t
+}
+
+// Remove deregisters a task (e.g. the attacker killing the complex
+// controller, or the monitor killing the receiver thread). The task's
+// current job is abandoned.
+func (c *CPU) Remove(t *Task) {
+	c.tasks = removeTask(c.tasks, t)
+	c.byCore[t.Core] = removeTask(c.byCore[t.Core], t)
+	t.active = false
+}
+
+func removeTask(s []*Task, t *Task) []*Task {
+	for i, x := range s {
+		if x == t {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Tasks returns the registered tasks (shared slice; do not mutate).
+func (c *CPU) Tasks() []*Task { return c.tasks }
+
+// AttachMemory wires the shared bus and regulator after construction.
+func (c *CPU) AttachMemory(bus *membw.Bus, guard *memguard.Guard) {
+	if bus != nil && bus.Cores() != c.cores {
+		panic("sched: bus core count mismatch")
+	}
+	c.bus = bus
+	c.guard = guard
+}
+
+// IdleRate returns the fraction of observed ticks a core spent idle —
+// the "CPU idle rate" measurement of the paper's Table II.
+func (c *CPU) IdleRate(core int) float64 {
+	total := c.idle[core] + c.busyT[core]
+	if total == 0 {
+		return 1
+	}
+	return float64(c.idle[core]) / float64(total)
+}
+
+// ResetIdleStats clears idle accounting (used to skip warm-up).
+func (c *CPU) ResetIdleStats() {
+	for i := range c.idle {
+		c.idle[i] = 0
+		c.busyT[i] = 0
+	}
+}
+
+// Tick advances the scheduler by one tick ending at time now+tick.
+// The sequence per tick: release jobs, pick per-core winners, gather
+// memory demand, resolve contention, apply progress, fire completions.
+func (c *CPU) Tick(now time.Duration) {
+	c.now = now
+	if c.guard != nil {
+		c.guard.Tick(now)
+	}
+
+	// Phase 1: job releases.
+	for _, t := range c.tasks {
+		if t.Busy() {
+			if !t.active {
+				t.active = true
+				t.releaseTime = now
+			}
+			continue
+		}
+		for t.nextRelease <= now {
+			t.stats.Released++
+			if t.active {
+				// Previous job still running: skip this release.
+				t.stats.Missed++
+			} else {
+				t.active = true
+				t.remaining = t.WCET
+				t.releaseTime = t.nextRelease
+			}
+			t.nextRelease += t.Period
+		}
+	}
+
+	// Phase 2: pick the highest-priority active task per core.
+	for core := 0; core < c.cores; core++ {
+		var best *Task
+		for _, t := range c.byCore[core] {
+			if !t.active {
+				continue
+			}
+			if best == nil || t.Priority > best.Priority ||
+				(t.Priority == best.Priority && t.seq < best.seq) {
+				best = t
+			}
+		}
+		c.running[core] = best
+	}
+
+	// Phase 3: declare memory demand for non-throttled running tasks.
+	lambda := 1.0
+	if c.bus != nil {
+		c.bus.BeginTick()
+		for core := 0; core < c.cores; core++ {
+			t := c.running[core]
+			c.demand[core] = 0
+			if t == nil {
+				continue
+			}
+			if c.guard != nil && c.guard.Throttled(core) {
+				continue
+			}
+			d := t.AccessRate * c.tick.Seconds()
+			c.demand[core] = d
+			c.bus.AddDemand(core, d)
+		}
+		lambda = c.bus.Resolve()
+	}
+
+	// Phase 4: apply progress and completions.
+	for core := 0; core < c.cores; core++ {
+		t := c.running[core]
+		if t == nil {
+			c.idle[core]++
+			continue
+		}
+		c.busyT[core]++
+		if c.guard != nil && c.guard.Throttled(core) {
+			c.guard.NoteThrottledTick(core)
+			continue // core stalled: no progress, no accesses
+		}
+		frac := membw.Slowdown(lambda, t.MemBound)
+		progress := time.Duration(float64(c.tick) * frac)
+		t.stats.RunTicks++
+		if c.bus != nil && c.demand[core] > 0 {
+			issued := c.demand[core] * frac
+			c.bus.Charge(core, issued)
+			if c.guard != nil {
+				c.guard.Charge(core, issued)
+			}
+		}
+		if t.Busy() {
+			continue // busy tasks never complete
+		}
+		t.remaining -= progress
+		if t.remaining <= 0 {
+			t.active = false
+			t.stats.Completed++
+			latency := now + c.tick - t.releaseTime
+			t.stats.SumLatency += latency
+			if latency > t.stats.MaxLatency {
+				t.stats.MaxLatency = latency
+			}
+			if t.Work != nil {
+				t.Work(now)
+			}
+		}
+	}
+}
+
+// Running returns the task currently occupying a core, or nil.
+func (c *CPU) Running(core int) *Task { return c.running[core] }
+
+// String summarizes scheduler state.
+func (c *CPU) String() string {
+	return fmt.Sprintf("sched.CPU{cores=%d tasks=%d}", c.cores, len(c.tasks))
+}

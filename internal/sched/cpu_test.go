@@ -1,0 +1,285 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"containerdrone/internal/membw"
+	"containerdrone/internal/memguard"
+)
+
+const tick = 100 * time.Microsecond
+
+func run(c *CPU, d time.Duration) {
+	steps := int64(d / tick)
+	for i := int64(0); i < steps; i++ {
+		c.Tick(time.Duration(i) * tick)
+	}
+}
+
+func TestPeriodicTaskCompletes(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	done := 0
+	c.Add(&Task{
+		Name: "ctl", Core: 0, Priority: 50,
+		Period: time.Millisecond, WCET: 200 * time.Microsecond,
+		Work: func(time.Duration) { done++ },
+	})
+	run(c, 10*time.Millisecond)
+	if done != 10 {
+		t.Fatalf("completions = %d, want 10", done)
+	}
+}
+
+func TestTaskLatencyAccounting(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	task := c.Add(&Task{
+		Name: "t", Core: 0, Priority: 50,
+		Period: time.Millisecond, WCET: 300 * time.Microsecond,
+	})
+	run(c, 10*time.Millisecond)
+	st := task.Stats()
+	if st.Completed != 10 {
+		t.Fatalf("Completed = %d", st.Completed)
+	}
+	// Uncontended: latency equals WCET.
+	if st.AvgLatency() != 300*time.Microsecond {
+		t.Fatalf("AvgLatency = %v, want 300µs", st.AvgLatency())
+	}
+	if st.MaxLatency != 300*time.Microsecond {
+		t.Fatalf("MaxLatency = %v", st.MaxLatency)
+	}
+}
+
+func TestPreemptionByPriority(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	low := c.Add(&Task{
+		Name: "low", Core: 0, Priority: 10,
+		Period: 10 * time.Millisecond, WCET: 5 * time.Millisecond,
+	})
+	high := c.Add(&Task{
+		Name: "high", Core: 0, Priority: 90,
+		Period: time.Millisecond, WCET: 500 * time.Microsecond,
+	})
+	run(c, 20*time.Millisecond)
+	hs, ls := high.Stats(), low.Stats()
+	if hs.Missed != 0 {
+		t.Fatalf("high-priority task missed %d deadlines", hs.Missed)
+	}
+	// High takes 50% of the core; low (50% demand) still completes
+	// but with inflated latency.
+	if ls.Completed == 0 {
+		t.Fatal("low-priority task never completed")
+	}
+	if ls.AvgLatency() <= 5*time.Millisecond {
+		t.Fatalf("low latency %v should exceed its WCET due to preemption", ls.AvgLatency())
+	}
+}
+
+func TestBusyTaskStarvesEqualAndLowerPriority(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	hog := c.Add(&Task{Name: "hog", Core: 0, Priority: 50})
+	victim := c.Add(&Task{
+		Name: "victim", Core: 0, Priority: 10,
+		Period: time.Millisecond, WCET: 100 * time.Microsecond,
+	})
+	run(c, 20*time.Millisecond)
+	if victim.Stats().Completed != 0 {
+		t.Fatal("lower-priority task ran despite busy hog")
+	}
+	if victim.Stats().Missed == 0 {
+		t.Fatal("victim should be accumulating misses")
+	}
+	if hog.Stats().RunTicks == 0 {
+		t.Fatal("hog never ran")
+	}
+}
+
+func TestHigherPriorityImmuneToBusyHog(t *testing.T) {
+	// The paper's CPU protection: container tasks run at low priority,
+	// so a CPU DoS inside the container cannot steal cycles from the
+	// drivers.
+	c := NewCPU(1, tick, nil, nil)
+	c.Add(&Task{Name: "hog", Core: 0, Priority: PrioContainer})
+	driver := c.Add(&Task{
+		Name: "driver", Core: 0, Priority: PrioDriver,
+		Period: 4 * time.Millisecond, WCET: 400 * time.Microsecond,
+	})
+	run(c, 40*time.Millisecond)
+	st := driver.Stats()
+	if st.Missed != 0 {
+		t.Fatalf("driver missed %d deadlines under low-priority hog", st.Missed)
+	}
+	if st.AvgLatency() != 400*time.Microsecond {
+		t.Fatalf("driver latency %v inflated by low-priority hog", st.AvgLatency())
+	}
+}
+
+func TestCoreIsolation(t *testing.T) {
+	// cpuset pinning: a hog on core 3 cannot affect core 0 (absent
+	// memory contention).
+	c := NewCPU(4, tick, nil, nil)
+	c.Add(&Task{Name: "hog", Core: 3, Priority: 99})
+	ctl := c.Add(&Task{
+		Name: "ctl", Core: 0, Priority: 20,
+		Period: time.Millisecond, WCET: 300 * time.Microsecond,
+	})
+	run(c, 10*time.Millisecond)
+	if ctl.Stats().Missed != 0 {
+		t.Fatal("cross-core interference without a shared bus")
+	}
+	if got := c.IdleRate(3); got != 0 {
+		t.Fatalf("hog core idle rate = %v, want 0", got)
+	}
+}
+
+func TestIdleRate(t *testing.T) {
+	c := NewCPU(2, tick, nil, nil)
+	c.Add(&Task{
+		Name: "half", Core: 0, Priority: 50,
+		Period: time.Millisecond, WCET: 500 * time.Microsecond,
+	})
+	run(c, 100*time.Millisecond)
+	if got := c.IdleRate(0); got < 0.45 || got > 0.55 {
+		t.Fatalf("idle rate = %v, want ~0.5", got)
+	}
+	if got := c.IdleRate(1); got != 1 {
+		t.Fatalf("empty core idle rate = %v, want 1", got)
+	}
+	c.ResetIdleStats()
+	if got := c.IdleRate(0); got != 1 {
+		t.Fatalf("after reset idle rate = %v, want 1 (no samples)", got)
+	}
+}
+
+func TestMissedReleasesWhileJobRuns(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	// WCET 0.9·period with a higher-priority task consuming 50%:
+	// demand 140% ⇒ must miss.
+	c.Add(&Task{
+		Name: "high", Core: 0, Priority: 90,
+		Period: time.Millisecond, WCET: 500 * time.Microsecond,
+	})
+	low := c.Add(&Task{
+		Name: "low", Core: 0, Priority: 10,
+		Period: time.Millisecond, WCET: 900 * time.Microsecond,
+	})
+	run(c, 100*time.Millisecond)
+	if low.Stats().Missed == 0 {
+		t.Fatal("overloaded task reported no misses")
+	}
+	if low.Stats().MissRate() < 0.3 {
+		t.Fatalf("miss rate = %v, want substantial", low.Stats().MissRate())
+	}
+}
+
+func TestMemoryContentionSlowsVictim(t *testing.T) {
+	bus := membw.NewBus(4, 100e6, tick)
+	c := NewCPU(4, tick, bus, nil)
+	// Attacker on core 3 demands 4× bus capacity.
+	c.Add(&Task{Name: "bandwidth", Core: 3, Priority: 10, AccessRate: 400e6, MemBound: 1})
+	victim := c.Add(&Task{
+		Name: "driver", Core: 0, Priority: 90,
+		Period: 4 * time.Millisecond, WCET: 2 * time.Millisecond,
+		AccessRate: 20e6, MemBound: 0.5,
+	})
+	run(c, 400*time.Millisecond)
+	st := victim.Stats()
+	// λ≈4.2 ⇒ victim speed ≈ 1/(1+3.2·0.5) ≈ 0.38 ⇒ effective WCET
+	// ≈ 5.2ms > 4ms period ⇒ misses.
+	if st.Missed == 0 {
+		t.Fatal("memory DoS caused no deadline misses on the victim core")
+	}
+	if st.MaxLatency <= 2*time.Millisecond {
+		t.Fatalf("victim latency %v not inflated", st.MaxLatency)
+	}
+}
+
+func TestMemGuardProtectsVictim(t *testing.T) {
+	bus := membw.NewBus(4, 100e6, tick)
+	guard := memguard.New(4)
+	guard.SetEnabled(true)
+	// Container core budget: 10% of bus capacity per 1 ms period.
+	guard.SetBudget(3, 10e6*memguard.DefaultPeriod.Seconds())
+	c := NewCPU(4, tick, bus, guard)
+	c.Add(&Task{Name: "bandwidth", Core: 3, Priority: 10, AccessRate: 400e6, MemBound: 1})
+	victim := c.Add(&Task{
+		Name: "driver", Core: 0, Priority: 90,
+		Period: 4 * time.Millisecond, WCET: 2 * time.Millisecond,
+		AccessRate: 20e6, MemBound: 0.5,
+	})
+	run(c, 400*time.Millisecond)
+	st := victim.Stats()
+	if st.Missed != 0 {
+		t.Fatalf("victim missed %d deadlines with MemGuard enabled", st.Missed)
+	}
+	if guard.Stats(3).ThrottleEvents == 0 {
+		t.Fatal("attacker core was never throttled")
+	}
+	if guard.Stats(3).ThrottledTicks == 0 {
+		t.Fatal("no throttled ticks recorded")
+	}
+}
+
+func TestRemoveTask(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	done := 0
+	task := c.Add(&Task{
+		Name: "t", Core: 0, Priority: 50,
+		Period: time.Millisecond, WCET: 100 * time.Microsecond,
+		Work: func(time.Duration) { done++ },
+	})
+	run(c, 5*time.Millisecond)
+	c.Remove(task)
+	before := done
+	run(c, 5*time.Millisecond)
+	if done != before {
+		t.Fatal("removed task kept completing")
+	}
+	if len(c.Tasks()) != 0 {
+		t.Fatal("task still registered")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := NewCPU(2, tick, nil, nil)
+	bad := []*Task{
+		{Name: "", Core: 0, Priority: 1, Period: time.Millisecond, WCET: time.Microsecond},
+		{Name: "x", Core: 5, Priority: 1, Period: time.Millisecond, WCET: time.Microsecond},
+		{Name: "x", Core: 0, Priority: 1, Period: time.Millisecond, WCET: 0},
+		{Name: "x", Core: 0, Priority: 1, Period: time.Millisecond, WCET: 2 * time.Millisecond},
+		{Name: "x", Core: 0, Priority: 1, Period: time.Millisecond, WCET: time.Microsecond, MemBound: 2},
+		{Name: "x", Core: 0, Priority: 1, Period: time.Millisecond, WCET: time.Microsecond, AccessRate: -1},
+	}
+	for i, task := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad task %d did not panic", i)
+				}
+			}()
+			c.Add(task)
+		}()
+	}
+}
+
+func TestFIFOTieBreakByRegistration(t *testing.T) {
+	c := NewCPU(1, tick, nil, nil)
+	first := c.Add(&Task{Name: "first", Core: 0, Priority: 50})
+	c.Add(&Task{Name: "second", Core: 0, Priority: 50})
+	c.Tick(0)
+	if c.Running(0) != first {
+		t.Fatal("equal-priority tie should go to earlier registration")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	periodic := &Task{Period: 10 * time.Millisecond, WCET: 2 * time.Millisecond}
+	if periodic.Utilization() != 0.2 {
+		t.Fatalf("utilization = %v", periodic.Utilization())
+	}
+	busy := &Task{}
+	if busy.Utilization() != 1 {
+		t.Fatal("busy task utilization should be 1")
+	}
+}

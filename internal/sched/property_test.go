@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: work conservation — over any horizon, a core's busy ticks
+// plus idle ticks equals the elapsed ticks, and a core with a ready
+// busy-loop task is never idle.
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(periodMS, wcetFrac uint8, horizon16 uint16) bool {
+		period := time.Duration(int(periodMS)%20+2) * time.Millisecond
+		wcet := time.Duration(float64(period) * (float64(wcetFrac%90+5) / 100))
+		steps := int64(horizon16%5000) + 3000
+
+		c := NewCPU(2, tick, nil, nil)
+		c.Add(&Task{Name: "p", Core: 0, Priority: 50, Period: period, WCET: wcet})
+		c.Add(&Task{Name: "hog", Core: 1, Priority: 10})
+		for i := int64(0); i < steps; i++ {
+			c.Tick(time.Duration(i) * tick)
+		}
+		// Core 1 runs the hog every tick: zero idle.
+		if c.IdleRate(1) != 0 {
+			return false
+		}
+		// Core 0 busy fraction ≈ utilization, within the tick
+		// quantization and the partial-period boundary effect (at most
+		// one extra job's worth of work inside the horizon).
+		util := float64(wcet) / float64(period)
+		got := 1 - c.IdleRate(0)
+		horizonSec := float64(steps) * tick.Seconds()
+		slack := tick.Seconds()/period.Seconds() + // one tick per job
+			wcet.Seconds()/horizonSec + // boundary job
+			0.01
+		return got >= util-slack && got <= util+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completions never exceed releases, and releases match the
+// horizon/period for a lone task.
+func TestReleaseAccountingProperty(t *testing.T) {
+	f := func(periodMS uint8, horizon16 uint16) bool {
+		period := time.Duration(int(periodMS)%20+1) * time.Millisecond
+		steps := int64(horizon16%8000) + 1000
+		c := NewCPU(1, tick, nil, nil)
+		task := c.Add(&Task{Name: "p", Core: 0, Priority: 50, Period: period, WCET: period / 4})
+		for i := int64(0); i < steps; i++ {
+			c.Tick(time.Duration(i) * tick)
+		}
+		st := task.Stats()
+		if st.Completed > st.Released {
+			return false
+		}
+		expected := int64(time.Duration(steps)*tick/period) + 1
+		return st.Released >= expected-1 && st.Released <= expected+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a higher-priority task's latency is unaffected by any
+// lower-priority load on the same core (priority isolation — the
+// paper's CPU defense).
+func TestPriorityIsolationProperty(t *testing.T) {
+	f := func(lowWCETFrac uint8) bool {
+		mk := func(withLoad bool) time.Duration {
+			c := NewCPU(1, tick, nil, nil)
+			hi := c.Add(&Task{Name: "hi", Core: 0, Priority: 90,
+				Period: 4 * time.Millisecond, WCET: time.Millisecond})
+			if withLoad {
+				frac := float64(lowWCETFrac%95+5) / 100
+				c.Add(&Task{Name: "lo", Core: 0, Priority: 10,
+					Period: 10 * time.Millisecond,
+					WCET:   time.Duration(frac * float64(10*time.Millisecond))})
+			}
+			for i := int64(0); i < 4000; i++ {
+				c.Tick(time.Duration(i) * tick)
+			}
+			return hi.Stats().MaxLatency
+		}
+		return mk(true) == mk(false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package sensors
+
+// RCScript replays a scripted sequence of pilot inputs — the paper's
+// experiments are all "operator flies to a safe height in manual mode,
+// then switches to position control"; the script captures that
+// hand-off plus any stick activity.
+type RCScript struct {
+	steps []rcStep
+}
+
+type rcStep struct {
+	atUS    uint64
+	reading RCReading
+}
+
+// NewRCScript starts an empty script. With no steps, Sample returns a
+// centered-stick position-mode frame — the steady state of every
+// experiment.
+func NewRCScript() *RCScript { return &RCScript{} }
+
+// Add appends a step: from time atUS onward the given reading is
+// reported (with its TimeUS overwritten at sampling). Steps must be
+// added in increasing time order.
+func (s *RCScript) Add(atUS uint64, r RCReading) *RCScript {
+	if len(s.steps) > 0 && atUS < s.steps[len(s.steps)-1].atUS {
+		panic("sensors: RC script steps out of order")
+	}
+	s.steps = append(s.steps, rcStep{atUS: atUS, reading: r})
+	return s
+}
+
+// Sample returns the scripted reading in effect at timeUS.
+func (s *RCScript) Sample(timeUS uint64) RCReading {
+	r := RCReading{Throttle: 0.5, Mode: ModePosition}
+	for _, st := range s.steps {
+		if st.atUS <= timeUS {
+			r = st.reading
+		} else {
+			break
+		}
+	}
+	r.TimeUS = timeUS
+	return r
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", c.Now())
+	}
+	if c.Ticks() != 0 {
+		t.Fatalf("zero clock Ticks() = %d, want 0", c.Ticks())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	for i := 0; i < 10; i++ {
+		c.Advance()
+	}
+	if got := c.Now(); got != 10*Tick {
+		t.Fatalf("after 10 advances Now() = %v, want %v", got, 10*Tick)
+	}
+	if got := c.Seconds(); got != 10*Tick.Seconds() {
+		t.Fatalf("Seconds() = %v, want %v", got, 10*Tick.Seconds())
+	}
+}
+
+func TestTicksPerSecond(t *testing.T) {
+	if TicksPerSecond != 10000 {
+		t.Fatalf("TicksPerSecond = %d, want 10000 for a 100µs tick", TicksPerSecond)
+	}
+}
+
+func TestTicksFor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{Tick, 1},
+		{time.Millisecond, 10},
+		{time.Second, 10000},
+		{2500 * time.Microsecond, 25},  // 400 Hz
+		{4 * time.Millisecond, 40},     // 250 Hz
+		{20 * time.Millisecond, 200},   // 50 Hz
+		{100 * time.Millisecond, 1000}, // 10 Hz
+		{50 * time.Microsecond, 1},     // rounds up to a whole tick
+		{149 * time.Microsecond, 1},    // rounds to nearest
+		{151 * time.Microsecond, 2},    // rounds to nearest
+	}
+	for _, c := range cases {
+		if got := TicksFor(c.d); got != c.want {
+			t.Errorf("TicksFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTicksForPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TicksFor(0) did not panic")
+		}
+	}()
+	TicksFor(0)
+}
+
+func TestRateTicks(t *testing.T) {
+	cases := []struct {
+		hz   float64
+		want int64
+	}{
+		{400, 25},
+		{250, 40},
+		{50, 200},
+		{10, 1000},
+		{10000, 1},
+	}
+	for _, c := range cases {
+		if got := RateTicks(c.hz); got != c.want {
+			t.Errorf("RateTicks(%v) = %d, want %d", c.hz, got, c.want)
+		}
+	}
+}
+
+func TestRateTicksPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RateTicks(-1) did not panic")
+		}
+	}()
+	RateTicks(-1)
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Proc is a periodic simulation process. Tick is called at the
+// process's registered period with the current simulated time.
+type Proc interface {
+	Tick(now time.Duration)
+}
+
+// ProcFunc adapts a plain function to the Proc interface.
+type ProcFunc func(now time.Duration)
+
+// Tick calls f(now).
+func (f ProcFunc) Tick(now time.Duration) { f(now) }
+
+type procEntry struct {
+	name     string
+	proc     Proc
+	period   int64 // ticks
+	phase    int64 // tick offset of the first invocation
+	priority int   // lower runs first within a tick
+	order    int   // registration order, ties broken stably
+	enabled  bool
+}
+
+// Engine drives the simulation: it owns the clock and invokes every
+// registered periodic process at its period, in deterministic order
+// (priority, then registration order) within a tick.
+type Engine struct {
+	clock Clock
+	procs []*procEntry
+	// oneShots maps a tick to callbacks scheduled for it.
+	oneShots map[int64][]func(now time.Duration)
+	stopped  bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{oneShots: make(map[int64][]func(time.Duration))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.clock.Now() }
+
+// Clock exposes the engine clock (read-only use expected).
+func (e *Engine) Clock() *Clock { return &e.clock }
+
+// Handle identifies a registered process so it can be enabled,
+// disabled, or re-phased later (e.g. the monitor killing the HCE
+// receiver thread disables its process).
+type Handle struct {
+	e   *Engine
+	idx int
+}
+
+// Register adds a periodic process. Priority orders invocations within
+// one tick: lower priority values run first. Names are for traces.
+func (e *Engine) Register(name string, period time.Duration, priority int, p Proc) Handle {
+	ent := &procEntry{
+		name:     name,
+		proc:     p,
+		period:   TicksFor(period),
+		priority: priority,
+		order:    len(e.procs),
+		enabled:  true,
+	}
+	e.procs = append(e.procs, ent)
+	// Keep the invocation order deterministic: sort by (priority,
+	// order). Registration is setup-time only, so re-sorting is cheap.
+	sort.SliceStable(e.procs, func(i, j int) bool {
+		if e.procs[i].priority != e.procs[j].priority {
+			return e.procs[i].priority < e.procs[j].priority
+		}
+		return e.procs[i].order < e.procs[j].order
+	})
+	for i, p := range e.procs {
+		if p == ent {
+			return Handle{e: e, idx: i}
+		}
+	}
+	panic("sim: registered process not found") // unreachable
+}
+
+// RegisterRate is Register with a frequency in hertz.
+func (e *Engine) RegisterRate(name string, hz float64, priority int, p Proc) Handle {
+	period := time.Duration(float64(time.Second) / hz)
+	return e.Register(name, period, priority, p)
+}
+
+// SetEnabled switches a process on or off. Disabled processes are
+// skipped but keep their phase.
+func (h Handle) SetEnabled(on bool) { h.e.procs[h.idx].enabled = on }
+
+// Enabled reports whether the process currently runs.
+func (h Handle) Enabled() bool { return h.e.procs[h.idx].enabled }
+
+// Name returns the registered process name.
+func (h Handle) Name() string { return h.e.procs[h.idx].name }
+
+// After schedules f to run once when the clock reaches now+d,
+// at the end of that tick (after all periodic processes).
+func (e *Engine) After(d time.Duration, f func(now time.Duration)) {
+	at := e.clock.Ticks() + TicksFor(d)
+	e.oneShots[at] = append(e.oneShots[at], f)
+}
+
+// At schedules f at an absolute simulated time. Times in the past (or
+// now) run at the end of the current tick's step.
+func (e *Engine) At(t time.Duration, f func(now time.Duration)) {
+	at := int64((t + Tick/2) / Tick)
+	if at < e.clock.Ticks() {
+		at = e.clock.Ticks()
+	}
+	e.oneShots[at] = append(e.oneShots[at], f)
+}
+
+// Stop ends the run at the end of the current tick.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step advances the simulation by one tick: runs every periodic
+// process whose phase matches, then any one-shots due, then advances
+// the clock.
+func (e *Engine) Step() {
+	now := e.clock.Now()
+	tick := e.clock.Ticks()
+	for _, p := range e.procs {
+		if !p.enabled {
+			continue
+		}
+		if (tick-p.phase)%p.period == 0 {
+			p.proc.Tick(now)
+		}
+	}
+	if fs, ok := e.oneShots[tick]; ok {
+		delete(e.oneShots, tick)
+		for _, f := range fs {
+			f(now)
+		}
+	}
+	e.clock.Advance()
+}
+
+// Run advances the simulation for the given duration or until Stop.
+func (e *Engine) Run(d time.Duration) {
+	end := e.clock.Ticks() + TicksFor(d)
+	for e.clock.Ticks() < end && !e.stopped {
+		e.Step()
+	}
+}
+
+// RunUntil advances until the absolute simulated time t or Stop.
+func (e *Engine) RunUntil(t time.Duration) {
+	for e.clock.Now() < t && !e.stopped {
+		e.Step()
+	}
+}
+
+// String summarizes the engine state for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{t=%v procs=%d}", e.clock.Now(), len(e.procs))
+}

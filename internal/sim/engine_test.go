@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsProcAtPeriod(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Register("p", time.Millisecond, 0, ProcFunc(func(time.Duration) { count++ }))
+	e.Run(10 * time.Millisecond)
+	if count != 10 {
+		t.Fatalf("1ms proc over 10ms ran %d times, want 10", count)
+	}
+}
+
+func TestEngineRateRegistration(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.RegisterRate("imu", 250, 0, ProcFunc(func(time.Duration) { count++ }))
+	e.Run(time.Second)
+	if count != 250 {
+		t.Fatalf("250Hz proc over 1s ran %d times, want 250", count)
+	}
+}
+
+func TestEnginePriorityOrderWithinTick(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register("late", time.Millisecond, 5, ProcFunc(func(time.Duration) { order = append(order, "late") }))
+	e.Register("early", time.Millisecond, 1, ProcFunc(func(time.Duration) { order = append(order, "early") }))
+	e.Run(time.Millisecond)
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("execution order = %v, want [early late]", order)
+	}
+}
+
+func TestEngineStableOrderForEqualPriority(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register("a", time.Millisecond, 0, ProcFunc(func(time.Duration) { order = append(order, "a") }))
+	e.Register("b", time.Millisecond, 0, ProcFunc(func(time.Duration) { order = append(order, "b") }))
+	e.Run(time.Millisecond)
+	if order[0] != "a" || order[1] != "b" {
+		t.Fatalf("equal-priority order = %v, want registration order [a b]", order)
+	}
+}
+
+func TestEngineDisable(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	h := e.Register("p", time.Millisecond, 0, ProcFunc(func(time.Duration) { count++ }))
+	e.Run(5 * time.Millisecond)
+	h.SetEnabled(false)
+	if h.Enabled() {
+		t.Fatal("handle still enabled after SetEnabled(false)")
+	}
+	e.Run(5 * time.Millisecond)
+	if count != 5 {
+		t.Fatalf("disabled proc still ran: count = %d, want 5", count)
+	}
+	h.SetEnabled(true)
+	e.Run(5 * time.Millisecond)
+	if count != 10 {
+		t.Fatalf("re-enabled proc count = %d, want 10", count)
+	}
+}
+
+func TestEngineHandleName(t *testing.T) {
+	e := NewEngine()
+	h := e.Register("receiver", time.Millisecond, 0, ProcFunc(func(time.Duration) {}))
+	if h.Name() != "receiver" {
+		t.Fatalf("Name() = %q, want receiver", h.Name())
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var fired time.Duration = -1
+	e.After(5*time.Millisecond, func(now time.Duration) { fired = now })
+	e.Run(4 * time.Millisecond)
+	if fired != -1 {
+		t.Fatalf("one-shot fired early at %v", fired)
+	}
+	e.Run(2 * time.Millisecond)
+	if fired != 5*time.Millisecond {
+		t.Fatalf("one-shot fired at %v, want 5ms", fired)
+	}
+}
+
+func TestEngineAt(t *testing.T) {
+	e := NewEngine()
+	var fired time.Duration = -1
+	e.At(12*time.Millisecond, func(now time.Duration) { fired = now })
+	e.Run(20 * time.Millisecond)
+	if fired != 12*time.Millisecond {
+		t.Fatalf("At callback fired at %v, want 12ms", fired)
+	}
+}
+
+func TestEngineAtInPastRunsImmediately(t *testing.T) {
+	e := NewEngine()
+	e.Run(10 * time.Millisecond)
+	fired := false
+	e.At(time.Millisecond, func(time.Duration) { fired = true })
+	e.Step()
+	if !fired {
+		t.Fatal("At in the past did not run at the next step")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Register("p", time.Millisecond, 0, ProcFunc(func(now time.Duration) {
+		count++
+		if now >= 3*time.Millisecond {
+			e.Stop()
+		}
+	}))
+	e.Run(100 * time.Millisecond)
+	if !e.Stopped() {
+		t.Fatal("engine not stopped")
+	}
+	if count != 4 { // t=0,1,2,3 ms
+		t.Fatalf("proc ran %d times before stop, want 4", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(25 * time.Millisecond)
+	if e.Now() != 25*time.Millisecond {
+		t.Fatalf("RunUntil left clock at %v, want 25ms", e.Now())
+	}
+}
+
+func TestEngineTwoRatesAlign(t *testing.T) {
+	// A 400 Hz and a 250 Hz process must both hit t=0 and then keep
+	// their own cadence — the base schedule the HCE/CCE streams rely on.
+	e := NewEngine()
+	var at400, at250 []time.Duration
+	e.RegisterRate("motor", 400, 0, ProcFunc(func(now time.Duration) { at400 = append(at400, now) }))
+	e.RegisterRate("imu", 250, 0, ProcFunc(func(now time.Duration) { at250 = append(at250, now) }))
+	e.Run(10 * time.Millisecond)
+	if len(at400) != 4 {
+		t.Fatalf("400Hz ran %d times in 10ms, want 4", len(at400))
+	}
+	if len(at250) != 3 { // t=0, 4ms, 8ms
+		t.Fatalf("250Hz ran %d times in 10ms, want 3", len(at250))
+	}
+	if at400[1] != 2500*time.Microsecond {
+		t.Fatalf("400Hz second invocation at %v, want 2.5ms", at400[1])
+	}
+	if at250[1] != 4*time.Millisecond {
+		t.Fatalf("250Hz second invocation at %v, want 4ms", at250[1])
+	}
+}

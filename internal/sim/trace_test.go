@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceAddAndLen(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Add(time.Second, "monitor", "rule %s fired", "interval")
+	tr.Add(2*time.Second, "sched", "deadline miss")
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if got := tr.Events()[0].Message; got != "rule interval fired" {
+		t.Fatalf("message = %q", got)
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 10; i++ {
+		tr.Add(time.Duration(i)*time.Second, "s", "event %d", i)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("bounded trace Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].Message != "event 7" || evs[2].Message != "event 9" {
+		t.Fatalf("kept wrong events: %v", evs)
+	}
+}
+
+func TestTraceFilter(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Add(0, "a", "one")
+	tr.Add(0, "b", "two")
+	tr.Add(0, "a", "three")
+	got := tr.Filter("a")
+	if len(got) != 2 || got[0].Message != "one" || got[1].Message != "three" {
+		t.Fatalf("Filter(a) = %v", got)
+	}
+	if len(tr.Filter("missing")) != 0 {
+		t.Fatal("Filter(missing) should be empty")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Add(12300*time.Millisecond, "monitor", "switched to safety")
+	s := tr.String()
+	if !strings.Contains(s, "12.300s") || !strings.Contains(s, "monitor: switched to safety") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Time: 1500 * time.Millisecond, Source: "x", Message: "m"}
+	if got := ev.String(); !strings.Contains(got, "1.500s") || !strings.Contains(got, "x: m") {
+		t.Fatalf("Event.String() = %q", got)
+	}
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"containerdrone/internal/physics"
+)
+
+// Blackbox is the flight-data-recorder format: a compact binary
+// serialization of a FlightLog, so a crashed run can be archived and
+// replayed through the same analysis pipeline (metrics, plots, CSV).
+//
+// Layout (little endian):
+//
+//	magic "CDBB" (4) | version u16 (2) | flags u16 (2) | count u32 (4)
+//	| crashNS i64 (8)
+//	then count records of:
+//	timeNS i64 | sp[3] f32 | pos[3] f32 | rpy[3] f32 | srcLen u8 | src
+//
+// flags bit 0: crashed.
+
+// BlackboxMagic identifies the format.
+var BlackboxMagic = [4]byte{'C', 'D', 'B', 'B'}
+
+// BlackboxVersion is the current format version.
+const BlackboxVersion = 1
+
+// Blackbox errors.
+var (
+	ErrBadBlackbox     = errors.New("telemetry: not a blackbox file")
+	ErrBlackboxVersion = errors.New("telemetry: unsupported blackbox version")
+)
+
+// WriteBlackbox serializes the log.
+func WriteBlackbox(w io.Writer, l *FlightLog) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(BlackboxMagic[:]); err != nil {
+		return err
+	}
+	var flags uint16
+	crashed, crashAt := l.Crashed()
+	if crashed {
+		flags |= 1
+	}
+	hdr := make([]byte, 2+2+4+8)
+	binary.LittleEndian.PutUint16(hdr[0:], BlackboxVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], flags)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(l.Len()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(crashAt.Nanoseconds()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 8+9*4)
+	for _, s := range l.Samples() {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(s.Time.Nanoseconds()))
+		putVec(rec[8:], s.Setpoint)
+		putVec(rec[20:], s.Position)
+		putF32b(rec[32:], s.Roll)
+		putF32b(rec[36:], s.Pitch)
+		putF32b(rec[40:], s.Yaw)
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+		if len(s.Source) > 255 {
+			return fmt.Errorf("telemetry: source %q too long", s.Source)
+		}
+		if err := bw.WriteByte(byte(len(s.Source))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s.Source); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBlackbox parses a serialized log.
+func ReadBlackbox(r io.Reader) (*FlightLog, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBlackbox, err)
+	}
+	if magic != BlackboxMagic {
+		return nil, ErrBadBlackbox
+	}
+	hdr := make([]byte, 2+2+4+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadBlackbox)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != BlackboxVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBlackboxVersion, v)
+	}
+	flags := binary.LittleEndian.Uint16(hdr[2:])
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	crashNS := int64(binary.LittleEndian.Uint64(hdr[8:]))
+
+	l := NewFlightLog()
+	rec := make([]byte, 8+9*4)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d", ErrBadBlackbox, i)
+		}
+		var s Sample
+		s.Time = time.Duration(binary.LittleEndian.Uint64(rec[0:]))
+		s.Setpoint = getVec(rec[8:])
+		s.Position = getVec(rec[20:])
+		s.Roll = getF32b(rec[32:])
+		s.Pitch = getF32b(rec[36:])
+		s.Yaw = getF32b(rec[40:])
+		n, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated source at record %d", ErrBadBlackbox, i)
+		}
+		src := make([]byte, n)
+		if _, err := io.ReadFull(br, src); err != nil {
+			return nil, fmt.Errorf("%w: truncated source at record %d", ErrBadBlackbox, i)
+		}
+		s.Source = string(src)
+		l.Add(s)
+	}
+	if flags&1 != 0 {
+		l.MarkCrash(time.Duration(crashNS))
+	}
+	return l, nil
+}
+
+func putVec(b []byte, v physics.Vec3) {
+	putF32b(b[0:], v.X)
+	putF32b(b[4:], v.Y)
+	putF32b(b[8:], v.Z)
+}
+
+func getVec(b []byte) physics.Vec3 {
+	return physics.Vec3{X: getF32b(b[0:]), Y: getF32b(b[4:]), Z: getF32b(b[8:])}
+}
+
+func putF32b(b []byte, v float64) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(float32(v)))
+}
+
+func getF32b(b []byte) float64 {
+	return float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"containerdrone/internal/physics"
+)
+
+func demoLog(crashed bool) *FlightLog {
+	l := NewFlightLog()
+	for i := 0; i < 50; i++ {
+		l.Add(Sample{
+			Time:     time.Duration(i) * 20 * time.Millisecond,
+			Setpoint: physics.Vec3{Z: 1},
+			Position: physics.Vec3{X: 0.01 * float64(i), Z: 1 + 0.1*math.Sin(float64(i))},
+			Roll:     0.01 * float64(i),
+			Pitch:    -0.005 * float64(i),
+			Yaw:      0.5,
+			Source:   "complex",
+		})
+	}
+	if crashed {
+		l.MarkCrash(700 * time.Millisecond)
+	}
+	return l
+}
+
+func TestBlackboxRoundTrip(t *testing.T) {
+	in := demoLog(true)
+	var buf bytes.Buffer
+	if err := WriteBlackbox(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBlackbox(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != in.Len() {
+		t.Fatalf("sample count %d != %d", out.Len(), in.Len())
+	}
+	ci, ti := in.Crashed()
+	co, to := out.Crashed()
+	if ci != co || ti != to {
+		t.Fatalf("crash flag round trip: (%v,%v) != (%v,%v)", co, to, ci, ti)
+	}
+	for i, want := range in.Samples() {
+		got := out.Samples()[i]
+		if got.Time != want.Time || got.Source != want.Source {
+			t.Fatalf("record %d header mismatch: %+v vs %+v", i, got, want)
+		}
+		if math.Abs(got.Position.X-want.Position.X) > 1e-6 ||
+			math.Abs(got.Roll-want.Roll) > 1e-6 {
+			t.Fatalf("record %d value mismatch", i)
+		}
+	}
+}
+
+func TestBlackboxNoCrashFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBlackbox(&buf, demoLog(false)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBlackbox(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := out.Crashed(); c {
+		t.Fatal("crash flag appeared from nowhere")
+	}
+}
+
+func TestBlackboxRejectsGarbage(t *testing.T) {
+	if _, err := ReadBlackbox(bytes.NewReader([]byte("not a blackbox"))); !errors.Is(err, ErrBadBlackbox) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ReadBlackbox(bytes.NewReader(nil)); !errors.Is(err, ErrBadBlackbox) {
+		t.Fatalf("empty: err = %v", err)
+	}
+}
+
+func TestBlackboxRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBlackbox(&buf, demoLog(false)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version field
+	if _, err := ReadBlackbox(bytes.NewReader(data)); !errors.Is(err, ErrBlackboxVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBlackboxRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBlackbox(&buf, demoLog(true)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, 15, 30, len(data) / 2, len(data) - 1} {
+		if _, err := ReadBlackbox(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBlackboxEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBlackbox(&buf, NewFlightLog()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBlackbox(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty log round-tripped to %d samples", out.Len())
+	}
+}
+
+// Property: any log of valid samples round-trips with f32 precision.
+func TestBlackboxRoundTripProperty(t *testing.T) {
+	f := func(times []uint32, x float32, crashed bool) bool {
+		l := NewFlightLog()
+		for i, tm := range times {
+			l.Add(Sample{
+				Time:     time.Duration(tm) * time.Microsecond,
+				Position: physics.Vec3{X: float64(x) * float64(i)},
+				Source:   "safety",
+			})
+		}
+		if crashed {
+			l.MarkCrash(time.Second)
+		}
+		var buf bytes.Buffer
+		if err := WriteBlackbox(&buf, l); err != nil {
+			return false
+		}
+		out, err := ReadBlackbox(&buf)
+		if err != nil {
+			return false
+		}
+		if out.Len() != l.Len() {
+			return false
+		}
+		c1, _ := l.Crashed()
+		c2, _ := out.Crashed()
+		return c1 == c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Plot renders one axis of a flight log as a multi-row ASCII chart
+// with the setpoint overlaid — a terminal rendition of the paper's
+// Figs 4–7 (estimated trajectory vs setpoint per axis). The chart is
+// width columns by height rows; '*' is the estimate, '-' the
+// setpoint, '#' where they coincide.
+func Plot(samples []Sample, axis func(Sample) float64, spAxis func(Sample) float64, width, height int) string {
+	if len(samples) == 0 || width <= 0 || height <= 1 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		v, sp := axis(s), spAxis(s)
+		lo = math.Min(lo, math.Min(v, sp))
+		hi = math.Max(hi, math.Max(v, sp))
+	}
+	if hi-lo < 1e-9 {
+		hi = lo + 1e-9
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		r := int((hi - v) / (hi - lo) * float64(height-1))
+		if r < 0 {
+			r = 0
+		} else if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	per := float64(len(samples)) / float64(width)
+	for col := 0; col < width; col++ {
+		idx := int(float64(col) * per)
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		s := samples[idx]
+		spRow := row(spAxis(s))
+		vRow := row(axis(s))
+		grid[spRow][col] = '-'
+		if vRow == spRow {
+			grid[vRow][col] = '#'
+		} else {
+			grid[vRow][col] = '*'
+		}
+	}
+
+	t0 := samples[0].Time
+	t1 := samples[len(samples)-1].Time
+	var b strings.Builder
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%7.2f ", (hi+lo)/2)
+		}
+		b.WriteString(label)
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(fmt.Sprintf("        %-8s%*s\n",
+		fmtSec(t0), width-8, fmtSec(t1)))
+	return b.String()
+}
+
+func fmtSec(d time.Duration) string {
+	return fmt.Sprintf("%.0fs", d.Seconds())
+}
+
+// SetpointX/Y/Z are Plot accessors for the setpoint series.
+func SetpointX(s Sample) float64 { return s.Setpoint.X }
+
+// SetpointY returns the Y setpoint of a sample.
+func SetpointY(s Sample) float64 { return s.Setpoint.Y }
+
+// SetpointZ returns the Z setpoint of a sample.
+func SetpointZ(s Sample) float64 { return s.Setpoint.Z }

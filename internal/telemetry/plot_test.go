@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"containerdrone/internal/physics"
+)
+
+func sineLog(n int) *FlightLog {
+	l := NewFlightLog()
+	for i := 0; i < n; i++ {
+		l.Add(Sample{
+			Time:     time.Duration(i) * 100 * time.Millisecond,
+			Setpoint: physics.Vec3{Z: 1},
+			Position: physics.Vec3{Z: 1 + 0.5*math.Sin(float64(i)/10)},
+		})
+	}
+	return l
+}
+
+func TestPlotRendersBothSeries(t *testing.T) {
+	l := sineLog(300)
+	p := Plot(l.Samples(), AxisZ, SetpointZ, 60, 10)
+	if p == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.ContainsRune(p, '*') {
+		t.Fatal("estimate series missing")
+	}
+	if !strings.ContainsAny(p, "-#") {
+		t.Fatal("setpoint series missing")
+	}
+	lines := strings.Split(strings.TrimRight(p, "\n"), "\n")
+	if len(lines) != 11 { // height rows + time axis
+		t.Fatalf("plot has %d lines, want 11", len(lines))
+	}
+}
+
+func TestPlotAxisLabels(t *testing.T) {
+	l := sineLog(300)
+	p := Plot(l.Samples(), AxisZ, SetpointZ, 60, 8)
+	if !strings.Contains(p, "0s") {
+		t.Fatal("time axis labels missing")
+	}
+	// The max label should be near 1.5 (+5% pad).
+	if !strings.Contains(p, "1.5") {
+		t.Fatalf("value labels missing:\n%s", p)
+	}
+}
+
+func TestPlotCoincidenceMark(t *testing.T) {
+	// Perfect tracking: every column should be '#'.
+	l := NewFlightLog()
+	for i := 0; i < 100; i++ {
+		p := physics.Vec3{Z: 1}
+		l.Add(Sample{Time: time.Duration(i) * time.Second, Setpoint: p, Position: p})
+	}
+	p := Plot(l.Samples(), AxisZ, SetpointZ, 40, 6)
+	if !strings.ContainsRune(p, '#') {
+		t.Fatal("coincidence mark missing on perfect tracking")
+	}
+	if strings.ContainsRune(p, '*') {
+		t.Fatal("divergent mark present on perfect tracking")
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if Plot(nil, AxisZ, SetpointZ, 40, 8) != "" {
+		t.Fatal("nil samples should render empty")
+	}
+	l := sineLog(10)
+	if Plot(l.Samples(), AxisZ, SetpointZ, 0, 8) != "" {
+		t.Fatal("zero width should render empty")
+	}
+	if Plot(l.Samples(), AxisZ, SetpointZ, 40, 1) != "" {
+		t.Fatal("height 1 should render empty")
+	}
+}
+
+func TestSetpointAccessors(t *testing.T) {
+	s := Sample{Setpoint: physics.Vec3{X: 1, Y: 2, Z: 3}}
+	if SetpointX(s) != 1 || SetpointY(s) != 2 || SetpointZ(s) != 3 {
+		t.Fatal("setpoint accessors wrong")
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"containerdrone/internal/physics"
+)
+
+func sampleAt(sec float64, sp, pos physics.Vec3) Sample {
+	return Sample{
+		Time:     time.Duration(sec * float64(time.Second)),
+		Setpoint: sp,
+		Position: pos,
+		Source:   "complex",
+	}
+}
+
+func TestMetricsOnPerfectTracking(t *testing.T) {
+	l := NewFlightLog()
+	for i := 0; i < 100; i++ {
+		p := physics.Vec3{Z: 1}
+		l.Add(sampleAt(float64(i)*0.01, p, p))
+	}
+	m := l.Metrics()
+	if m.RMSError != 0 || m.MaxDeviation != 0 {
+		t.Fatalf("perfect tracking metrics = %+v", m)
+	}
+	if m.Samples != 100 {
+		t.Fatalf("Samples = %d", m.Samples)
+	}
+}
+
+func TestMetricsConstantOffset(t *testing.T) {
+	l := NewFlightLog()
+	sp := physics.Vec3{Z: 1}
+	pos := physics.Vec3{X: 3, Y: 4, Z: 1} // 5 m error
+	for i := 0; i < 10; i++ {
+		l.Add(sampleAt(float64(i), sp, pos))
+	}
+	m := l.Metrics()
+	if math.Abs(m.RMSError-5) > 1e-9 || math.Abs(m.MaxDeviation-5) > 1e-9 {
+		t.Fatalf("metrics = %+v, want 5m", m)
+	}
+}
+
+func TestMetricsMaxTilt(t *testing.T) {
+	l := NewFlightLog()
+	s := sampleAt(0, physics.Vec3{}, physics.Vec3{})
+	s.Roll = -0.4
+	s.Pitch = 0.2
+	l.Add(s)
+	if got := l.Metrics().MaxTilt; math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("MaxTilt = %v", got)
+	}
+}
+
+func TestMetricsEmpty(t *testing.T) {
+	if m := Compute(nil); m.Samples != 0 || m.RMSError != 0 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	l := NewFlightLog()
+	for i := 0; i < 30; i++ {
+		l.Add(sampleAt(float64(i), physics.Vec3{}, physics.Vec3{X: float64(i)}))
+	}
+	w := l.Window(10*time.Second, 20*time.Second)
+	if len(w) != 10 {
+		t.Fatalf("window size = %d", len(w))
+	}
+	if w[0].Position.X != 10 || w[9].Position.X != 19 {
+		t.Fatalf("window contents wrong: %v..%v", w[0].Position.X, w[9].Position.X)
+	}
+	wm := l.WindowMetrics(10*time.Second, 20*time.Second)
+	if wm.Samples != 10 {
+		t.Fatalf("window metrics samples = %d", wm.Samples)
+	}
+}
+
+func TestCrashMark(t *testing.T) {
+	l := NewFlightLog()
+	if c, _ := l.Crashed(); c {
+		t.Fatal("fresh log crashed")
+	}
+	l.MarkCrash(12 * time.Second)
+	l.MarkCrash(15 * time.Second) // first wins
+	c, at := l.Crashed()
+	if !c || at != 12*time.Second {
+		t.Fatalf("crash = %v at %v", c, at)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	l := NewFlightLog()
+	l.Add(sampleAt(1.5, physics.Vec3{X: 1, Z: 2}, physics.Vec3{X: 0.9, Z: 2.1}))
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "t_s,x_sp,x,") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1.500,1.0000,0.9000") {
+		t.Fatalf("row content wrong: %q", out)
+	}
+	if !strings.Contains(out, "complex") {
+		t.Fatal("source column missing")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	l := NewFlightLog()
+	for i := 0; i < 100; i++ {
+		l.Add(sampleAt(float64(i)*0.1, physics.Vec3{}, physics.Vec3{Z: math.Sin(float64(i) / 10)}))
+	}
+	s := l.Sparkline(AxisZ, 40)
+	if len([]rune(s)) == 0 {
+		t.Fatal("empty sparkline")
+	}
+	if !strings.ContainsRune(s, '█') || !strings.ContainsRune(s, '▁') {
+		t.Fatalf("sparkline lacks dynamic range: %q", s)
+	}
+	if NewFlightLog().Sparkline(AxisX, 40) != "" {
+		t.Fatal("empty log should render empty sparkline")
+	}
+}
+
+func TestAxisAccessors(t *testing.T) {
+	s := Sample{Position: physics.Vec3{X: 1, Y: 2, Z: 3}}
+	if AxisX(s) != 1 || AxisY(s) != 2 || AxisZ(s) != 3 {
+		t.Fatal("axis accessors wrong")
+	}
+}
+
+func TestSparklineFlatSeries(t *testing.T) {
+	l := NewFlightLog()
+	for i := 0; i < 10; i++ {
+		l.Add(sampleAt(float64(i), physics.Vec3{}, physics.Vec3{Z: 1}))
+	}
+	if s := l.Sparkline(AxisZ, 10); s == "" {
+		t.Fatal("flat series should still render")
+	}
+}

@@ -1,0 +1,132 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"containerdrone/internal/sched"
+)
+
+const tick = 100 * time.Microsecond
+
+func run(c *sched.CPU, d time.Duration) {
+	steps := int64(d / tick)
+	for i := int64(0); i < steps; i++ {
+		c.Tick(time.Duration(i) * tick)
+	}
+}
+
+func TestIdleVMCostsCPU(t *testing.T) {
+	cpu := sched.NewCPU(4, tick, nil, nil)
+	v, err := Start(cpu, DefaultQEMUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Running() {
+		t.Fatal("VM not running after Start")
+	}
+	run(cpu, time.Second)
+	// Idle rates should sit near 1 - housekeeping utilization.
+	wants := []float64{0.91, 0.84, 0.82, 0.78}
+	for core, want := range wants {
+		got := cpu.IdleRate(core)
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("core %d idle = %.3f, want ≈%.2f", core, got, want)
+		}
+	}
+}
+
+func TestStopRemovesLoad(t *testing.T) {
+	cpu := sched.NewCPU(4, tick, nil, nil)
+	v, _ := Start(cpu, DefaultQEMUConfig())
+	v.Stop()
+	if v.Running() {
+		t.Fatal("VM still running")
+	}
+	run(cpu, 100*time.Millisecond)
+	for core := 0; core < 4; core++ {
+		if got := cpu.IdleRate(core); got != 1 {
+			t.Fatalf("core %d idle = %v after VM stop", core, got)
+		}
+	}
+	v.Stop() // idempotent
+}
+
+func TestGuestTaskInflation(t *testing.T) {
+	cpu := sched.NewCPU(1, tick, nil, nil)
+	cfg := Config{Name: "q", TranslationOverhead: 8, Priority: 5}
+	v, err := Start(cpu, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest := &sched.Task{
+		Name: "ctl", Core: 0, Priority: 50,
+		Period: 10 * time.Millisecond, WCET: time.Millisecond,
+	}
+	wrapped, err := v.WrapGuestTask(guest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.WCET != 8*time.Millisecond {
+		t.Fatalf("wrapped WCET = %v, want 8ms", wrapped.WCET)
+	}
+	if wrapped.Priority != 5 {
+		t.Fatalf("wrapped priority = %d, want capped at 5", wrapped.Priority)
+	}
+	run(cpu, 100*time.Millisecond)
+	if wrapped.Stats().Completed == 0 {
+		t.Fatal("wrapped guest task never ran")
+	}
+}
+
+func TestGuestTaskTooTightRejected(t *testing.T) {
+	cpu := sched.NewCPU(1, tick, nil, nil)
+	v, _ := Start(cpu, Config{Name: "q", TranslationOverhead: 8, Priority: 5})
+	// A 250 Hz controller with 1 ms WCET cannot be emulated: 8 ms > 4 ms.
+	guest := &sched.Task{
+		Name: "px4", Core: 0, Priority: 50,
+		Period: 4 * time.Millisecond, WCET: time.Millisecond,
+	}
+	if _, err := v.WrapGuestTask(guest, 0); err == nil {
+		t.Fatal("infeasible guest task accepted — the paper's VM latency argument requires rejection")
+	}
+}
+
+func TestBusyGuestTaskWraps(t *testing.T) {
+	cpu := sched.NewCPU(1, tick, nil, nil)
+	v, _ := Start(cpu, Config{Name: "q", TranslationOverhead: 8, Priority: 5})
+	hog := &sched.Task{Name: "hog", Core: 0, Priority: 50, AccessRate: 1e6, MemBound: 0.5}
+	w, err := v.WrapGuestTask(hog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Busy() || w.AccessRate != 1e6 {
+		t.Fatalf("busy wrap lost properties: %+v", w)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cpu := sched.NewCPU(2, tick, nil, nil)
+	if _, err := Start(nil, DefaultQEMUConfig()); err == nil {
+		t.Fatal("nil CPU accepted")
+	}
+	if _, err := Start(cpu, Config{TranslationOverhead: 0.5}); err == nil {
+		t.Fatal("overhead < 1 accepted")
+	}
+	if _, err := Start(cpu, Config{TranslationOverhead: 8, HousekeepingUtil: []float64{0.1, 0.1, 0.1}}); err == nil {
+		t.Fatal("too many housekeeping entries accepted")
+	}
+	if _, err := Start(cpu, Config{TranslationOverhead: 8, HousekeepingUtil: []float64{1.5}}); err == nil {
+		t.Fatal("utilization >= 1 accepted")
+	}
+}
+
+func TestWrapRequiresRunning(t *testing.T) {
+	cpu := sched.NewCPU(1, tick, nil, nil)
+	v, _ := Start(cpu, Config{Name: "q", TranslationOverhead: 2, Priority: 5})
+	v.Stop()
+	if _, err := v.WrapGuestTask(&sched.Task{Name: "g", Core: 0, Priority: 1,
+		Period: time.Second, WCET: time.Millisecond}, 0); err == nil {
+		t.Fatal("wrap on stopped VM accepted")
+	}
+}
