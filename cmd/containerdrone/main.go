@@ -1,69 +1,191 @@
-// Command containerdrone runs one ContainerDrone scenario and reports
-// the flight outcome: Simplex switches, crash status, tracking
-// metrics, per-axis trajectory sparklines, and optionally the full
-// trajectory as CSV (the format of the paper's Figs 4–7).
+// Command containerdrone runs ContainerDrone scenarios from the
+// scenario registry: one flight with full reporting, or a parallel
+// Monte-Carlo campaign of N seeds × a parameter sweep grid.
+//
+// Single flights report the outcome the paper's Figs 4–7 read off a
+// trajectory: Simplex switches, crash status, tracking metrics,
+// per-axis sparklines, and optionally the trajectory CSV or a binary
+// blackbox recording.
 //
 // Examples:
 //
+//	containerdrone -scenario list
 //	containerdrone -scenario baseline
-//	containerdrone -scenario memdos -memguard=false -csv fig4.csv
+//	containerdrone -scenario memdos -set memguard.enabled=0 -csv fig4.csv
 //	containerdrone -scenario udpflood -duration 30s
 //	containerdrone -scenario kill -seed 7
+//	containerdrone -scenario memdos -runs 32 -parallel 8
+//	containerdrone -scenario udpflood -runs 16 -sweep attack.rate=2000,8000,32000 -agg-csv flood.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
-	"containerdrone/internal/attack"
+	"containerdrone/internal/campaign"
 	"containerdrone/internal/core"
 	"containerdrone/internal/telemetry"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "baseline", "baseline | memdos | udpflood | kill | cpuhog")
-		memguard = flag.Bool("memguard", true, "enable MemGuard memory-bandwidth regulation")
-		monitorF = flag.Bool("monitor", true, "enable the security monitor (Simplex switching)")
-		iptables = flag.Float64("iptables", 8000, "iptables packet rate limit on the motor port (0 = off)")
-		duration = flag.Duration("duration", 30*time.Second, "simulated flight duration")
-		attackAt = flag.Duration("attack-at", -1, "attack start time (default: scenario preset)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		csvPath  = flag.String("csv", "", "write trajectory CSV to this path")
-		bbPath   = flag.String("blackbox", "", "write binary flight recording to this path")
-		replay   = flag.String("replay", "", "analyze an existing blackbox recording instead of flying")
-		trace    = flag.Bool("trace", true, "print the event trace")
+		scenario = flag.String("scenario", "baseline", "registered scenario name, or 'list' to enumerate")
+		seed     = flag.Uint64("seed", 1, "simulation seed (campaigns derive per-run seeds from it)")
+		duration = flag.Duration("duration", 0, "simulated flight length (default: scenario preset)")
+		sets     campaign.StringList
+		sweeps   campaign.StringList
+
+		// Campaign mode.
+		runs     = flag.Int("runs", 1, "seeds per sweep point; >1 (or any -sweep) switches to campaign mode")
+		parallel = flag.Int("parallel", 0, "campaign workers (0 = NumCPU)")
+		recCSV   = flag.String("records-csv", "", "campaign: write per-run records CSV to this path")
+		aggCSV   = flag.String("agg-csv", "", "campaign: write per-point aggregate CSV to this path")
+		jsonPath = flag.String("json", "", "campaign: write full report JSON to this path")
+
+		// Legacy single-run conveniences (aliases for -set keys).
+		memguard = flag.Bool("memguard", true, "alias for -set memguard.enabled=0/1")
+		monitorF = flag.Bool("monitor", true, "alias for -set monitor.enabled=0/1")
+		iptables = flag.Float64("iptables", 8000, "alias for -set iptables.rate=N (0 = off)")
+		attackAt = flag.Duration("attack-at", -1, "alias for -set attack.start=N")
+
+		csvPath = flag.String("csv", "", "single run: write trajectory CSV to this path")
+		bbPath  = flag.String("blackbox", "", "single run: write binary flight recording to this path")
+		replay  = flag.String("replay", "", "analyze an existing blackbox recording instead of flying")
+		trace   = flag.Bool("trace", true, "single run: print the event trace")
 	)
+	flag.Var(&sets, "set", "parameter override key=value (repeatable; see -scenario list for keys)")
+	flag.Var(&sweeps, "sweep", "campaign sweep key=v1,v2,... (repeatable; cartesian across flags)")
 	flag.Parse()
 
 	if *replay != "" {
 		if err := replayBlackbox(*replay); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		return
 	}
+	if *scenario == "list" {
+		listScenarios()
+		return
+	}
 
-	cfg, err := buildConfig(*scenario)
+	// Fold the legacy aliases into the params map, but only when the
+	// flag was given: scenario presets win otherwise.
+	params := make(map[string]float64)
+	for _, kv := range sets {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -set %q (want key=value)", kv))
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -set value %q: %v", kv, err))
+		}
+		params[strings.TrimSpace(key)] = v
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "memguard":
+			params["memguard.enabled"] = b2f(*memguard)
+		case "monitor":
+			params["monitor.enabled"] = b2f(*monitorF)
+		case "iptables":
+			params["iptables.rate"] = *iptables
+		case "attack-at":
+			params["attack.start"] = attackAt.Seconds()
+		}
+	})
+
+	parsed, err := campaign.ParseSweeps(sweeps)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *runs > 1 || len(parsed) > 0 {
+		// Fail loudly on single-run-only flags instead of silently
+		// producing no file.
+		if *csvPath != "" || *bbPath != "" {
+			fatal(fmt.Errorf("-csv and -blackbox are single-run flags; campaigns emit -records-csv/-agg-csv/-json"))
+		}
+		runCampaign(*scenario, params, parsed, *runs, *parallel, *seed, *duration,
+			*recCSV, *aggCSV, *jsonPath)
+		return
+	}
+	runSingle(*scenario, params, *seed, *duration, *csvPath, *bbPath, *trace)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func listScenarios() {
+	fmt.Println("registered scenarios:")
+	for _, s := range core.Scenarios() {
+		fmt.Printf("  %-22s %s\n", s.Name, s.Desc)
+	}
+	fmt.Println("\nsweep/set parameter keys:")
+	for _, k := range core.ParamKeys() {
+		fmt.Printf("  %-22s %s\n", k, core.ParamDesc(k))
+	}
+}
+
+func runCampaign(scenario string, params map[string]float64, sweeps []campaign.Sweep,
+	runs, parallel int, seed uint64, duration time.Duration,
+	recCSV, aggCSV, jsonPath string) {
+	if runs < 1 {
+		runs = 1
+	}
+	spec := campaign.Spec{
+		Points:   campaign.Expand(scenario, params, sweeps),
+		Runs:     runs,
+		Parallel: parallel,
+		BaseSeed: seed,
+		Duration: duration,
+	}
+	records, err := campaign.Run(spec)
+	if err != nil {
+		fatal(err)
+	}
+	aggs := campaign.AggregateRecords(records)
+	campaign.PrintSummary(os.Stdout, spec, aggs)
+	writeOut(recCSV, func(f *os.File) error { return campaign.WriteRecordsCSV(f, records) })
+	writeOut(aggCSV, func(f *os.File) error { return campaign.WriteAggregatesCSV(f, aggs) })
+	writeOut(jsonPath, func(f *os.File) error { return campaign.WriteJSON(f, records, aggs) })
+}
+
+func writeOut(path string, write func(*os.File) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func runSingle(scenario string, params map[string]float64, seed uint64,
+	duration time.Duration, csvPath, bbPath string, trace bool) {
+	cfg, err := core.Build(scenario, core.Options{
+		Seed: seed, Duration: duration, Params: params,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg.Seed = *seed
-	cfg.Duration = *duration
-	cfg.MemGuardEnabled = *memguard
-	cfg.MonitorEnabled = *monitorF
-	cfg.IPTablesRate = *iptables
-	if *attackAt >= 0 {
-		cfg.Attack.Start = *attackAt
-	}
-
 	sys, err := core.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	res := sys.Run()
 
@@ -71,36 +193,17 @@ func main() {
 	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 72))
 	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 72))
 	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 72))
-	if *trace {
+	if trace {
 		for _, ev := range res.Trace.Events() {
 			fmt.Println(" ", ev)
 		}
 	}
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := res.Log.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("trajectory written to %s (%d samples)\n", *csvPath, res.Log.Len())
+	if csvPath != "" {
+		writeOut(csvPath, func(f *os.File) error { return res.Log.WriteCSV(f) })
+		fmt.Printf("trajectory: %d samples\n", res.Log.Len())
 	}
-	if *bbPath != "" {
-		f, err := os.Create(*bbPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := telemetry.WriteBlackbox(f, res.Log); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("blackbox written to %s\n", *bbPath)
+	if bbPath != "" {
+		writeOut(bbPath, func(f *os.File) error { return telemetry.WriteBlackbox(f, res.Log) })
 	}
 	if res.Crashed {
 		os.Exit(3)
@@ -131,21 +234,7 @@ func replayBlackbox(path string) error {
 	return nil
 }
 
-func buildConfig(scenario string) (core.Config, error) {
-	switch scenario {
-	case "baseline":
-		return core.ScenarioBaseline(), nil
-	case "memdos":
-		return core.ScenarioMemDoS(true), nil
-	case "udpflood":
-		return core.ScenarioFlood(), nil
-	case "kill":
-		return core.ScenarioKill(), nil
-	case "cpuhog":
-		cfg := core.DefaultConfig()
-		cfg.Attack = attack.Plan{Kind: attack.KindCPUHog, Start: 10 * time.Second}
-		return cfg, nil
-	default:
-		return core.Config{}, fmt.Errorf("unknown scenario %q (want baseline|memdos|udpflood|kill|cpuhog)", scenario)
-	}
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -1,10 +1,16 @@
 // Command experiments regenerates every table and figure of the paper
 // from the simulation, printing paper-style rows and optionally
-// writing per-figure trajectory CSVs.
+// writing per-figure trajectory CSVs. The per-figure flags are thin
+// aliases for scenario-registry names; arbitrary registered scenarios
+// and parallel Monte-Carlo campaigns run through the same path.
 //
 //	experiments -all
 //	experiments -table1 -table2
 //	experiments -fig4 -fig5 -csv-dir results/
+//	experiments -list
+//	experiments -scenario mission-kill
+//	experiments -scenario memdos -runs 32 -parallel 8
+//	experiments -scenario udpflood -runs 16 -sweep attack.rate=2000,8000,32000
 package main
 
 import (
@@ -14,26 +20,78 @@ import (
 	"path/filepath"
 	"time"
 
+	"containerdrone/internal/campaign"
 	"containerdrone/internal/core"
 	"containerdrone/internal/telemetry"
 )
+
+// figures maps the paper's per-figure flags onto registry scenarios.
+var figures = []struct {
+	flagName string
+	scenario string
+	title    string
+	help     string
+}{
+	{"fig4", "memdos-unguarded", "Fig 4: memory DoS, MemGuard OFF — expect crash shortly after 10s",
+		"Fig 4: memory DoS without MemGuard"},
+	{"fig5", "memdos", "Fig 5: memory DoS, MemGuard ON — expect oscillation but stable",
+		"Fig 5: memory DoS with MemGuard"},
+	{"fig6", "kill", "Fig 6: complex controller killed at 12s — expect interval-rule failover",
+		"Fig 6: complex controller killed"},
+	{"fig7", "udpflood", "Fig 7: UDP flood at 8s — expect attitude-rule failover and recovery",
+		"Fig 7: UDP DoS attack"},
+}
 
 func main() {
 	var (
 		all    = flag.Bool("all", false, "run everything")
 		table1 = flag.Bool("table1", false, "Table I: HCE↔CCE data streams")
 		table2 = flag.Bool("table2", false, "Table II: system overhead comparison")
-		fig4   = flag.Bool("fig4", false, "Fig 4: memory DoS without MemGuard")
-		fig5   = flag.Bool("fig5", false, "Fig 5: memory DoS with MemGuard")
-		fig6   = flag.Bool("fig6", false, "Fig 6: complex controller killed")
-		fig7   = flag.Bool("fig7", false, "Fig 7: UDP DoS attack")
+		list   = flag.Bool("list", false, "list registered scenarios and exit")
 		csvDir = flag.String("csv-dir", "", "write per-figure trajectory CSVs into this directory")
+
+		scenario = flag.String("scenario", "", "run one registered scenario (see -list)")
+		seed     = flag.Uint64("seed", 1, "simulation seed / campaign base seed")
+		duration = flag.Duration("duration", 0, "flight length override (default: scenario preset)")
+		runs     = flag.Int("runs", 1, "campaign: seeds per point (>1 or -sweep enables campaign mode)")
+		parallel = flag.Int("parallel", 0, "campaign: workers (0 = NumCPU)")
+		sweeps   campaign.StringList
 	)
-	flag.Parse()
-	if *all {
-		*table1, *table2, *fig4, *fig5, *fig6, *fig7 = true, true, true, true, true, true
+	figFlags := make([]*bool, len(figures))
+	for i, f := range figures {
+		figFlags[i] = flag.Bool(f.flagName, false, f.help)
 	}
-	if !(*table1 || *table2 || *fig4 || *fig5 || *fig6 || *fig7) {
+	flag.Var(&sweeps, "sweep", "campaign sweep key=v1,v2,... (repeatable)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range core.Scenarios() {
+			fmt.Printf("  %-22s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+	if *scenario != "" {
+		anyTableOrFig := *all || *table1 || *table2
+		for i := range figFlags {
+			anyTableOrFig = anyTableOrFig || *figFlags[i]
+		}
+		if anyTableOrFig {
+			fatal(fmt.Errorf("-scenario cannot be combined with -all/-table*/-fig* (run them separately)"))
+		}
+		runScenario(*scenario, sweeps, *runs, *parallel, *seed, *duration, *csvDir)
+		return
+	}
+	if *all {
+		*table1, *table2 = true, true
+		for i := range figFlags {
+			*figFlags[i] = true
+		}
+	}
+	anyFig := false
+	for i := range figFlags {
+		anyFig = anyFig || *figFlags[i]
+	}
+	if !(*table1 || *table2 || anyFig) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -43,28 +101,53 @@ func main() {
 	if *table2 {
 		runTable2()
 	}
-	if *fig4 {
-		runFigure("Fig 4: memory DoS, MemGuard OFF — expect crash shortly after 10s",
-			"fig4", core.ScenarioMemDoS(false), *csvDir)
+	for i, f := range figures {
+		if *figFlags[i] {
+			runFigure(f.title, f.flagName, core.MustBuild(f.scenario, core.Options{Seed: *seed}), *csvDir)
+		}
 	}
-	if *fig5 {
-		runFigure("Fig 5: memory DoS, MemGuard ON — expect oscillation but stable",
-			"fig5", core.ScenarioMemDoS(true), *csvDir)
+}
+
+// runScenario runs one registered scenario: a single reported flight,
+// or a campaign when -runs/-sweep ask for one.
+func runScenario(name string, sweepSpecs []string, runs, parallel int,
+	seed uint64, duration time.Duration, csvDir string) {
+	parsed, err := campaign.ParseSweeps(sweepSpecs)
+	if err != nil {
+		fatal(err)
 	}
-	if *fig6 {
-		runFigure("Fig 6: complex controller killed at 12s — expect interval-rule failover",
-			"fig6", core.ScenarioKill(), *csvDir)
+	if runs > 1 || len(parsed) > 0 {
+		if csvDir != "" {
+			fatal(fmt.Errorf("-csv-dir writes single-flight trajectories; campaigns aggregate instead (drop -runs/-sweep or -csv-dir)"))
+		}
+		if runs < 1 {
+			runs = 1
+		}
+		spec := campaign.Spec{
+			Points:   campaign.Expand(name, nil, parsed),
+			Runs:     runs,
+			Parallel: parallel,
+			BaseSeed: seed,
+			Duration: duration,
+		}
+		records, err := campaign.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		campaign.PrintSummary(os.Stdout, spec, campaign.AggregateRecords(records))
+		return
 	}
-	if *fig7 {
-		runFigure("Fig 7: UDP flood at 8s — expect attitude-rule failover and recovery",
-			"fig7", core.ScenarioFlood(), *csvDir)
+	cfg, err := core.Build(name, core.Options{Seed: seed, Duration: duration})
+	if err != nil {
+		fatal(err)
 	}
+	sc, _ := core.Lookup(name)
+	runFigure(sc.Desc, name, cfg, csvDir)
 }
 
 func runTable1() {
 	fmt.Println("TABLE I — data transfer between the control environments (10 s measurement)")
-	cfg := core.DefaultConfig()
-	cfg.Duration = 10 * time.Second
+	cfg := core.MustBuild("baseline", core.Options{Duration: 10 * time.Second})
 	sys, err := core.New(cfg)
 	if err != nil {
 		fatal(err)

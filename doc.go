@@ -14,10 +14,12 @@
 //
 // Entry points:
 //
-//   - internal/core: Config/System/Result — build and run scenarios
-//   - cmd/containerdrone: CLI scenario runner
+//   - internal/core: scenario registry (Register/Scenarios/Build) and
+//     Config/System/Result — build and run scenarios
+//   - internal/campaign: parallel Monte-Carlo campaigns over the registry
+//   - cmd/containerdrone: CLI scenario/campaign runner
 //   - cmd/experiments: regenerates every table and figure of the paper
-//   - examples/: quickstart, memdos, udpflood, failover
+//   - examples/: quickstart, memdos, udpflood, failover, campaign
 //
 // Root-level benchmarks (bench_test.go) regenerate each table and
 // figure; see EXPERIMENTS.md for the paper-vs-measured record.

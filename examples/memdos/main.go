@@ -16,18 +16,21 @@ import (
 
 func main() {
 	fmt.Println("Memory-bandwidth DoS (Bandwidth attack at t=10s)")
-	for _, memguard := range []bool{false, true} {
-		cfg := core.ScenarioMemDoS(memguard)
+	for _, c := range []struct {
+		scenario string
+		label    string
+	}{
+		{"memdos-unguarded", "MemGuard OFF (Fig 4)"},
+		{"memdos", "MemGuard ON  (Fig 5)"},
+	} {
+		cfg := core.MustBuild(c.scenario, core.Options{})
 		sys, err := core.New(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		res := sys.Run()
 
-		label := "MemGuard OFF (Fig 4)"
-		if memguard {
-			label = "MemGuard ON  (Fig 5)"
-		}
+		label := c.label
 		fmt.Printf("\n== %s ==\n", label)
 		if res.Crashed {
 			fmt.Printf("  CRASHED at %.1fs — attack launched at %.0fs\n",

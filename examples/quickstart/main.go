@@ -1,8 +1,8 @@
 // Quickstart: fly the full ContainerDrone stack for ten simulated
 // seconds with every protection enabled and no attack, then print the
 // flight summary. This is the smallest end-to-end use of the
-// framework: build a Config, construct the System, Run it, read the
-// Result.
+// framework: build a Config from the scenario registry, construct the
+// System, Run it, read the Result.
 package main
 
 import (
@@ -15,8 +15,7 @@ import (
 )
 
 func main() {
-	cfg := core.DefaultConfig()
-	cfg.Duration = 10 * time.Second
+	cfg := core.MustBuild("baseline", core.Options{Duration: 10 * time.Second})
 
 	sys, err := core.New(cfg)
 	if err != nil {

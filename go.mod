@@ -1,0 +1,3 @@
+module containerdrone
+
+go 1.24

@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Percentiles summarizes one metric over a run population.
+type Percentiles struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// percentiles computes the summary with nearest-rank percentiles.
+// Empty input returns the zero value.
+func percentiles(vals []float64) Percentiles {
+	if len(vals) == 0 {
+		return Percentiles{}
+	}
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(s))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Percentiles{
+		Mean: sum / float64(len(s)),
+		P50:  rank(0.50),
+		P90:  rank(0.90),
+		P99:  rank(0.99),
+		Max:  s[len(s)-1],
+	}
+}
+
+// Aggregate is the reduction of one point's run population: the
+// campaign-level reading of the paper's per-figure outcomes.
+type Aggregate struct {
+	Point    string `json:"point"`
+	Scenario string `json:"scenario"`
+	Runs     int    `json:"runs"`
+	Errors   int    `json:"errors,omitempty"`
+
+	Crashes   int     `json:"crashes"`
+	CrashRate float64 `json:"crash_rate"`
+
+	Failovers    int     `json:"failovers"`
+	FailoverRate float64 `json:"failover_rate"`
+	// RuleCounts tallies which security rule fired the failover.
+	RuleCounts map[string]int `json:"rule_counts,omitempty"`
+
+	// SwitchS summarizes the Simplex switch time (s) over failover
+	// runs only.
+	SwitchS Percentiles `json:"switch_s"`
+	// MissRate summarizes the worst flight-critical deadline-miss
+	// rate per run.
+	MissRate Percentiles `json:"miss_rate"`
+	// RMSError and MaxDeviation summarize whole-flight tracking (m).
+	RMSError     Percentiles `json:"rms_error_m"`
+	MaxDeviation Percentiles `json:"max_deviation_m"`
+}
+
+// Aggregate reduces records to one Aggregate per point, in the
+// records' point order.
+func AggregateRecords(records []Record) []Aggregate {
+	byPoint := make(map[string][]Record)
+	for _, r := range records {
+		byPoint[r.Point] = append(byPoint[r.Point], r)
+	}
+	var out []Aggregate
+	for _, label := range pointOrder(records) {
+		runs := byPoint[label]
+		agg := Aggregate{Point: label, Runs: len(runs), RuleCounts: make(map[string]int)}
+		var switchTimes, missRates, rms, maxDev []float64
+		ok := 0
+		for _, r := range runs {
+			agg.Scenario = r.Scenario
+			if r.Err != "" {
+				agg.Errors++
+				continue
+			}
+			ok++
+			if r.Crashed {
+				agg.Crashes++
+			}
+			if r.Switched {
+				agg.Failovers++
+				agg.RuleCounts[r.Rule]++
+				switchTimes = append(switchTimes, r.SwitchS)
+			}
+			missRates = append(missRates, r.MissRate)
+			rms = append(rms, r.RMSError)
+			maxDev = append(maxDev, r.MaxDeviation)
+		}
+		if ok > 0 {
+			agg.CrashRate = float64(agg.Crashes) / float64(ok)
+			agg.FailoverRate = float64(agg.Failovers) / float64(ok)
+		}
+		if len(agg.RuleCounts) == 0 {
+			agg.RuleCounts = nil
+		}
+		agg.SwitchS = percentiles(switchTimes)
+		agg.MissRate = percentiles(missRates)
+		agg.RMSError = percentiles(rms)
+		agg.MaxDeviation = percentiles(maxDev)
+		out = append(out, agg)
+	}
+	return out
+}
+
+// Table renders aggregates as an aligned text table for terminals.
+func Table(aggs []Aggregate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %5s %7s %9s %10s %10s %10s %10s\n",
+		"point", "runs", "crash", "failover", "switch-p50", "switch-p99", "miss-p99", "maxdev-p99")
+	for _, a := range aggs {
+		failover := "-"
+		if a.Failovers > 0 {
+			failover = fmt.Sprintf("%.0f%%", a.FailoverRate*100)
+		}
+		sw50, sw99 := "-", "-"
+		if a.Failovers > 0 {
+			sw50 = fmt.Sprintf("%.2fs", a.SwitchS.P50)
+			sw99 = fmt.Sprintf("%.2fs", a.SwitchS.P99)
+		}
+		fmt.Fprintf(&b, "%-44s %5d %6.0f%% %9s %10s %10s %9.2f%% %9.2fm\n",
+			a.Point, a.Runs, a.CrashRate*100, failover, sw50, sw99,
+			a.MissRate.P99*100, a.MaxDeviation.P99)
+		if a.Errors > 0 {
+			fmt.Fprintf(&b, "%-44s %d runs errored\n", "", a.Errors)
+		}
+	}
+	return b.String()
+}

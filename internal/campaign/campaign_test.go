@@ -1,0 +1,269 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shortSpec is a cheap campaign: 2 points × 3 runs of 1-second
+// flights, executed by 4 workers so worker interleaving is real.
+func shortSpec() Spec {
+	return Spec{
+		Points:   Expand("baseline", nil, []Sweep{{Key: "wind", Values: []float64{0, 1}}}),
+		Runs:     3,
+		Parallel: 4,
+		BaseSeed: 99,
+		Duration: time.Second,
+	}
+}
+
+// TestCampaignDeterministicUnderParallelism is the campaign's core
+// contract: the same spec at the same seed produces byte-identical
+// output regardless of worker scheduling.
+func TestCampaignDeterministicUnderParallelism(t *testing.T) {
+	emit := func() []byte {
+		records, err := Run(shortSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, records, AggregateRecords(records)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := emit(), emit()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two runs of the same campaign spec produced different bytes")
+	}
+}
+
+// TestCampaignParallelMatchesSerial pins the stronger property: the
+// worker count must not affect results at all.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	serial := shortSpec()
+	serial.Parallel = 1
+	recSerial, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recParallel, err := Run(shortSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recSerial, recParallel) {
+		t.Fatal("parallel records differ from serial records")
+	}
+}
+
+func TestCampaignRecordsOrderAndSeeds(t *testing.T) {
+	spec := shortSpec()
+	records, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(spec.Points)*spec.Runs {
+		t.Fatalf("got %d records, want %d", len(records), len(spec.Points)*spec.Runs)
+	}
+	for i, r := range records {
+		pi, ri := i/spec.Runs, i%spec.Runs
+		if r.Point != spec.Points[pi].Label || r.Run != ri {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+		if r.Seed != DeriveSeed(spec.BaseSeed, pi, ri) {
+			t.Fatalf("record %d seed mismatch", i)
+		}
+		if r.Err != "" {
+			t.Fatalf("record %d errored: %s", i, r.Err)
+		}
+	}
+}
+
+func TestCampaignRejectsBadSpecs(t *testing.T) {
+	if _, err := Run(Spec{Runs: 0, Points: []Point{{Label: "x", Scenario: "baseline"}}}); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	if _, err := Run(Spec{Runs: 1}); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+	// A bad sweep key must fail up front, before any run executes.
+	spec := Spec{
+		Points: []Point{{Label: "x", Scenario: "baseline",
+			Params: map[string]float64{"not.a.key": 1}}},
+		Runs: 1, Duration: time.Second,
+	}
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown sweep key accepted")
+	}
+	spec = Spec{Points: []Point{{Label: "x", Scenario: "no-such"}}, Runs: 1}
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for p := 0; p < 8; p++ {
+		for r := 0; r < 8; r++ {
+			s := DeriveSeed(1, p, r)
+			if s == 0 {
+				t.Fatal("derived seed 0 (reserved for scenario default)")
+			}
+			if seen[s] {
+				t.Fatalf("seed collision at point %d run %d", p, r)
+			}
+			seen[s] = true
+			if s != DeriveSeed(1, p, r) {
+				t.Fatal("derivation not stable")
+			}
+		}
+	}
+	if DeriveSeed(1, 0, 0) == DeriveSeed(2, 0, 0) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	sw, err := ParseSweep("attack.rate=1e9, 2e9,4e9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Key != "attack.rate" || !reflect.DeepEqual(sw.Values, []float64{1e9, 2e9, 4e9}) {
+		t.Fatalf("parsed %+v", sw)
+	}
+	for _, bad := range []string{"", "key", "key=", "=1,2", "key=1,x"} {
+		if _, err := ParseSweep(bad); err == nil {
+			t.Errorf("ParseSweep(%q) did not error", bad)
+		}
+	}
+}
+
+func TestExpandCartesian(t *testing.T) {
+	points := Expand("memdos",
+		map[string]float64{"bus.capacity": 50e6},
+		[]Sweep{
+			{Key: "attack.rate", Values: []float64{1e9, 2e9}},
+			{Key: "attack.start", Values: []float64{5, 10, 15}},
+		})
+	if len(points) != 6 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	labels := make(map[string]bool)
+	for _, p := range points {
+		labels[p.Label] = true
+		if p.Scenario != "memdos" {
+			t.Fatalf("scenario = %q", p.Scenario)
+		}
+		if p.Params["bus.capacity"] != 50e6 {
+			t.Fatalf("base param lost: %+v", p.Params)
+		}
+		if len(p.Params) != 3 {
+			t.Fatalf("params = %+v", p.Params)
+		}
+	}
+	if len(labels) != 6 {
+		t.Fatalf("labels not distinct: %v", labels)
+	}
+	// No sweeps → single point, base params preserved, label = scenario.
+	single := Expand("kill", nil, nil)
+	if len(single) != 1 || single[0].Label != "kill" {
+		t.Fatalf("no-sweep expand = %+v", single)
+	}
+}
+
+func TestAggregateRecords(t *testing.T) {
+	records := []Record{
+		{Point: "a", Scenario: "s", Run: 0, Crashed: true, CrashS: 12, MissRate: 0.5, MaxDeviation: 3},
+		{Point: "a", Scenario: "s", Run: 1, Switched: true, SwitchS: 8.5, Rule: "attitude-error", MissRate: 0.1, MaxDeviation: 1},
+		{Point: "a", Scenario: "s", Run: 2, Err: "boom"},
+		{Point: "b", Scenario: "s", Run: 0, MissRate: 0.2},
+	}
+	aggs := AggregateRecords(records)
+	if len(aggs) != 2 || aggs[0].Point != "a" || aggs[1].Point != "b" {
+		t.Fatalf("aggs = %+v", aggs)
+	}
+	a := aggs[0]
+	if a.Runs != 3 || a.Errors != 1 {
+		t.Fatalf("runs/errors = %d/%d", a.Runs, a.Errors)
+	}
+	// Rates are over the 2 non-errored runs.
+	if a.CrashRate != 0.5 || a.FailoverRate != 0.5 {
+		t.Fatalf("crash/failover rate = %v/%v", a.CrashRate, a.FailoverRate)
+	}
+	if a.RuleCounts["attitude-error"] != 1 {
+		t.Fatalf("rule counts = %v", a.RuleCounts)
+	}
+	if a.SwitchS.P50 != 8.5 || a.SwitchS.Max != 8.5 {
+		t.Fatalf("switch percentiles = %+v", a.SwitchS)
+	}
+	if a.MissRate.Max != 0.5 || a.MissRate.Mean != 0.3 {
+		t.Fatalf("miss percentiles = %+v", a.MissRate)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1) // 1..100
+	}
+	p := percentiles(vals)
+	if p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
+		t.Fatalf("percentiles = %+v", p)
+	}
+	if p.Mean != 50.5 {
+		t.Fatalf("mean = %v", p.Mean)
+	}
+	zero := percentiles(nil)
+	if zero != (Percentiles{}) {
+		t.Fatalf("empty percentiles = %+v", zero)
+	}
+}
+
+func TestEmitters(t *testing.T) {
+	records := []Record{
+		{Point: "a", Scenario: "s", Run: 0, Seed: 7, Switched: true, SwitchS: 8.5, Rule: "r", RMSError: 0.1},
+		{Point: "a", Scenario: "s", Run: 1, Seed: 8, Crashed: true, CrashS: 2},
+	}
+	aggs := AggregateRecords(records)
+
+	var csvBuf bytes.Buffer
+	if err := WriteRecordsCSV(&csvBuf, records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("records CSV has %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "point,scenario,run,seed") {
+		t.Fatalf("records CSV header = %q", lines[0])
+	}
+
+	csvBuf.Reset()
+	if err := WriteAggregatesCSV(&csvBuf, aggs); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("aggregates CSV has %d lines, want 2", len(lines))
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, records, aggs); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(jsonBuf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 2 || len(rep.Aggregates) != 1 {
+		t.Fatalf("round-trip = %d records, %d aggregates", len(rep.Records), len(rep.Aggregates))
+	}
+
+	if Table(aggs) == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,38 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// StringList is a repeatable string flag (flag.Value): each
+// occurrence appends. Both CLIs use it for -sweep and -set.
+type StringList []string
+
+// String renders the collected values.
+func (s *StringList) String() string { return strings.Join(*s, " ") }
+
+// Set appends one occurrence.
+func (s *StringList) Set(v string) error { *s = append(*s, v); return nil }
+
+// ParseSweeps parses a list of "key=v1,v2,..." specs.
+func ParseSweeps(specs []string) ([]Sweep, error) {
+	var out []Sweep
+	for _, s := range specs {
+		sw, err := ParseSweep(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sw)
+	}
+	return out, nil
+}
+
+// PrintSummary writes the standard campaign report: a header line and
+// the aggregate table — the shared output path of both CLIs.
+func PrintSummary(w io.Writer, spec Spec, aggs []Aggregate) {
+	fmt.Fprintf(w, "campaign: %d points × %d runs (seed %d)\n",
+		len(spec.Points), spec.Runs, spec.BaseSeed)
+	fmt.Fprint(w, Table(aggs))
+}

@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteRecordsCSV emits one row per run. The column set is stable;
+// downstream plotting scripts key on the header.
+func WriteRecordsCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"point", "scenario", "run", "seed",
+		"crashed", "crash_s", "switched", "switch_s", "rule",
+		"rms_error_m", "max_deviation_m", "miss_rate", "err",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			r.Point, r.Scenario,
+			strconv.Itoa(r.Run), strconv.FormatUint(r.Seed, 10),
+			strconv.FormatBool(r.Crashed), f(r.CrashS),
+			strconv.FormatBool(r.Switched), f(r.SwitchS), r.Rule,
+			f(r.RMSError), f(r.MaxDeviation), f(r.MissRate), r.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAggregatesCSV emits one row per point.
+func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"point", "scenario", "runs", "errors",
+		"crash_rate", "failover_rate",
+		"switch_s_p50", "switch_s_p90", "switch_s_p99", "switch_s_max",
+		"miss_rate_p50", "miss_rate_p90", "miss_rate_p99", "miss_rate_max",
+		"rms_error_m_mean", "max_deviation_m_p99",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		row := []string{
+			a.Point, a.Scenario, strconv.Itoa(a.Runs), strconv.Itoa(a.Errors),
+			f(a.CrashRate), f(a.FailoverRate),
+			f(a.SwitchS.P50), f(a.SwitchS.P90), f(a.SwitchS.P99), f(a.SwitchS.Max),
+			f(a.MissRate.P50), f(a.MissRate.P90), f(a.MissRate.P99), f(a.MissRate.Max),
+			f(a.RMSError.Mean), f(a.MaxDeviation.P99),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report bundles a campaign's raw and reduced outputs for JSON.
+type Report struct {
+	Records    []Record    `json:"records"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+// WriteJSON emits the full campaign report as indented JSON.
+func WriteJSON(w io.Writer, records []Record, aggs []Aggregate) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Records: records, Aggregates: aggs})
+}
+
+// f formats a float compactly for CSV cells.
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

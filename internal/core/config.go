@@ -138,32 +138,26 @@ const MemDoSAccessRate = 4e9
 
 // ScenarioMemDoS reproduces Figs 4 (guard off) and 5 (guard on): the
 // complex controller flies from the host, the container runs only the
-// Bandwidth attack from t = 10 s.
+// Bandwidth attack from t = 10 s. Thin wrapper over the registry's
+// "memdos"/"memdos-unguarded" scenarios.
 func ScenarioMemDoS(memguardOn bool) Config {
-	cfg := DefaultConfig()
-	cfg.ComplexInContainer = false
-	cfg.MonitorEnabled = false // this experiment isolates the memory defense
-	cfg.MemGuardEnabled = memguardOn
-	cfg.Attack = attack.Plan{Kind: attack.KindBandwidth, Start: 10 * time.Second, Rate: MemDoSAccessRate}
-	return cfg
+	if memguardOn {
+		return MustBuild("memdos", Options{})
+	}
+	return MustBuild("memdos-unguarded", Options{})
 }
 
 // ScenarioKill reproduces Fig 6: the attacker shuts down the complex
 // controller at t = 12 s; the receiving-interval rule must fire.
-func ScenarioKill() Config {
-	cfg := DefaultConfig()
-	cfg.Attack = attack.Plan{Kind: attack.KindKill, Start: 12 * time.Second}
-	return cfg
-}
+// Thin wrapper over the registry's "kill" scenario.
+func ScenarioKill() Config { return MustBuild("kill", Options{}) }
 
 // ScenarioFlood reproduces Fig 7: a UDP flood into the HCE motor port
 // from t = 8 s; the attitude-error rule must fire and the safety
-// controller must recover the vehicle.
-func ScenarioFlood() Config {
-	cfg := DefaultConfig()
-	cfg.Attack = attack.Plan{Kind: attack.KindFlood, Start: 8 * time.Second, Rate: 20000}
-	return cfg
-}
+// controller must recover the vehicle. Thin wrapper over the
+// registry's "udpflood" scenario.
+func ScenarioFlood() Config { return MustBuild("udpflood", Options{}) }
 
 // ScenarioBaseline is an attack-free flight of the full architecture.
-func ScenarioBaseline() Config { return DefaultConfig() }
+// Thin wrapper over the registry's "baseline" scenario.
+func ScenarioBaseline() Config { return MustBuild("baseline", Options{}) }

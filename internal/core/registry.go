@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"containerdrone/internal/attack"
+	"containerdrone/internal/control"
+	"containerdrone/internal/monitor"
+	"containerdrone/internal/physics"
+)
+
+// Options parameterize a registered scenario at build time. The zero
+// value keeps every scenario default.
+type Options struct {
+	// Seed overrides the scenario's seed when non-zero.
+	Seed uint64
+	// Duration overrides the simulated flight length when non-zero.
+	Duration time.Duration
+	// Params are named numeric overrides applied to the built Config
+	// in sorted key order (see ApplyParam for the key set). They are
+	// the unit of campaign sweeps: any key can be swept over a value
+	// list without a scenario knowing about it.
+	Params map[string]float64
+}
+
+// clone returns a deep copy so a builder can edit freely.
+func (o Options) clone() Options {
+	c := o
+	if o.Params != nil {
+		c.Params = make(map[string]float64, len(o.Params))
+		for k, v := range o.Params {
+			c.Params[k] = v
+		}
+	}
+	return c
+}
+
+// BuildFunc constructs a scenario's Config from options. Builders may
+// interpret options themselves, but most ignore them: Build applies
+// Seed, Duration, and Params generically after the builder returns.
+type BuildFunc func(Options) Config
+
+// Scenario is one registered, named experiment definition.
+type Scenario struct {
+	Name string
+	Desc string
+	// Build constructs the scenario Config; prefer core.Build, which
+	// also applies the generic option/param overrides.
+	Build BuildFunc
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a named scenario to the registry. It panics on a
+// duplicate or empty name or a nil builder: scenario names are a
+// global namespace wired at init time, and a collision is a
+// programming error, exactly like a duplicate MAVLink message id.
+func Register(name, desc string, build BuildFunc) {
+	if name == "" || build == nil {
+		panic("core: Register needs a name and a builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: duplicate scenario %q", name))
+	}
+	registry[name] = Scenario{Name: name, Desc: desc, Build: build}
+}
+
+// Scenarios lists every registered scenario sorted by name.
+func Scenarios() []Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Build constructs the named scenario and applies the generic
+// overrides: Seed and Duration when non-zero, then every Params entry
+// in sorted key order (sorting makes the result independent of map
+// iteration order, so equal options always give equal configs).
+func Build(name string, opts Options) (Config, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		names := make([]string, 0)
+		for _, sc := range Scenarios() {
+			names = append(names, sc.Name)
+		}
+		return Config{}, fmt.Errorf("core: unknown scenario %q (registered: %v)", name, names)
+	}
+	cfg := s.Build(opts.clone())
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.Duration != 0 {
+		cfg.Duration = opts.Duration
+	}
+	keys := make([]string, 0, len(opts.Params))
+	for k := range opts.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := ApplyParam(&cfg, k, opts.Params[k]); err != nil {
+			return Config{}, err
+		}
+	}
+	return cfg, nil
+}
+
+// MustBuild is Build for statically known names; it panics on error.
+func MustBuild(name string, opts Options) Config {
+	cfg, err := Build(name, opts)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// paramSetters maps sweepable parameter keys to Config fields.
+// Durations are expressed in seconds, rates in their native units,
+// booleans as 0/1.
+var paramSetters = map[string]struct {
+	desc string
+	set  func(*Config, float64)
+}{
+	"seed":     {"simulation seed", func(c *Config, v float64) { c.Seed = uint64(v) }},
+	"duration": {"flight length (s)", func(c *Config, v float64) { c.Duration = seconds(v) }},
+
+	"attack.start": {"attack start time (s)", func(c *Config, v float64) { c.Attack.Start = seconds(v) }},
+	"attack.rate":  {"attack intensity (accesses/s or pkt/s)", func(c *Config, v float64) { c.Attack.Rate = v }},
+
+	"memguard.enabled": {"MemGuard on/off (1/0)", func(c *Config, v float64) { c.MemGuardEnabled = v != 0 }},
+	"memguard.budget":  {"CCE bandwidth budget (accesses/s)", func(c *Config, v float64) { c.MemGuardBudget = v }},
+
+	"iptables.rate":  {"motor-port packet rate limit (pkt/s, 0=off)", func(c *Config, v float64) { c.IPTablesRate = v }},
+	"iptables.burst": {"motor-port burst allowance (pkts)", func(c *Config, v float64) { c.IPTablesBurst = v }},
+
+	"bus.capacity": {"DRAM service rate (accesses/s)", func(c *Config, v float64) { c.BusCapacity = v }},
+
+	"monitor.enabled":       {"security monitor on/off (1/0)", func(c *Config, v float64) { c.MonitorEnabled = v != 0 }},
+	"monitor.max-interval":  {"receiving-interval threshold (s)", func(c *Config, v float64) { c.Rules.MaxInterval = seconds(v) }},
+	"monitor.max-attitude":  {"attitude-error threshold (deg)", func(c *Config, v float64) { c.Rules.MaxAttitudeError = v * math.Pi / 180 }},
+	"monitor.attitude-hold": {"attitude-error persistence (s)", func(c *Config, v float64) { c.Rules.AttitudeHold = seconds(v) }},
+	"monitor.arm-delay":     {"monitor arming delay (s)", func(c *Config, v float64) { c.ArmDelay = seconds(v) }},
+
+	"envelope.geofence": {"geofence radius (m, 0=off)", func(c *Config, v float64) { c.Envelope.GeofenceRadius = v }},
+	"envelope.descent":  {"max descent rate (m/s, 0=off)", func(c *Config, v float64) { c.Envelope.MaxDescentRate = v }},
+	"envelope.hold":     {"envelope persistence (s)", func(c *Config, v float64) { c.Envelope.Hold = seconds(v) }},
+
+	"wind":           {"wind gusts on/off (1/0)", func(c *Config, v float64) { c.Wind = v != 0 }},
+	"telemetry.rate": {"flight-log sampling rate (Hz)", func(c *Config, v float64) { c.TelemetryRate = v }},
+	"manual-until":   {"manual-mode handoff time (s)", func(c *Config, v float64) { c.ManualUntil = seconds(v) }},
+}
+
+func seconds(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second))
+}
+
+// ApplyParam sets one named parameter on a Config. See ParamKeys for
+// the key set; unknown keys are an error so sweep typos fail loudly.
+func ApplyParam(cfg *Config, key string, v float64) error {
+	p, ok := paramSetters[key]
+	if !ok {
+		return fmt.Errorf("core: unknown parameter %q (known: %v)", key, ParamKeys())
+	}
+	p.set(cfg, v)
+	return nil
+}
+
+// ParamKeys lists every sweepable parameter key, sorted.
+func ParamKeys() []string {
+	keys := make([]string, 0, len(paramSetters))
+	for k := range paramSetters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ParamDesc describes one parameter key for CLI help; empty for
+// unknown keys.
+func ParamDesc(key string) string { return paramSetters[key].desc }
+
+// squareMission is the patrol flown by the mission scenarios: the
+// square at 1–1.5 m altitude of examples/mission.
+func squareMission() []control.Waypoint {
+	return []control.Waypoint{
+		{Pos: physics.Vec3{X: 1, Z: 1}, Hold: time.Second},
+		{Pos: physics.Vec3{X: 1, Y: 1, Z: 1.5}, Hold: time.Second},
+		{Pos: physics.Vec3{Y: 1, Z: 1}, Hold: time.Second},
+		{Pos: physics.Vec3{Z: 1}, Hold: time.Second},
+	}
+}
+
+// missionConfig is the shared base of the mission scenarios: the
+// square patrol with the attitude rule loosened for mission tilt (see
+// the mission example and TestMissionFalsePositive on the trade-off).
+func missionBaseConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Duration = 40 * time.Second
+	cfg.Rules.MaxAttitudeError = 25 * math.Pi / 180
+	cfg.Mission = squareMission()
+	return cfg
+}
+
+// The built-in scenario set: the four paper experiments, the CPU-DoS
+// case the defenses are designed around, mission+attack combinations,
+// and per-rule monitor ablations. Campaign sweeps add attack
+// start/intensity and defense-parameter grids on top via Params.
+func init() {
+	Register("baseline",
+		"attack-free flight of the full ContainerDrone architecture",
+		func(Options) Config { return DefaultConfig() })
+
+	Register("memdos",
+		"Fig 5: memory-bandwidth DoS from the CCE with MemGuard ON — oscillation but stable",
+		func(Options) Config { return memDoSConfig(true) })
+
+	Register("memdos-unguarded",
+		"Fig 4: memory-bandwidth DoS with MemGuard OFF — expect crash shortly after attack start",
+		func(Options) Config { return memDoSConfig(false) })
+
+	Register("kill",
+		"Fig 6: complex controller killed at 12s — receiving-interval rule must fire",
+		func(Options) Config {
+			cfg := DefaultConfig()
+			cfg.Attack = attack.Plan{Kind: attack.KindKill, Start: 12 * time.Second}
+			return cfg
+		})
+
+	Register("udpflood",
+		"Fig 7: UDP flood into the HCE motor port at 8s — attitude rule must fire and recover",
+		func(Options) Config {
+			cfg := DefaultConfig()
+			cfg.Attack = attack.Plan{Kind: attack.KindFlood, Start: 8 * time.Second, Rate: 20000}
+			return cfg
+		})
+
+	Register("cpuhog",
+		"busy-loop CPU DoS inside the CCE at 10s — cpuset+priority caps contain it",
+		func(Options) Config {
+			cfg := DefaultConfig()
+			cfg.Attack = attack.Plan{Kind: attack.KindCPUHog, Start: 10 * time.Second}
+			return cfg
+		})
+
+	Register("mission",
+		"attack-free square-patrol mission flown by the containerized controller",
+		func(Options) Config { return missionBaseConfig() })
+
+	Register("mission-kill",
+		"square patrol + controller kill at 18s — safety controller freezes and holds",
+		func(Options) Config {
+			cfg := missionBaseConfig()
+			cfg.Attack = attack.Plan{Kind: attack.KindKill, Start: 18 * time.Second}
+			return cfg
+		})
+
+	Register("mission-flood",
+		"square patrol + UDP flood at 12s — failover mid-mission",
+		func(Options) Config {
+			cfg := missionBaseConfig()
+			cfg.Attack = attack.Plan{Kind: attack.KindFlood, Start: 12 * time.Second, Rate: 20000}
+			return cfg
+		})
+
+	Register("kill-no-interval",
+		"monitor ablation: controller kill with the receiving-interval rule disabled — only the envelope rules can catch it",
+		func(Options) Config {
+			cfg := DefaultConfig()
+			cfg.Attack = attack.Plan{Kind: attack.KindKill, Start: 12 * time.Second}
+			cfg.Rules.MaxInterval = time.Hour // ablated
+			cfg.Envelope = monitor.DefaultEnvelopeRules()
+			return cfg
+		})
+
+	Register("udpflood-no-attitude",
+		"monitor ablation: UDP flood with the attitude-error rule disabled — only the envelope rules can catch it",
+		func(Options) Config {
+			cfg := DefaultConfig()
+			cfg.Attack = attack.Plan{Kind: attack.KindFlood, Start: 8 * time.Second, Rate: 20000}
+			cfg.Rules.MaxAttitudeError = math.Pi // ablated (> any physical tilt short of inversion)
+			cfg.Envelope = monitor.DefaultEnvelopeRules()
+			return cfg
+		})
+
+	Register("udpflood-envelope",
+		"UDP flood with both paper rules AND the extended envelope rules armed",
+		func(Options) Config {
+			cfg := DefaultConfig()
+			cfg.Attack = attack.Plan{Kind: attack.KindFlood, Start: 8 * time.Second, Rate: 20000}
+			cfg.Envelope = monitor.DefaultEnvelopeRules()
+			return cfg
+		})
+}
+
+// memDoSConfig is the deployment of the memory experiments: complex
+// controller on the host, the container holding only the attacker.
+func memDoSConfig(memguardOn bool) Config {
+	cfg := DefaultConfig()
+	cfg.ComplexInContainer = false
+	cfg.MonitorEnabled = false // this experiment isolates the memory defense
+	cfg.MemGuardEnabled = memguardOn
+	cfg.Attack = attack.Plan{Kind: attack.KindBandwidth, Start: 10 * time.Second, Rate: MemDoSAccessRate}
+	return cfg
+}

@@ -36,6 +36,16 @@ type StreamStat struct {
 }
 
 // System is one fully wired scenario instance.
+//
+// A System is single-threaded — the deterministic kernel forbids
+// intra-run concurrency — but distinct Systems share no mutable
+// state: every substrate (engine, CPU, bus, network, RNG streams,
+// logs) is owned by the instance, and the only package-level data in
+// the dependency graph (MAVLink message registry, scenario registry,
+// physics geometry tables) is written at init time only. Concurrent
+// core.New(cfg).Run() calls on separate Systems are therefore safe;
+// the campaign runner's worker pool relies on this, and the campaign
+// tests enforce it under the race detector.
 type System struct {
 	Cfg     Config
 	Engine  *sim.Engine

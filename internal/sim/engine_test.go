@@ -136,6 +136,29 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+// TestEngineMidRunRegistration guards the next-fire schedule against
+// processes registered from inside a callback: a slow process whose
+// first computed fire tick lands on the tick being stepped must not
+// wedge the heap head (it runs a tick late), and other slow processes
+// must keep firing.
+func TestEngineMidRunRegistration(t *testing.T) {
+	e := NewEngine()
+	preCount, lateCount := 0, 0
+	e.Register("pre", 2*time.Millisecond, 0, ProcFunc(func(time.Duration) { preCount++ }))
+	// Register the new process from a one-shot that fires at t=2ms —
+	// exactly a multiple of its 2 ms period, the wedging case.
+	e.At(2*time.Millisecond, func(time.Duration) {
+		e.Register("late", 2*time.Millisecond, 0, ProcFunc(func(time.Duration) { lateCount++ }))
+	})
+	e.Run(10 * time.Millisecond)
+	if preCount != 5 { // t=0,2,4,6,8 ms
+		t.Fatalf("pre-existing proc ran %d times, want 5", preCount)
+	}
+	if lateCount < 3 { // due at 2 (runs late at ~2.0001), then 4,6,8 ms
+		t.Fatalf("mid-run-registered proc ran %d times, want >=3", lateCount)
+	}
+}
+
 func TestEngineTwoRatesAlign(t *testing.T) {
 	// A 400 Hz and a 250 Hz process must both hit t=0 and then keep
 	// their own cadence — the base schedule the HCE/CCE streams rely on.
