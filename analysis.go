@@ -1,0 +1,82 @@
+package containerdrone
+
+import (
+	"time"
+
+	"containerdrone/internal/core"
+)
+
+// TaskAnalysis is the response-time analysis verdict for one task.
+type TaskAnalysis struct {
+	Name     string
+	Priority int
+	// Busy marks busy-loop tasks (no period, no deadline): they soak
+	// idle time and are schedulable by definition, but starve any
+	// lower-priority periodic task on their core.
+	Busy     bool
+	Period   time.Duration
+	WCET     time.Duration
+	Response time.Duration
+	// Schedulable reports Response <= Period (implicit deadline).
+	Schedulable bool
+	// Unbounded marks tasks whose response diverges (priority below a
+	// busy-loop task on the same core, or over-utilized core).
+	Unbounded bool
+}
+
+// CoreAnalysis is the per-core schedulability verdict.
+type CoreAnalysis struct {
+	Core        int
+	Utilization float64
+	Schedulable bool
+	Tasks       []TaskAnalysis
+}
+
+// Schedulability runs fixed-priority response-time analysis over the
+// scenario's task set — the paper's §VII future work ("provide hard
+// real-time proof and schedulability analysis"). Call it on a freshly
+// built Sim to audit the flight-critical task set before any attack
+// task is admitted.
+func (s *Sim) Schedulability() []CoreAnalysis {
+	var out []CoreAnalysis
+	for _, res := range s.sys.Schedulability() {
+		ca := CoreAnalysis{Core: res.Core, Utilization: res.Utilization, Schedulable: res.Schedulable}
+		for _, rt := range res.Tasks {
+			ca.Tasks = append(ca.Tasks, TaskAnalysis{
+				Name:        rt.Task.Name,
+				Priority:    rt.Task.Priority,
+				Busy:        rt.Task.Busy(),
+				Period:      rt.Task.Period,
+				WCET:        rt.Task.WCET,
+				Response:    rt.Response,
+				Schedulable: rt.Schedulable,
+				Unbounded:   rt.Unbounded,
+			})
+		}
+		out = append(out, ca)
+	}
+	return out
+}
+
+// OverheadRow is one measured row of the paper's Table II: per-core
+// CPU idle rates under a virtualization layer running idle.
+type OverheadRow struct {
+	Case      string    `json:"case"`
+	IdleRates []float64 `json:"idle_rates"`
+}
+
+// Overhead measures the paper's Table II: per-core idle rates over
+// the given duration for the native, VM, and container deployments.
+func Overhead(duration time.Duration) ([]OverheadRow, error) {
+	rows, err := core.TableII(duration)
+	if err != nil {
+		return nil, err
+	}
+	var out []OverheadRow
+	for _, r := range rows {
+		row := OverheadRow{Case: r.Case.String(), IdleRates: make([]float64, len(r.IdleRates))}
+		copy(row.IdleRates, r.IdleRates[:])
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package containerdrone
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"containerdrone/internal/campaign"
+)
+
+// Sweep is one swept campaign parameter: a key from ParamInfos and
+// its value grid.
+type Sweep struct {
+	Key    string    `json:"key"`
+	Values []float64 `json:"values"`
+}
+
+// ParseSweep parses "key=v1,v2,v3" into a Sweep; values accept any Go
+// float syntax (so "attack.rate=1e9,4e9" works).
+func ParseSweep(s string) (Sweep, error) {
+	sw, err := campaign.ParseSweep(s)
+	if err != nil {
+		return Sweep{}, err
+	}
+	return Sweep{Key: sw.Key, Values: sw.Values}, nil
+}
+
+// CampaignOption customizes a Campaign built by NewCampaign.
+type CampaignOption func(*Campaign)
+
+// WithRuns sets the number of seeds per sweep point (default 1).
+func WithRuns(n int) CampaignOption {
+	return func(c *Campaign) { c.runs = n }
+}
+
+// WithParallel sets the worker count (default 0 = NumCPU).
+func WithParallel(workers int) CampaignOption {
+	return func(c *Campaign) { c.parallel = workers }
+}
+
+// WithBaseSeed roots the deterministic per-run seed derivation
+// (default 1). A campaign is a pure function of (spec, base seed).
+func WithBaseSeed(seed uint64) CampaignOption {
+	return func(c *Campaign) { c.baseSeed = seed }
+}
+
+// WithRunDuration overrides each flight's length (campaigns usually
+// run shorter flights than the paper figures).
+func WithRunDuration(d time.Duration) CampaignOption {
+	return func(c *Campaign) { c.duration = d }
+}
+
+// WithSweep adds one swept parameter; repeated sweeps expand to their
+// cartesian grid.
+func WithSweep(key string, values ...float64) CampaignOption {
+	return func(c *Campaign) { c.sweeps = append(c.sweeps, Sweep{Key: key, Values: values}) }
+}
+
+// WithSweeps adds pre-built sweeps (e.g. from ParseSweep).
+func WithSweeps(sweeps ...Sweep) CampaignOption {
+	return func(c *Campaign) { c.sweeps = append(c.sweeps, sweeps...) }
+}
+
+// WithBaseParams fixes named overrides on every cell of the grid.
+func WithBaseParams(params map[string]float64) CampaignOption {
+	return func(c *Campaign) {
+		for k, v := range params {
+			if c.params == nil {
+				c.params = make(map[string]float64, len(params))
+			}
+			c.params[k] = v
+		}
+	}
+}
+
+// Campaign is a Monte-Carlo experiment campaign over one scenario:
+// N seeds × the cartesian grid of the configured sweeps, executed on
+// a worker pool and reduced to per-point aggregates. Results are
+// deterministic: a campaign is a pure function of its options,
+// independent of worker count and scheduling.
+type Campaign struct {
+	scenario string
+	params   map[string]float64
+	sweeps   []Sweep
+	runs     int
+	parallel int
+	baseSeed uint64
+	duration time.Duration
+}
+
+// NewCampaign builds a campaign over a registered scenario:
+//
+//	c := containerdrone.NewCampaign("udpflood",
+//	    containerdrone.WithRuns(16),
+//	    containerdrone.WithSweep("attack.rate", 2000, 8000, 32000))
+//	res, err := c.Run(ctx)
+func NewCampaign(scenario string, opts ...CampaignOption) *Campaign {
+	c := &Campaign{scenario: scenario, runs: 1, baseSeed: 1}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Run executes the campaign. On context cancellation it returns the
+// partial result (cells that never ran carry a non-empty Record.Err)
+// together with the context's error.
+func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
+	sweeps := make([]campaign.Sweep, len(c.sweeps))
+	for i, sw := range c.sweeps {
+		sweeps[i] = campaign.Sweep{Key: sw.Key, Values: sw.Values}
+	}
+	spec := campaign.Spec{
+		Points:   campaign.Expand(c.scenario, c.params, sweeps),
+		Runs:     c.runs,
+		Parallel: c.parallel,
+		BaseSeed: c.baseSeed,
+		Duration: c.duration,
+	}
+	records, err := campaign.RunContext(ctx, spec)
+	if records == nil {
+		return nil, err
+	}
+	res := &CampaignResult{
+		SchemaVersion: SchemaVersion,
+		Scenario:      c.scenario,
+		Points:        len(spec.Points),
+		Runs:          spec.Runs,
+		BaseSeed:      spec.BaseSeed,
+	}
+	for _, r := range records {
+		res.Records = append(res.Records, Record(r))
+	}
+	for _, a := range campaign.AggregateRecords(records) {
+		res.Aggregates = append(res.Aggregates, fromAggregate(a))
+	}
+	return res, err
+}
+
+// Record is the serializable outcome of one campaign run — the unit
+// collected from remote campaign workers. Times are in simulated
+// seconds so records serialize compactly and uniformly.
+type Record struct {
+	Point    string  `json:"point"`
+	Scenario string  `json:"scenario"`
+	Run      int     `json:"run"`
+	Seed     uint64  `json:"seed"`
+	Crashed  bool    `json:"crashed"`
+	CrashS   float64 `json:"crash_s,omitempty"`
+	Switched bool    `json:"switched"`
+	SwitchS  float64 `json:"switch_s,omitempty"`
+	Rule     string  `json:"rule,omitempty"`
+	// RMSError and MaxDeviation are whole-flight tracking metrics (m).
+	RMSError     float64 `json:"rms_error_m"`
+	MaxDeviation float64 `json:"max_deviation_m"`
+	// MissRate is the worst deadline-miss rate across the host's
+	// flight-critical tasks.
+	MissRate float64 `json:"miss_rate"`
+	// Err records a build, run, or cancellation failure; such runs
+	// carry no metrics.
+	Err string `json:"err,omitempty"`
+}
+
+// Percentiles summarizes one metric over a run population.
+type Percentiles struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Aggregate is the reduction of one sweep point's run population.
+type Aggregate struct {
+	Point    string `json:"point"`
+	Scenario string `json:"scenario"`
+	Runs     int    `json:"runs"`
+	Errors   int    `json:"errors,omitempty"`
+
+	Crashes   int     `json:"crashes"`
+	CrashRate float64 `json:"crash_rate"`
+
+	Failovers    int     `json:"failovers"`
+	FailoverRate float64 `json:"failover_rate"`
+	// RuleCounts tallies which security rule fired the failover.
+	RuleCounts map[string]int `json:"rule_counts,omitempty"`
+
+	// SwitchS summarizes the Simplex switch time (s) over failover
+	// runs only.
+	SwitchS Percentiles `json:"switch_s"`
+	// MissRate summarizes the worst flight-critical deadline-miss
+	// rate per run.
+	MissRate Percentiles `json:"miss_rate"`
+	// RMSError and MaxDeviation summarize whole-flight tracking (m).
+	RMSError     Percentiles `json:"rms_error_m"`
+	MaxDeviation Percentiles `json:"max_deviation_m"`
+}
+
+func fromAggregate(a campaign.Aggregate) Aggregate {
+	return Aggregate{
+		Point: a.Point, Scenario: a.Scenario, Runs: a.Runs, Errors: a.Errors,
+		Crashes: a.Crashes, CrashRate: a.CrashRate,
+		Failovers: a.Failovers, FailoverRate: a.FailoverRate,
+		RuleCounts:   a.RuleCounts,
+		SwitchS:      Percentiles(a.SwitchS),
+		MissRate:     Percentiles(a.MissRate),
+		RMSError:     Percentiles(a.RMSError),
+		MaxDeviation: Percentiles(a.MaxDeviation),
+	}
+}
+
+func (a Aggregate) internal() campaign.Aggregate {
+	return campaign.Aggregate{
+		Point: a.Point, Scenario: a.Scenario, Runs: a.Runs, Errors: a.Errors,
+		Crashes: a.Crashes, CrashRate: a.CrashRate,
+		Failovers: a.Failovers, FailoverRate: a.FailoverRate,
+		RuleCounts:   a.RuleCounts,
+		SwitchS:      campaign.Percentiles(a.SwitchS),
+		MissRate:     campaign.Percentiles(a.MissRate),
+		RMSError:     campaign.Percentiles(a.RMSError),
+		MaxDeviation: campaign.Percentiles(a.MaxDeviation),
+	}
+}
+
+// CampaignResult is the serializable outcome of a campaign: the raw
+// per-run records and the per-point aggregates. Like Result it is
+// self-contained — a CampaignResult decoded from JSON renders the
+// same table and CSVs as one produced locally.
+type CampaignResult struct {
+	SchemaVersion int         `json:"schema_version"`
+	Scenario      string      `json:"scenario"`
+	Points        int         `json:"points"`
+	Runs          int         `json:"runs"`
+	BaseSeed      uint64      `json:"base_seed"`
+	Records       []Record    `json:"records"`
+	Aggregates    []Aggregate `json:"aggregates"`
+}
+
+func (r *CampaignResult) internalRecords() []campaign.Record {
+	out := make([]campaign.Record, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = campaign.Record(rec)
+	}
+	return out
+}
+
+func (r *CampaignResult) internalAggregates() []campaign.Aggregate {
+	out := make([]campaign.Aggregate, len(r.Aggregates))
+	for i, a := range r.Aggregates {
+		out[i] = a.internal()
+	}
+	return out
+}
+
+// Table renders the aggregates as an aligned text table.
+func (r *CampaignResult) Table() string {
+	return campaign.Table(r.internalAggregates())
+}
+
+// Summary renders the standard campaign report: a header line and the
+// aggregate table.
+func (r *CampaignResult) Summary() string {
+	return fmt.Sprintf("campaign: %d points × %d runs (seed %d)\n", r.Points, r.Runs, r.BaseSeed) + r.Table()
+}
+
+// WriteRecordsCSV emits one CSV row per run; downstream plotting
+// scripts key on the stable header.
+func (r *CampaignResult) WriteRecordsCSV(w io.Writer) error {
+	return campaign.WriteRecordsCSV(w, r.internalRecords())
+}
+
+// WriteAggregatesCSV emits one CSV row per sweep point.
+func (r *CampaignResult) WriteAggregatesCSV(w io.Writer) error {
+	return campaign.WriteAggregatesCSV(w, r.internalAggregates())
+}
+
+// WriteJSON emits the full result as indented JSON.
+func (r *CampaignResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,5 +1,5 @@
-// Command containerdrone runs ContainerDrone scenarios from the
-// scenario registry: one flight with full reporting, or a parallel
+// Command containerdrone runs ContainerDrone scenarios through the
+// public SDK: one flight with full reporting, or a parallel
 // Monte-Carlo campaign of N seeds × a parameter sweep grid.
 //
 // Single flights report the outcome the paper's Figs 4–7 read off a
@@ -19,25 +19,31 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
-	"containerdrone/internal/campaign"
-	"containerdrone/internal/core"
-	"containerdrone/internal/telemetry"
+	"containerdrone"
 )
+
+// stringList is a repeatable string flag: each occurrence appends.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, " ") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
 	var (
 		scenario = flag.String("scenario", "baseline", "registered scenario name, or 'list' to enumerate")
 		seed     = flag.Uint64("seed", 1, "simulation seed (campaigns derive per-run seeds from it)")
 		duration = flag.Duration("duration", 0, "simulated flight length (default: scenario preset)")
-		sets     campaign.StringList
-		sweeps   campaign.StringList
+		sets     stringList
+		sweeps   stringList
 
 		// Campaign mode.
 		runs     = flag.Int("runs", 1, "seeds per sweep point; >1 (or any -sweep) switches to campaign mode")
@@ -99,9 +105,13 @@ func main() {
 		}
 	})
 
-	parsed, err := campaign.ParseSweeps(sweeps)
-	if err != nil {
-		fatal(err)
+	var parsed []containerdrone.Sweep
+	for _, s := range sweeps {
+		sw, err := containerdrone.ParseSweep(s)
+		if err != nil {
+			fatal(err)
+		}
+		parsed = append(parsed, sw)
 	}
 
 	if *runs > 1 || len(parsed) > 0 {
@@ -126,40 +136,40 @@ func b2f(b bool) float64 {
 
 func listScenarios() {
 	fmt.Println("registered scenarios:")
-	for _, s := range core.Scenarios() {
+	for _, s := range containerdrone.Scenarios() {
 		fmt.Printf("  %-22s %s\n", s.Name, s.Desc)
 	}
 	fmt.Println("\nsweep/set parameter keys:")
-	for _, k := range core.ParamKeys() {
-		fmt.Printf("  %-22s %s\n", k, core.ParamDesc(k))
+	for _, p := range containerdrone.ParamInfos() {
+		fmt.Printf("  %-22s %s\n", p.Key, p.Desc)
 	}
 }
 
-func runCampaign(scenario string, params map[string]float64, sweeps []campaign.Sweep,
+func runCampaign(scenario string, params map[string]float64, sweeps []containerdrone.Sweep,
 	runs, parallel int, seed uint64, duration time.Duration,
 	recCSV, aggCSV, jsonPath string) {
 	if runs < 1 {
 		runs = 1
 	}
-	spec := campaign.Spec{
-		Points:   campaign.Expand(scenario, params, sweeps),
-		Runs:     runs,
-		Parallel: parallel,
-		BaseSeed: seed,
-		Duration: duration,
-	}
-	records, err := campaign.Run(spec)
+	c := containerdrone.NewCampaign(scenario,
+		containerdrone.WithBaseParams(params),
+		containerdrone.WithSweeps(sweeps...),
+		containerdrone.WithRuns(runs),
+		containerdrone.WithParallel(parallel),
+		containerdrone.WithBaseSeed(seed),
+		containerdrone.WithRunDuration(duration),
+	)
+	res, err := c.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}
-	aggs := campaign.AggregateRecords(records)
-	campaign.PrintSummary(os.Stdout, spec, aggs)
-	writeOut(recCSV, func(f *os.File) error { return campaign.WriteRecordsCSV(f, records) })
-	writeOut(aggCSV, func(f *os.File) error { return campaign.WriteAggregatesCSV(f, aggs) })
-	writeOut(jsonPath, func(f *os.File) error { return campaign.WriteJSON(f, records, aggs) })
+	fmt.Print(res.Summary())
+	writeOut(recCSV, res.WriteRecordsCSV)
+	writeOut(aggCSV, res.WriteAggregatesCSV)
+	writeOut(jsonPath, res.WriteJSON)
 }
 
-func writeOut(path string, write func(*os.File) error) {
+func writeOut(path string, write func(io.Writer) error) {
 	if path == "" {
 		return
 	}
@@ -176,37 +186,42 @@ func writeOut(path string, write func(*os.File) error) {
 
 func runSingle(scenario string, params map[string]float64, seed uint64,
 	duration time.Duration, csvPath, bbPath string, trace bool) {
-	cfg, err := core.Build(scenario, core.Options{
-		Seed: seed, Duration: duration, Params: params,
-	})
+	opts := []containerdrone.Option{containerdrone.WithSeed(seed), containerdrone.WithParams(params)}
+	if duration > 0 {
+		opts = append(opts, containerdrone.WithDuration(duration))
+	}
+	sim, err := containerdrone.New(scenario, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	sys, err := core.New(cfg)
+	res, err := sim.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}
-	res := sys.Run()
 
 	fmt.Print(res.Summary())
-	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 72))
-	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 72))
-	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 72))
+	printSparklines(res, 72)
 	if trace {
-		for _, ev := range res.Trace.Events() {
+		for _, ev := range res.Trace {
 			fmt.Println(" ", ev)
 		}
 	}
 	if csvPath != "" {
-		writeOut(csvPath, func(f *os.File) error { return res.Log.WriteCSV(f) })
-		fmt.Printf("trajectory: %d samples\n", res.Log.Len())
+		writeOut(csvPath, res.WriteTrajectoryCSV)
+		fmt.Printf("trajectory: %d samples\n", len(res.Samples))
 	}
 	if bbPath != "" {
-		writeOut(bbPath, func(f *os.File) error { return telemetry.WriteBlackbox(f, res.Log) })
+		writeOut(bbPath, res.WriteBlackbox)
 	}
 	if res.Crashed {
 		os.Exit(3)
+	}
+}
+
+func printSparklines(res *containerdrone.Result, width int) {
+	for _, ax := range []containerdrone.Axis{containerdrone.AxisX, containerdrone.AxisY, containerdrone.AxisZ} {
+		fmt.Printf("  %s %s\n", ax, res.Sparkline(ax, width))
 	}
 }
 
@@ -217,20 +232,17 @@ func replayBlackbox(path string) error {
 		return err
 	}
 	defer f.Close()
-	log, err := telemetry.ReadBlackbox(f)
+	res, err := containerdrone.ReadBlackbox(f)
 	if err != nil {
 		return err
 	}
-	m := log.Metrics()
-	fmt.Printf("blackbox %s: %d samples\n", path, log.Len())
-	if crashed, at := log.Crashed(); crashed {
-		fmt.Printf("  CRASHED at %.1fs\n", at.Seconds())
+	fmt.Printf("blackbox %s: %d samples\n", path, len(res.Samples))
+	if res.Crashed {
+		fmt.Printf("  CRASHED at %.1fs\n", res.CrashS)
 	}
 	fmt.Printf("  RMS err %.3fm  max dev %.3fm  max tilt %.1f°\n",
-		m.RMSError, m.MaxDeviation, m.MaxTilt*180/3.14159265)
-	fmt.Printf("  X %s\n", log.Sparkline(telemetry.AxisX, 72))
-	fmt.Printf("  Y %s\n", log.Sparkline(telemetry.AxisY, 72))
-	fmt.Printf("  Z %s\n", log.Sparkline(telemetry.AxisZ, 72))
+		res.Metrics.RMSErrorM, res.Metrics.MaxDeviationM, res.Metrics.MaxTiltDeg())
+	printSparklines(res, 72)
 	return nil
 }
 

@@ -1,8 +1,9 @@
 // Command experiments regenerates every table and figure of the paper
-// from the simulation, printing paper-style rows and optionally
-// writing per-figure trajectory CSVs. The per-figure flags are thin
-// aliases for scenario-registry names; arbitrary registered scenarios
-// and parallel Monte-Carlo campaigns run through the same path.
+// from the simulation through the public SDK, printing paper-style
+// rows and optionally writing per-figure trajectory CSVs. The
+// per-figure flags are thin aliases for scenario-registry names;
+// arbitrary registered scenarios and parallel Monte-Carlo campaigns
+// run through the same path.
 //
 //	experiments -all
 //	experiments -table1 -table2
@@ -14,16 +15,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
-	"containerdrone/internal/campaign"
-	"containerdrone/internal/core"
-	"containerdrone/internal/telemetry"
+	"containerdrone"
 )
+
+// stringList is a repeatable string flag: each occurrence appends.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, " ") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 // figures maps the paper's per-figure flags onto registry scenarios.
 var figures = []struct {
@@ -55,7 +62,7 @@ func main() {
 		duration = flag.Duration("duration", 0, "flight length override (default: scenario preset)")
 		runs     = flag.Int("runs", 1, "campaign: seeds per point (>1 or -sweep enables campaign mode)")
 		parallel = flag.Int("parallel", 0, "campaign: workers (0 = NumCPU)")
-		sweeps   campaign.StringList
+		sweeps   stringList
 	)
 	figFlags := make([]*bool, len(figures))
 	for i, f := range figures {
@@ -65,7 +72,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, s := range core.Scenarios() {
+		for _, s := range containerdrone.Scenarios() {
 			fmt.Printf("  %-22s %s\n", s.Name, s.Desc)
 		}
 		return
@@ -103,7 +110,7 @@ func main() {
 	}
 	for i, f := range figures {
 		if *figFlags[i] {
-			runFigure(f.title, f.flagName, core.MustBuild(f.scenario, core.Options{Seed: *seed}), *csvDir)
+			runFigure(f.title, f.flagName, f.scenario, *seed, 0, *csvDir)
 		}
 	}
 }
@@ -112,9 +119,13 @@ func main() {
 // or a campaign when -runs/-sweep ask for one.
 func runScenario(name string, sweepSpecs []string, runs, parallel int,
 	seed uint64, duration time.Duration, csvDir string) {
-	parsed, err := campaign.ParseSweeps(sweepSpecs)
-	if err != nil {
-		fatal(err)
+	var parsed []containerdrone.Sweep
+	for _, s := range sweepSpecs {
+		sw, err := containerdrone.ParseSweep(s)
+		if err != nil {
+			fatal(err)
+		}
+		parsed = append(parsed, sw)
 	}
 	if runs > 1 || len(parsed) > 0 {
 		if csvDir != "" {
@@ -123,52 +134,55 @@ func runScenario(name string, sweepSpecs []string, runs, parallel int,
 		if runs < 1 {
 			runs = 1
 		}
-		spec := campaign.Spec{
-			Points:   campaign.Expand(name, nil, parsed),
-			Runs:     runs,
-			Parallel: parallel,
-			BaseSeed: seed,
-			Duration: duration,
-		}
-		records, err := campaign.Run(spec)
+		c := containerdrone.NewCampaign(name,
+			containerdrone.WithSweeps(parsed...),
+			containerdrone.WithRuns(runs),
+			containerdrone.WithParallel(parallel),
+			containerdrone.WithBaseSeed(seed),
+			containerdrone.WithRunDuration(duration),
+		)
+		res, err := c.Run(context.Background())
 		if err != nil {
 			fatal(err)
 		}
-		campaign.PrintSummary(os.Stdout, spec, campaign.AggregateRecords(records))
+		fmt.Print(res.Summary())
 		return
 	}
-	cfg, err := core.Build(name, core.Options{Seed: seed, Duration: duration})
-	if err != nil {
-		fatal(err)
+	title := name
+	for _, s := range containerdrone.Scenarios() {
+		if s.Name == name {
+			title = s.Desc
+		}
 	}
-	sc, _ := core.Lookup(name)
-	runFigure(sc.Desc, name, cfg, csvDir)
+	runFigure(title, name, name, seed, duration, csvDir)
 }
 
 func runTable1() {
 	fmt.Println("TABLE I — data transfer between the control environments (10 s measurement)")
-	cfg := core.MustBuild("baseline", core.Options{Duration: 10 * time.Second})
-	sys, err := core.New(cfg)
+	sim, err := containerdrone.New("baseline", containerdrone.WithDuration(10*time.Second))
 	if err != nil {
 		fatal(err)
 	}
-	res := sys.Run()
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("  %-14s %-10s %8s %8s %6s %10s\n", "Component", "Direction", "Rate", "Size", "Port", "Measured")
 	dir := map[string]string{
 		"IMU": "HCE→CCE", "Barometer": "HCE→CCE", "GPS": "HCE→CCE",
 		"RC": "HCE→CCE", "Motor Output": "CCE→HCE",
 	}
 	for _, st := range res.Streams {
-		rate := float64(st.Packets) / cfg.Duration.Seconds()
+		rate := float64(st.Packets) / res.DurationS
 		fmt.Printf("  %-14s %-10s %6.0fHz %6dB  %5d %7.1f Hz\n",
-			st.Name, dir[st.Name], rate, st.FrameSize, st.Port, rate)
+			st.Name, dir[st.Name], rate, st.FrameSizeB, st.Port, rate)
 	}
 	fmt.Println()
 }
 
 func runTable2() {
 	fmt.Println("TABLE II — system overhead comparison (CPU idle rates, 30 s)")
-	rows, err := core.TableII(30 * time.Second)
+	rows, err := containerdrone.Overhead(30 * time.Second)
 	if err != nil {
 		fatal(err)
 	}
@@ -181,46 +195,45 @@ func runTable2() {
 	fmt.Println()
 }
 
-func runFigure(title, name string, cfg core.Config, csvDir string) {
+func runFigure(title, name, scenario string, seed uint64, duration time.Duration, csvDir string) {
 	fmt.Println(title)
-	sys, err := core.New(cfg)
+	opts := []containerdrone.Option{containerdrone.WithSeed(seed)}
+	if duration > 0 {
+		opts = append(opts, containerdrone.WithDuration(duration))
+	}
+	sim, err := containerdrone.New(scenario, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	res := sys.Run()
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Print(indent(res.Summary()))
 	// Per-axis plots in the layout of the paper's figures: estimated
 	// position ('*') against the setpoint ('-', '#' where they meet).
-	for _, ax := range []struct {
-		name string
-		val  func(telemetry.Sample) float64
-		sp   func(telemetry.Sample) float64
-	}{
-		{"X", telemetry.AxisX, telemetry.SetpointX},
-		{"Y", telemetry.AxisY, telemetry.SetpointY},
-		{"Z", telemetry.AxisZ, telemetry.SetpointZ},
-	} {
-		fmt.Printf("    %s (m):\n", ax.name)
-		plot := telemetry.Plot(res.Log.Samples(), ax.val, ax.sp, 64, 8)
-		fmt.Print(indent(indent(plot)))
+	for _, ax := range []containerdrone.Axis{containerdrone.AxisX, containerdrone.AxisY, containerdrone.AxisZ} {
+		fmt.Printf("    %s (m):\n", ax)
+		fmt.Print(indent(indent(res.Plot(ax, 64, 8))))
 	}
-	for _, ev := range res.Trace.Events() {
+	for _, ev := range res.Trace {
 		fmt.Println("   ", ev)
 	}
 	// Per-phase tracking table (the quantitative reading of the plot).
 	fmt.Printf("    %-18s %10s %10s\n", "window", "RMS err", "max dev")
+	attackStart := res.AttackStart()
 	for _, w := range []struct {
 		label    string
 		from, to time.Duration
 	}{
-		{"pre-attack", 2 * time.Second, cfg.Attack.Start},
-		{"attack→end", cfg.Attack.Start, cfg.Duration},
+		{"pre-attack", 2 * time.Second, attackStart},
+		{"attack→end", attackStart, res.Duration()},
 	} {
 		if w.to <= w.from {
 			continue
 		}
-		m := res.Log.WindowMetrics(w.from, w.to)
-		fmt.Printf("    %-18s %9.3fm %9.3fm\n", w.label, m.RMSError, m.MaxDeviation)
+		m := res.WindowMetrics(w.from, w.to)
+		fmt.Printf("    %-18s %9.3fm %9.3fm\n", w.label, m.RMSErrorM, m.MaxDeviationM)
 	}
 	// Scheduling outcome of the flight-critical tasks (quantifies the
 	// resource-DoS figures: misses and latency inflation).
@@ -231,7 +244,7 @@ func runFigure(title, name string, cfg core.Config, csvDir string) {
 			continue
 		}
 		fmt.Printf("    %-16s %8d %8d %8.1f%% %10v %10v\n",
-			tr.Name, tr.Released, tr.Missed, tr.MissRate*100, tr.AvgLatency, tr.MaxLatency)
+			tr.Name, tr.Released, tr.Missed, tr.MissRate*100, tr.AvgLatency(), tr.MaxLatency())
 	}
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -242,7 +255,7 @@ func runFigure(title, name string, cfg core.Config, csvDir string) {
 		if err != nil {
 			fatal(err)
 		}
-		if err := res.Log.WriteCSV(f); err != nil {
+		if err := res.WriteTrajectoryCSV(f); err != nil {
 			f.Close()
 			fatal(err)
 		}
@@ -254,25 +267,10 @@ func runFigure(title, name string, cfg core.Config, csvDir string) {
 
 func indent(s string) string {
 	out := ""
-	for _, line := range splitLines(s) {
+	for _, line := range strings.Split(strings.TrimSuffix(s, "\n"), "\n") {
 		out += "  " + line + "\n"
 	}
 	return out
-}
-
-func splitLines(s string) []string {
-	var lines []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			lines = append(lines, s[start:i])
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		lines = append(lines, s[start:])
-	}
-	return lines
 }
 
 func fatal(err error) {

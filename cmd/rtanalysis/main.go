@@ -13,33 +13,22 @@ import (
 	"fmt"
 	"os"
 
-	"containerdrone/internal/core"
+	"containerdrone"
 )
 
 func main() {
-	scenario := flag.String("scenario", "baseline", "baseline | memdos | udpflood | kill")
+	scenario := flag.String("scenario", "baseline", "registered scenario whose task set to analyze (e.g. baseline, memdos)")
 	flag.Parse()
 
-	var cfg core.Config
-	switch *scenario {
-	case "baseline", "udpflood", "kill":
-		cfg = core.DefaultConfig()
-	case "memdos":
-		cfg = core.ScenarioMemDoS(true)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
-		os.Exit(2)
-	}
-
-	sys, err := core.New(cfg)
+	sim, err := containerdrone.New(*scenario)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	fmt.Println("ContainerDrone response-time analysis (nominal WCETs, no memory contention)")
 	allOK := true
-	for _, res := range sys.Schedulability() {
+	for _, res := range sim.Schedulability() {
 		fmt.Printf("\ncore %d — utilization %.3f — schedulable: %v\n",
 			res.Core, res.Utilization, res.Schedulable)
 		fmt.Printf("  %-16s %5s %10s %10s %10s  %s\n",
@@ -49,19 +38,19 @@ func main() {
 			switch {
 			case rt.Unbounded:
 				verdict = "UNBOUNDED"
-			case rt.Task.Busy():
+			case rt.Busy:
 				verdict = "busy-loop"
 			case !rt.Schedulable:
 				verdict = "MISS"
 			}
 			period, wcet, resp := "-", "-", "-"
-			if !rt.Task.Busy() {
-				period = rt.Task.Period.String()
-				wcet = rt.Task.WCET.String()
+			if !rt.Busy {
+				period = rt.Period.String()
+				wcet = rt.WCET.String()
 				resp = rt.Response.String()
 			}
 			fmt.Printf("  %-16s %5d %10s %10s %10s  %s\n",
-				rt.Task.Name, rt.Task.Priority, period, wcet, resp, verdict)
+				rt.Name, rt.Priority, period, wcet, resp, verdict)
 		}
 		if !res.Schedulable {
 			allOK = false

@@ -1,0 +1,95 @@
+package containerdrone_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"containerdrone"
+)
+
+// Build a scenario from the registry with the options builder and fly
+// it. The udpflood preset launches a packet flood against the motor
+// port; moving the attack to t=2 s keeps the example fast.
+func ExampleNew() {
+	sim, err := containerdrone.New("udpflood",
+		containerdrone.WithSeed(7),
+		containerdrone.WithDuration(5*time.Second),
+		containerdrone.WithParam("attack.start", 2))
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("crashed=%v switched=%v rule=%s\n", res.Crashed, res.Switched, res.SwitchRule)
+	// Output: crashed=false switched=true rule=attitude-error
+}
+
+// Observe a run live: the observer's callbacks fire from inside the
+// simulation loop, in simulated-time order — the integration point
+// for dashboards and ground-control links (see examples/gcslive).
+func ExampleSim_Run() {
+	obs := containerdrone.ObserverFuncs{
+		Violation: func(v containerdrone.Violation) {
+			fmt.Printf("violation: %s\n", v.Rule)
+		},
+		Switch: func(now time.Duration, rule string) {
+			fmt.Printf("failover to the safety controller (%s)\n", rule)
+		},
+	}
+	sim, err := containerdrone.New("udpflood",
+		containerdrone.WithDuration(5*time.Second),
+		containerdrone.WithParam("attack.start", 2),
+		containerdrone.WithObserver(obs))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sim.Run(context.Background()); err != nil {
+		panic(err)
+	}
+	// Output:
+	// violation: attitude-error
+	// failover to the safety controller (attitude-error)
+}
+
+// Dispatch a run to a remote worker: the Config is plain JSON, and
+// NewFromConfig reconstructs an identical deterministic run from it.
+func ExampleNewFromConfig() {
+	request := []byte(`{"schema_version":1,"scenario":"baseline","seed":7,"duration_s":2}`)
+	var cfg containerdrone.Config
+	if err := json.Unmarshal(request, &cfg); err != nil {
+		panic(err)
+	}
+	sim, err := containerdrone.NewFromConfig(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("crashed=%v samples=%d\n", res.Crashed, len(res.Samples))
+	// Output: crashed=false samples=100
+}
+
+// Run a Monte-Carlo campaign: seeds × sweep points on a worker pool,
+// reduced to per-point aggregates.
+func ExampleNewCampaign() {
+	c := containerdrone.NewCampaign("baseline",
+		containerdrone.WithRuns(2),
+		containerdrone.WithSweep("wind", 0, 1),
+		containerdrone.WithRunDuration(2*time.Second))
+	res, err := c.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	crashes := 0
+	for _, a := range res.Aggregates {
+		crashes += a.Crashes
+	}
+	fmt.Printf("points=%d records=%d crashes=%d\n", res.Points, len(res.Records), crashes)
+	// Output: points=2 records=4 crashes=0
+}

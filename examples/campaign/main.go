@@ -9,36 +9,33 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"containerdrone/internal/campaign"
+	"containerdrone"
 )
 
 func main() {
-	spec := campaign.Spec{
-		Points: campaign.Expand("udpflood", nil, []campaign.Sweep{
-			{Key: "attack.rate", Values: []float64{2000, 8000, 32000}},
-		}),
-		Runs:     8,
-		Parallel: 0, // NumCPU
-		BaseSeed: 1,
-		Duration: 15 * time.Second,
-	}
-	records, err := campaign.Run(spec)
+	c := containerdrone.NewCampaign("udpflood",
+		containerdrone.WithSweep("attack.rate", 2000, 8000, 32000),
+		containerdrone.WithRuns(8),
+		containerdrone.WithBaseSeed(1),
+		containerdrone.WithRunDuration(15*time.Second),
+	)
+	res, err := c.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	aggs := campaign.AggregateRecords(records)
 
 	fmt.Printf("UDP-flood intensity sweep: %d points × %d seeds\n\n",
-		len(spec.Points), spec.Runs)
-	fmt.Print(campaign.Table(aggs))
+		res.Points, res.Runs)
+	fmt.Print(res.Table())
 
 	fmt.Println("\nper-run records (CSV):")
-	if err := campaign.WriteRecordsCSV(os.Stdout, records); err != nil {
+	if err := res.WriteRecordsCSV(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

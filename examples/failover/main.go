@@ -11,38 +11,40 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"containerdrone/internal/core"
-	"containerdrone/internal/telemetry"
+	"containerdrone"
 )
 
-func run(cfg core.Config) *core.Result {
-	sys, err := core.New(cfg)
+func run(opts ...containerdrone.Option) *containerdrone.Result {
+	sim, err := containerdrone.New("kill", opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return sys.Run()
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
 func main() {
 	fmt.Println("Complex controller killed at t=12s (Fig 6)")
 
-	res := run(core.ScenarioKill())
+	res := run()
 	fmt.Println("\n== with security monitor ==")
 	fmt.Print(res.Summary())
-	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 60))
-	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 60))
-	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 60))
-	for _, ev := range res.Trace.Events() {
+	for _, ax := range []containerdrone.Axis{containerdrone.AxisX, containerdrone.AxisY, containerdrone.AxisZ} {
+		fmt.Printf("  %s %s\n", ax, res.Sparkline(ax, 60))
+	}
+	for _, ev := range res.Trace {
 		fmt.Println(" ", ev)
 	}
 
-	cfg := core.ScenarioKill()
-	cfg.MonitorEnabled = false
-	bad := run(cfg)
+	bad := run(containerdrone.WithParam("monitor.enabled", 0))
 	fmt.Println("\n== monitor disabled (counterfactual) ==")
 	fmt.Print(bad.Summary())
-	fmt.Printf("  Z %s\n", bad.Log.Sparkline(telemetry.AxisZ, 60))
+	fmt.Printf("  Z %s\n", bad.Sparkline(containerdrone.AxisZ, 60))
 }

@@ -1,28 +1,23 @@
-// Gcslive demonstrates the ground-control-station link: it flies the
-// UDP-flood scenario, then streams the recorded trajectory over a
-// real loopback UDP socket as MAVLink telemetry frames, with an
-// in-process station consuming and summarizing them — the "networked
-// robot" integration the paper's system context assumes.
+// Gcslive demonstrates live run observation over the ground-control-
+// station link: it flies the UDP-flood scenario with an Observer
+// attached and downlinks the trajectory over a real loopback UDP
+// socket as MAVLink telemetry frames while the simulation runs, with
+// an in-process station consuming and summarizing them — the
+// "networked robot" integration the paper's system context assumes,
+// and the pattern any live dashboard would use.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"containerdrone/internal/core"
-	"containerdrone/internal/gcs"
+	"containerdrone"
+	"containerdrone/gcs"
 )
 
 func main() {
-	sys, err := core.New(core.ScenarioFlood())
-	if err != nil {
-		log.Fatal(err)
-	}
-	res := sys.Run()
-	fmt.Printf("flight done: crashed=%v switched=%v samples=%d\n",
-		res.Crashed, res.Switched, res.Log.Len())
-
 	link, err := gcs.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatalf("loopback UDP unavailable: %v", err)
@@ -40,35 +35,54 @@ func main() {
 	}
 	time.Sleep(50 * time.Millisecond)
 
-	// Stream every 10th sample (5 Hz equivalent of the 50 Hz log).
-	sent, received := 0, 0
-	crashSeen := false
-	samples := res.Log.Samples()
-	for i := 0; i < len(samples); i += 10 {
-		s := samples[i]
-		crashed, at := res.Log.Crashed()
-		t := gcs.Telemetry{
-			TimeUS: uint64(s.Time / time.Microsecond),
-			Pos:    s.Position,
-			Roll:   s.Roll, Pitch: s.Pitch, Yaw: s.Yaw,
-			Crashed: crashed && s.Time >= at,
-		}
-		if err := link.SendTelemetry(t); err != nil {
-			log.Fatal(err)
-		}
-		sent++
-		recv, err := station.RecvTelemetry(time.Second)
-		if err != nil {
-			log.Fatalf("telemetry lost after %d frames: %v", received, err)
-		}
-		received++
-		if recv.Crashed {
-			crashSeen = true
-		}
+	// Downlink every 10th telemetry sample (5 Hz equivalent of the
+	// 50 Hz log) from inside the run, via an observer.
+	sent, received, ticks := 0, 0, 0
+	crashed, crashSeen := false, false
+	observer := containerdrone.ObserverFuncs{
+		Crash: func(at time.Duration) { crashed = true },
+		Tick: func(now time.Duration, s containerdrone.Sample) {
+			ticks++
+			if ticks%10 != 1 {
+				return
+			}
+			t := gcs.Telemetry{
+				TimeUS: uint64(s.Time() / time.Microsecond),
+				Pos:    s.Pos,
+				Roll:   s.Roll, Pitch: s.Pitch, Yaw: s.Yaw,
+				Crashed: crashed,
+			}
+			if err := link.SendTelemetry(t); err != nil {
+				log.Fatal(err)
+			}
+			sent++
+			recv, err := station.RecvTelemetry(time.Second)
+			if err != nil {
+				log.Fatalf("telemetry lost after %d frames: %v", received, err)
+			}
+			received++
+			if recv.Crashed {
+				crashSeen = true
+			}
+		},
 	}
-	fmt.Printf("streamed %d telemetry frames over UDP, station received %d\n", sent, received)
+
+	sim, err := containerdrone.New("udpflood",
+		containerdrone.WithObserver(observer))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("flight done: crashed=%v switched=%v samples=%d\n",
+		res.Crashed, res.Switched, len(res.Samples))
+	fmt.Printf("streamed %d telemetry frames over UDP during the run, station received %d\n",
+		sent, received)
 	fmt.Printf("station observed crash flag: %v\n", crashSeen)
-	last := samples[len(samples)-1]
+	last := res.Samples[len(res.Samples)-1]
 	fmt.Printf("final downlinked position: (%.2f, %.2f, %.2f)\n",
-		last.Position.X, last.Position.Y, last.Position.Z)
+		last.Pos.X, last.Pos.Y, last.Pos.Z)
 }

@@ -7,11 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"containerdrone/internal/core"
-	"containerdrone/internal/telemetry"
+	"containerdrone"
 )
 
 func main() {
@@ -23,25 +23,26 @@ func main() {
 		{"memdos-unguarded", "MemGuard OFF (Fig 4)"},
 		{"memdos", "MemGuard ON  (Fig 5)"},
 	} {
-		cfg := core.MustBuild(c.scenario, core.Options{})
-		sys, err := core.New(cfg)
+		sim, err := containerdrone.New(c.scenario)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := sys.Run()
+		res, err := sim.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
 
-		label := c.label
-		fmt.Printf("\n== %s ==\n", label)
+		fmt.Printf("\n== %s ==\n", c.label)
 		if res.Crashed {
 			fmt.Printf("  CRASHED at %.1fs — attack launched at %.0fs\n",
-				res.CrashTime.Seconds(), cfg.Attack.Start.Seconds())
+				res.CrashS, res.Attack.StartS)
 		} else {
-			post := res.Log.WindowMetrics(cfg.Attack.Start, cfg.Duration)
+			post := res.WindowMetrics(res.AttackStart(), res.Duration())
 			fmt.Printf("  survived; attack-window RMS %.3fm, max deviation %.3fm\n",
-				post.RMSError, post.MaxDeviation)
+				post.RMSErrorM, post.MaxDeviationM)
 		}
-		fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 60))
-		fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 60))
-		fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 60))
+		for _, ax := range []containerdrone.Axis{containerdrone.AxisX, containerdrone.AxisY, containerdrone.AxisZ} {
+			fmt.Printf("  %s %s\n", ax, res.Sparkline(ax, 60))
+		}
 	}
 }

@@ -12,63 +12,66 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
 	"time"
 
-	"containerdrone/internal/attack"
-	"containerdrone/internal/control"
-	"containerdrone/internal/core"
-	"containerdrone/internal/physics"
-	"containerdrone/internal/telemetry"
+	"containerdrone"
 )
 
-func missionConfig() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Duration = 40 * time.Second
-	// Mission legs tilt well past the hover envelope; loosen the
-	// attitude rule accordingly (see EXPERIMENTS.md on this trade-off).
-	cfg.Rules.MaxAttitudeError = 25 * math.Pi / 180
-	cfg.Mission = []control.Waypoint{
-		{Pos: physics.Vec3{X: 1, Z: 1}, Hold: time.Second},
-		{Pos: physics.Vec3{X: 1, Y: 1, Z: 1.5}, Hold: time.Second},
-		{Pos: physics.Vec3{Y: 1, Z: 1}, Hold: time.Second},
-		{Pos: physics.Vec3{Z: 1}, Hold: time.Second},
+// missionOpts builds the custom patrol on top of the baseline
+// scenario. Mission legs tilt well past the hover envelope, so the
+// attitude rule is loosened accordingly (see EXPERIMENTS.md on this
+// trade-off; the 25 is degrees).
+func missionOpts() []containerdrone.Option {
+	return []containerdrone.Option{
+		containerdrone.WithDuration(40 * time.Second),
+		containerdrone.WithParam("monitor.max-attitude", 25),
+		containerdrone.WithMission(
+			containerdrone.Waypoint{Pos: containerdrone.Vec3{X: 1, Z: 1}, HoldS: 1},
+			containerdrone.Waypoint{Pos: containerdrone.Vec3{X: 1, Y: 1, Z: 1.5}, HoldS: 1},
+			containerdrone.Waypoint{Pos: containerdrone.Vec3{Y: 1, Z: 1}, HoldS: 1},
+			containerdrone.Waypoint{Pos: containerdrone.Vec3{Z: 1}, HoldS: 1},
+		),
 	}
-	return cfg
 }
 
-func fly(cfg core.Config) *core.Result {
-	sys, err := core.New(cfg)
+func fly(opts ...containerdrone.Option) *containerdrone.Result {
+	sim, err := containerdrone.New("baseline", opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return sys.Run()
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func sparklines(res *containerdrone.Result) {
+	for _, ax := range []containerdrone.Axis{containerdrone.AxisX, containerdrone.AxisY, containerdrone.AxisZ} {
+		fmt.Printf("  %s %s\n", ax, res.Sparkline(ax, 60))
+	}
 }
 
 func main() {
 	fmt.Println("Square patrol mission (4 waypoints, 40 s)")
-	res := fly(missionConfig())
+	res := fly(missionOpts()...)
 	fmt.Printf("  mission complete: %v   crashed: %v   switched: %v\n",
 		res.MissionComplete, res.Crashed, res.Switched)
-	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 60))
-	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 60))
-	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 60))
+	sparklines(res)
 
 	fmt.Println("\nSame mission, complex controller killed at t=6s")
-	cfg := missionConfig()
-	cfg.Attack = attack.Plan{Kind: attack.KindKill, Start: 6 * time.Second}
-	res = fly(cfg)
+	res = fly(append(missionOpts(),
+		containerdrone.WithAttack(containerdrone.Attack{Kind: "kill-controller", StartS: 6}))...)
 	fmt.Printf("  mission complete: %v   crashed: %v\n", res.MissionComplete, res.Crashed)
 	if res.Switched {
 		fmt.Printf("  Simplex switch at %.2fs (%s) — safety controller holds position\n",
-			res.SwitchTime.Seconds(), res.SwitchRule)
+			res.SwitchS, res.SwitchRule)
 	}
-	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 60))
-	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 60))
-	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 60))
-	for _, ev := range res.Trace.Events() {
+	sparklines(res)
+	for _, ev := range res.Trace {
 		fmt.Println(" ", ev)
 	}
 }

@@ -1,35 +1,37 @@
 // Quickstart: fly the full ContainerDrone stack for ten simulated
 // seconds with every protection enabled and no attack, then print the
-// flight summary. This is the smallest end-to-end use of the
-// framework: build a Config from the scenario registry, construct the
-// System, Run it, read the Result.
+// flight summary. This is the smallest end-to-end use of the public
+// SDK: build a Sim from a registered scenario with options, Run it
+// under a context, read the Result.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"containerdrone/internal/core"
-	"containerdrone/internal/telemetry"
+	"containerdrone"
 )
 
 func main() {
-	cfg := core.MustBuild("baseline", core.Options{Duration: 10 * time.Second})
-
-	sys, err := core.New(cfg)
+	sim, err := containerdrone.New("baseline",
+		containerdrone.WithDuration(10*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := sys.Run()
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("ContainerDrone quickstart — 10 s position hold at (0, 0, 1)")
 	fmt.Print(res.Summary())
-	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 60))
+	fmt.Printf("  Z %s\n", res.Sparkline(containerdrone.AxisZ, 60))
 	fmt.Printf("  streams:\n")
 	for _, st := range res.Streams {
 		fmt.Printf("    %-14s port %-6d %2dB/frame  %5d packets\n",
-			st.Name, st.Port, st.FrameSize, st.Packets)
+			st.Name, st.Port, st.FrameSizeB, st.Packets)
 	}
 	if res.Crashed {
 		log.Fatal("unexpected crash in the quickstart scenario")

@@ -12,43 +12,47 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"containerdrone/internal/core"
-	"containerdrone/internal/telemetry"
+	"containerdrone"
 )
 
 func main() {
-	cfg := core.ScenarioFlood()
-	sys, err := core.New(cfg)
+	sim, err := containerdrone.New("udpflood")
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := sys.Run()
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("UDP flood against the HCE motor port (20k pkt/s from t=8s)")
 	fmt.Print(res.Summary())
-	fmt.Printf("  X %s\n", res.Log.Sparkline(telemetry.AxisX, 60))
-	fmt.Printf("  Y %s\n", res.Log.Sparkline(telemetry.AxisY, 60))
-	fmt.Printf("  Z %s\n", res.Log.Sparkline(telemetry.AxisZ, 60))
-	for _, ev := range res.Trace.Events() {
+	for _, ax := range []containerdrone.Axis{containerdrone.AxisX, containerdrone.AxisY, containerdrone.AxisZ} {
+		fmt.Printf("  %s %s\n", ax, res.Sparkline(ax, 60))
+	}
+	for _, ev := range res.Trace {
 		fmt.Println(" ", ev)
 	}
 	fmt.Printf("  garbage datagrams seen by receiver: %d\n\n", res.GarbagePkts)
 
 	fmt.Println("iptables rate-limit ablation (attack window max deviation):")
 	for _, rate := range []float64{0, 2000, 4000, 8000, 16000} {
-		c := core.ScenarioFlood()
-		c.IPTablesRate = rate
-		s, err := core.New(c)
+		s, err := containerdrone.New("udpflood",
+			containerdrone.WithParam("iptables.rate", rate))
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := s.Run()
-		outcome := fmt.Sprintf("max dev %.3fm", r.AttackMetrics.MaxDeviation)
+		r, err := s.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome := fmt.Sprintf("max dev %.3fm", r.AttackMetrics.MaxDeviationM)
 		if r.Crashed {
-			outcome = fmt.Sprintf("CRASH at %.1fs", r.CrashTime.Seconds())
+			outcome = fmt.Sprintf("CRASH at %.1fs", r.CrashS)
 		}
 		limit := "unlimited"
 		if rate > 0 {
@@ -56,7 +60,7 @@ func main() {
 		}
 		switched := ""
 		if r.Switched {
-			switched = fmt.Sprintf("  (switched at %.2fs: %s)", r.SwitchTime.Seconds(), r.SwitchRule)
+			switched = fmt.Sprintf("  (switched at %.2fs: %s)", r.SwitchS, r.SwitchRule)
 		}
 		fmt.Printf("  limit %-10s → %s%s\n", limit, outcome, switched)
 	}

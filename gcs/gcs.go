@@ -5,10 +5,14 @@
 // (stdlib net, loopback-friendly) and accepts setpoint commands, so a
 // simulated flight can be watched and steered by external tooling.
 //
-// The wire format reuses the internal/mavlink codec with two
+// The wire format reuses the framework's MAVLink codec with two
 // GCS-specific messages: TELEMETRY (downlink) and SETPOINT (uplink).
 // The link is deliberately one-directional per socket pair and
 // stateless per datagram, like the real protocol.
+//
+// The package is part of the public SDK surface: pair it with a
+// containerdrone.Observer to downlink a live run (see
+// examples/gcslive).
 package gcs
 
 import (
@@ -20,8 +24,8 @@ import (
 	"sync"
 	"time"
 
+	"containerdrone"
 	"containerdrone/internal/mavlink"
-	"containerdrone/internal/physics"
 )
 
 // Message ids for the GCS link (distinct from the Table-I streams).
@@ -47,8 +51,8 @@ func init() {
 // Telemetry is one downlink sample.
 type Telemetry struct {
 	TimeUS  uint64
-	Pos     physics.Vec3
-	Vel     physics.Vec3
+	Pos     containerdrone.Vec3
+	Vel     containerdrone.Vec3
 	Roll    float64
 	Pitch   float64
 	Yaw     float64
@@ -57,7 +61,7 @@ type Telemetry struct {
 
 // Setpoint is one uplink command.
 type Setpoint struct {
-	Pos physics.Vec3
+	Pos containerdrone.Vec3
 	Yaw float64
 }
 
@@ -87,8 +91,8 @@ func DecodeTelemetry(p []byte) (Telemetry, error) {
 	}
 	var t Telemetry
 	t.TimeUS = binary.LittleEndian.Uint64(p[0:])
-	t.Pos = physics.Vec3{X: getF32(p[8:]), Y: getF32(p[12:]), Z: getF32(p[16:])}
-	t.Vel = physics.Vec3{X: getF32(p[20:]), Y: getF32(p[24:]), Z: getF32(p[28:])}
+	t.Pos = containerdrone.Vec3{X: getF32(p[8:]), Y: getF32(p[12:]), Z: getF32(p[16:])}
+	t.Vel = containerdrone.Vec3{X: getF32(p[20:]), Y: getF32(p[24:]), Z: getF32(p[28:])}
 	t.Roll = getF32(p[32:])
 	t.Pitch = getF32(p[36:])
 	t.Yaw = getF32(p[40:])
@@ -112,7 +116,7 @@ func DecodeSetpoint(p []byte) (Setpoint, error) {
 		return Setpoint{}, fmt.Errorf("gcs: setpoint payload %d bytes, want %d", len(p), SetpointPayloadSize)
 	}
 	var sp Setpoint
-	sp.Pos = physics.Vec3{X: getF32(p[0:]), Y: getF32(p[4:]), Z: getF32(p[8:])}
+	sp.Pos = containerdrone.Vec3{X: getF32(p[0:]), Y: getF32(p[4:]), Z: getF32(p[8:])}
 	sp.Yaw = getF32(p[12:])
 	return sp, nil
 }

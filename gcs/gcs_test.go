@@ -8,14 +8,14 @@ import (
 	"testing"
 	"time"
 
-	"containerdrone/internal/physics"
+	"containerdrone"
 )
 
 func TestTelemetryRoundTrip(t *testing.T) {
 	in := Telemetry{
 		TimeUS: 123456,
-		Pos:    physics.Vec3{X: 1.5, Y: -0.25, Z: 1.0},
-		Vel:    physics.Vec3{X: 0.125},
+		Pos:    containerdrone.Vec3{X: 1.5, Y: -0.25, Z: 1.0},
+		Vel:    containerdrone.Vec3{X: 0.125},
 		Roll:   0.1, Pitch: -0.05, Yaw: 1.2,
 		Crashed: true,
 	}
@@ -32,7 +32,7 @@ func TestTelemetryRoundTrip(t *testing.T) {
 }
 
 func TestSetpointRoundTrip(t *testing.T) {
-	in := Setpoint{Pos: physics.Vec3{X: 2, Y: -1, Z: 1.5}, Yaw: 0.5}
+	in := Setpoint{Pos: containerdrone.Vec3{X: 2, Y: -1, Z: 1.5}, Yaw: 0.5}
 	out, err := DecodeSetpoint(EncodeSetpoint(in))
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestLinkOverLoopback(t *testing.T) {
 	defer station.Close()
 
 	// Uplink a setpoint; the link locks onto the station as its peer.
-	want := Setpoint{Pos: physics.Vec3{X: 3, Z: 2}, Yaw: 0.25}
+	want := Setpoint{Pos: containerdrone.Vec3{X: 3, Z: 2}, Yaw: 0.25}
 	if err := station.SendSetpoint(want); err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestLinkOverLoopback(t *testing.T) {
 	mu.Unlock()
 
 	// Downlink telemetry back to the station.
-	sent := Telemetry{TimeUS: 42, Pos: physics.Vec3{Z: 1}}
+	sent := Telemetry{TimeUS: 42, Pos: containerdrone.Vec3{Z: 1}}
 	if err := link.SendTelemetry(sent); err != nil {
 		t.Fatal(err)
 	}

@@ -130,6 +130,10 @@ type Plan struct {
 	Rate float64
 }
 
+// Active reports whether the plan schedules a real attack (any kind
+// other than KindNone).
+func (p Plan) Active() bool { return p.Kind != KindNone }
+
 // Kind enumerates the implemented attacks.
 type Kind int
 

@@ -14,6 +14,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -97,6 +98,15 @@ func DeriveSeed(base uint64, point, run int) uint64 {
 // Run executes the campaign and returns one Record per (point, run),
 // ordered by point then run index regardless of worker interleaving.
 func Run(spec Spec) ([]Record, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: when the context is done, no
+// new runs are dispatched, in-flight runs stop at the next engine
+// checkpoint, and the partial record set is returned together with
+// the context's error. Every cell is present in the output; cells
+// that never ran (or were interrupted) carry a non-empty Err.
+func RunContext(ctx context.Context, spec Spec) ([]Record, error) {
 	if spec.Runs <= 0 {
 		return nil, fmt.Errorf("campaign: non-positive run count %d", spec.Runs)
 	}
@@ -128,16 +138,43 @@ func Run(spec Spec) ([]Record, error) {
 			defer wg.Done()
 			for idx := range jobs {
 				pi, ri := idx/spec.Runs, idx%spec.Runs
-				records[idx] = runOne(spec.Points[pi], spec, pi, ri)
+				records[idx] = runOne(ctx, spec.Points[pi], spec, pi, ri)
 			}
 		}()
 	}
+	dispatched := total
 	for i := 0; i < total; i++ {
-		jobs <- i
+		// Checking the context before the send (not only in the
+		// select, which picks randomly among ready cases) guarantees
+		// nothing is dispatched once the context is done.
+		if ctx.Err() != nil {
+			dispatched = i
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			dispatched = i
+		}
+		if dispatched < total {
+			break
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return records, nil
+	// Fill the cells that were never dispatched so the output shape
+	// stays total-sized and index-ordered even on cancellation.
+	for idx := dispatched; idx < total; idx++ {
+		pi, ri := idx/spec.Runs, idx%spec.Runs
+		records[idx] = Record{
+			Point:    spec.Points[pi].Label,
+			Scenario: spec.Points[pi].Scenario,
+			Run:      ri,
+			Seed:     DeriveSeed(spec.BaseSeed, pi, ri),
+			Err:      ctx.Err().Error(),
+		}
+	}
+	return records, ctx.Err()
 }
 
 // buildPoint constructs the Config for one run of a point.
@@ -150,7 +187,7 @@ func buildPoint(p Point, spec Spec, seed uint64) (core.Config, error) {
 }
 
 // runOne executes a single (point, run) cell.
-func runOne(p Point, spec Spec, pi, ri int) Record {
+func runOne(ctx context.Context, p Point, spec Spec, pi, ri int) Record {
 	seed := DeriveSeed(spec.BaseSeed, pi, ri)
 	rec := Record{Point: p.Label, Scenario: p.Scenario, Run: ri, Seed: seed}
 	cfg, err := buildPoint(p, spec, seed)
@@ -163,7 +200,12 @@ func runOne(p Point, spec Spec, pi, ri int) Record {
 		rec.Err = err.Error()
 		return rec
 	}
-	res := sys.Run()
+	res, err := sys.RunContext(ctx)
+	if err != nil {
+		// An interrupted flight carries no trustworthy metrics.
+		rec.Err = err.Error()
+		return rec
+	}
 	rec.Crashed = res.Crashed
 	if res.Crashed {
 		rec.CrashS = res.CrashTime.Seconds()

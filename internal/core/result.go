@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,6 +51,14 @@ func (s *System) Run() *Result {
 	return s.Result()
 }
 
+// RunContext executes the scenario until completion or context
+// cancellation. On cancellation it returns the partial result
+// accumulated so far together with the context's error.
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
+	err := s.Engine.RunContext(ctx, s.Cfg.Duration)
+	return s.Result(), err
+}
+
 // Result snapshots the current outcome without advancing time.
 func (s *System) Result() *Result {
 	r := &Result{Cfg: s.Cfg, Log: s.Log, Trace: s.Trace, GarbagePkts: s.garbage}
@@ -62,7 +71,7 @@ func (s *System) Result() *Result {
 		r.MissionComplete = s.mission.Done()
 	}
 	r.Metrics = s.Log.Metrics()
-	if s.Cfg.Attack.Kind != 0 {
+	if s.Cfg.Attack.Active() {
 		r.AttackMetrics = s.Log.WindowMetrics(s.Cfg.Attack.Start, s.Cfg.Duration)
 	}
 	for _, st := range s.streams {
@@ -121,6 +130,6 @@ func (r *Result) Summary() string {
 		fmt.Fprintf(&b, "  Simplex switch at %.2fs (%s)\n", r.SwitchTime.Seconds(), r.SwitchRule)
 	}
 	fmt.Fprintf(&b, "  RMS err %.3fm  max dev %.3fm  max tilt %.1f°\n",
-		r.Metrics.RMSError, r.Metrics.MaxDeviation, r.Metrics.MaxTilt*180/3.14159265)
+		r.Metrics.RMSError, r.Metrics.MaxDeviation, telemetry.Degrees(r.Metrics.MaxTilt))
 	return b.String()
 }

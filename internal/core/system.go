@@ -35,6 +35,24 @@ type StreamStat struct {
 	Packets   int64
 }
 
+// Hooks are optional run-time observer taps. Set them after New and
+// before the run starts; nil members are skipped. They exist so the
+// public SDK can stream a run live (ticks, violations, Simplex
+// switches, crashes) without the deterministic kernel knowing about
+// its consumers. Hooks are invoked synchronously from the engine
+// loop, on the run's goroutine.
+type Hooks struct {
+	// OnSample fires at the telemetry rate with each recorded sample.
+	OnSample func(now time.Duration, s telemetry.Sample)
+	// OnViolation fires for every security-rule violation, before the
+	// resulting Simplex switch side effects.
+	OnViolation func(v monitor.Violation)
+	// OnSwitch fires once when the monitor fails over.
+	OnSwitch func(now time.Duration, rule monitor.Rule)
+	// OnCrash fires once when the vehicle crashes.
+	OnCrash func(at time.Duration)
+}
+
 // System is one fully wired scenario instance.
 //
 // A System is single-threaded — the deterministic kernel forbids
@@ -59,6 +77,7 @@ type System struct {
 	Monitor *monitor.Monitor
 	Log     *telemetry.FlightLog
 	Trace   *sim.Trace
+	Hooks   Hooks
 
 	safetyCtl  *control.Cascade
 	complexCtl *control.Cascade
@@ -203,6 +222,14 @@ func New(cfg Config) (*System, error) {
 		s.Trace.Add(now, "monitor", "rule %s violated: switching to safety controller, killing receiver", rule)
 		if s.recvTask != nil {
 			s.CPU.Remove(s.recvTask)
+		}
+		if s.Hooks.OnSwitch != nil {
+			s.Hooks.OnSwitch(now, rule)
+		}
+	}
+	s.Monitor.OnViolation = func(v monitor.Violation) {
+		if s.Hooks.OnViolation != nil {
+			s.Hooks.OnViolation(v)
 		}
 	}
 
@@ -519,8 +546,12 @@ func (s *System) buildEngineProcs() {
 		s.Quad.Step(physDT)
 		if crashed, at := s.Quad.Crashed(); crashed {
 			if already, _ := s.Log.Crashed(); !already {
-				s.Log.MarkCrash(time.Duration(at * float64(time.Second)))
+				crashAt := time.Duration(at * float64(time.Second))
+				s.Log.MarkCrash(crashAt)
 				s.Trace.Add(now, "physics", "vehicle crashed")
+				if s.Hooks.OnCrash != nil {
+					s.Hooks.OnCrash(crashAt)
+				}
 			}
 		}
 	}))
@@ -537,10 +568,14 @@ func (s *System) buildEngineProcs() {
 		if s.mission != nil && s.Monitor.Output() == monitor.OutputSafety {
 			sp = s.holdSP
 		}
-		s.Log.Add(telemetry.Sample{
+		sample := telemetry.Sample{
 			Time: now, Setpoint: sp, Position: s.Quad.State.Pos,
 			Roll: roll, Pitch: pitch, Yaw: yaw, Source: src,
-		})
+		}
+		s.Log.Add(sample)
+		if s.Hooks.OnSample != nil {
+			s.Hooks.OnSample(now, sample)
+		}
 	}))
 }
 

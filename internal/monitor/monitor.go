@@ -103,6 +103,10 @@ type Monitor struct {
 	// OnSwitch runs exactly once when the monitor fails over; the
 	// framework uses it to kill the receiving thread (§III-E).
 	OnSwitch func(now time.Duration, rule Rule)
+	// OnViolation runs for every recorded rule firing, before the
+	// switch side effects (so observers see the violation that caused
+	// a switch before the switch itself).
+	OnViolation func(v Violation)
 }
 
 // New builds a monitor in the complex-output state. It starts
@@ -174,7 +178,11 @@ func (m *Monitor) Check(now time.Duration, attErr float64) {
 }
 
 func (m *Monitor) trip(now time.Duration, rule Rule, info string) {
-	m.violations = append(m.violations, Violation{Rule: rule, Time: now, Info: info})
+	v := Violation{Rule: rule, Time: now, Info: info}
+	m.violations = append(m.violations, v)
+	if m.OnViolation != nil {
+		m.OnViolation(v)
+	}
 	m.output = OutputSafety
 	m.switchedAt = now
 	m.switchReason = rule

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -261,6 +262,32 @@ func (e *Engine) Run(d time.Duration) {
 	for e.clock.Ticks() < end && !e.stopped {
 		e.Step()
 	}
+}
+
+// ctxCheckTicks is how often RunContext polls the context: every
+// 1024 ticks (~0.1 s simulated) keeps the poll off the per-tick hot
+// path while bounding cancellation latency to a fraction of a
+// simulated second.
+const ctxCheckTicks = 1024
+
+// RunContext advances the simulation for the given duration or until
+// Stop or the context is done. On cancellation the engine halts at a
+// tick boundary and returns the context's error, leaving the system
+// in a consistent mid-run state that can still be snapshotted.
+func (e *Engine) RunContext(ctx context.Context, d time.Duration) error {
+	end := e.clock.Ticks() + TicksFor(d)
+	countdown := 0
+	for e.clock.Ticks() < end && !e.stopped {
+		if countdown == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			countdown = ctxCheckTicks
+		}
+		countdown--
+		e.Step()
+	}
+	return nil
 }
 
 // RunUntil advances until the absolute simulated time t or Stop.

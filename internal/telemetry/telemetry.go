@@ -74,6 +74,13 @@ type Metrics struct {
 	Samples      int
 }
 
+// Degrees converts an angle from radians to degrees — the shared
+// tilt-formatting helper of every summary printer.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// MaxTiltDeg returns the worst tilt in degrees.
+func (m Metrics) MaxTiltDeg() float64 { return Degrees(m.MaxTilt) }
+
 // Compute derives metrics from samples.
 func Compute(samples []Sample) Metrics {
 	var m Metrics

@@ -1,0 +1,61 @@
+package containerdrone
+
+import "time"
+
+// Observer streams a run live. Callbacks fire synchronously from the
+// simulation loop on the goroutine that called Sim.Run, in simulated-
+// time order:
+//
+//   - OnTick fires at the telemetry rate with each recorded sample;
+//   - OnViolation fires for every security-rule firing, before the
+//     switch it causes;
+//   - OnSwitch fires once if the Simplex monitor fails over to the
+//     safety controller;
+//   - OnCrash fires once if the vehicle crashes.
+//
+// A long-running callback slows the simulation down but cannot
+// corrupt it; to cancel a run from inside an observer, cancel the
+// context passed to Run.
+type Observer interface {
+	OnTick(now time.Duration, s Sample)
+	OnViolation(v Violation)
+	OnSwitch(now time.Duration, rule string)
+	OnCrash(at time.Duration)
+}
+
+// ObserverFuncs adapts plain functions to the Observer interface; nil
+// members are skipped. The zero value observes nothing.
+type ObserverFuncs struct {
+	Tick      func(now time.Duration, s Sample)
+	Violation func(v Violation)
+	Switch    func(now time.Duration, rule string)
+	Crash     func(at time.Duration)
+}
+
+// OnTick calls Tick when set.
+func (o ObserverFuncs) OnTick(now time.Duration, s Sample) {
+	if o.Tick != nil {
+		o.Tick(now, s)
+	}
+}
+
+// OnViolation calls Violation when set.
+func (o ObserverFuncs) OnViolation(v Violation) {
+	if o.Violation != nil {
+		o.Violation(v)
+	}
+}
+
+// OnSwitch calls Switch when set.
+func (o ObserverFuncs) OnSwitch(now time.Duration, rule string) {
+	if o.Switch != nil {
+		o.Switch(now, rule)
+	}
+}
+
+// OnCrash calls Crash when set.
+func (o ObserverFuncs) OnCrash(at time.Duration) {
+	if o.Crash != nil {
+		o.Crash(at)
+	}
+}

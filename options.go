@@ -1,0 +1,65 @@
+package containerdrone
+
+import "time"
+
+// Option customizes a Sim built by New (or NewFromConfig). Options
+// that edit the run request (seed, duration, params, attack, mission)
+// are recorded in the Sim's Config and therefore survive JSON
+// round-trips; WithObserver attaches to the Sim only.
+type Option func(*simSetup)
+
+// simSetup collects the options of one New call.
+type simSetup struct {
+	cfg       Config
+	observers []Observer
+}
+
+// WithSeed sets the simulation seed. Equal seeds give identical runs.
+func WithSeed(seed uint64) Option {
+	return func(s *simSetup) { s.cfg.Seed = seed }
+}
+
+// WithDuration overrides the scenario's flight length.
+func WithDuration(d time.Duration) Option {
+	return func(s *simSetup) { s.cfg.DurationS = d.Seconds() }
+}
+
+// WithParam sets one named numeric override (see ParamInfos for the
+// key set, e.g. "attack.rate", "memguard.budget").
+func WithParam(key string, value float64) Option {
+	return func(s *simSetup) {
+		if s.cfg.Params == nil {
+			s.cfg.Params = make(map[string]float64)
+		}
+		s.cfg.Params[key] = value
+	}
+}
+
+// WithParams merges a set of named numeric overrides.
+func WithParams(params map[string]float64) Option {
+	return func(s *simSetup) {
+		for k, v := range params {
+			if s.cfg.Params == nil {
+				s.cfg.Params = make(map[string]float64, len(params))
+			}
+			s.cfg.Params[k] = v
+		}
+	}
+}
+
+// WithAttack replaces the scenario's attack plan.
+func WithAttack(a Attack) Option {
+	return func(s *simSetup) { s.cfg.Attack = &a }
+}
+
+// WithMission replaces the scenario's setpoint or preset mission with
+// a waypoint sequence flown by the complex controller.
+func WithMission(waypoints ...Waypoint) Option {
+	return func(s *simSetup) { s.cfg.Mission = waypoints }
+}
+
+// WithObserver attaches an observer to the run; repeat to attach
+// several. Observers are not part of the serializable Config.
+func WithObserver(obs Observer) Option {
+	return func(s *simSetup) { s.observers = append(s.observers, obs) }
+}

@@ -1,0 +1,157 @@
+package containerdrone
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"containerdrone/internal/telemetry"
+)
+
+// Axis selects a trajectory axis for Sparkline and Plot.
+type Axis int
+
+// Trajectory axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// String names the axis.
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "X"
+	case AxisY:
+		return "Y"
+	default:
+		return "Z"
+	}
+}
+
+// selectors maps an axis to the internal position/setpoint accessors.
+func (a Axis) selectors() (val, sp func(telemetry.Sample) float64) {
+	switch a {
+	case AxisX:
+		return telemetry.AxisX, telemetry.SetpointX
+	case AxisY:
+		return telemetry.AxisY, telemetry.SetpointY
+	default:
+		return telemetry.AxisZ, telemetry.SetpointZ
+	}
+}
+
+// flightLog returns the result's trajectory as an internal flight
+// log, rebuilding it from the serialized samples when the result came
+// through JSON.
+func (r *Result) flightLog() *telemetry.FlightLog {
+	if r.log != nil {
+		return r.log
+	}
+	log := telemetry.NewFlightLog()
+	for _, s := range r.Samples {
+		log.Add(s.internal())
+	}
+	if r.Crashed {
+		log.MarkCrash(durFromS(r.CrashS))
+	}
+	r.log = log
+	return log
+}
+
+// Duration returns the resolved flight length.
+func (r *Result) Duration() time.Duration { return durFromS(r.DurationS) }
+
+// AttackStart returns when the resolved attack plan launches (zero
+// for attack-free runs).
+func (r *Result) AttackStart() time.Duration { return durFromS(r.Attack.StartS) }
+
+// CrashTime returns when the vehicle crashed (zero if it did not).
+func (r *Result) CrashTime() time.Duration { return durFromS(r.CrashS) }
+
+// SwitchTime returns when the Simplex switch fired (zero if it did
+// not).
+func (r *Result) SwitchTime() time.Duration { return durFromS(r.SwitchS) }
+
+// Summary renders a human-readable digest of the run.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight %v  attack=%s@%v\n", r.Duration(), r.Attack.Kind, durFromS(r.Attack.StartS))
+	switch {
+	case r.Crashed:
+		fmt.Fprintf(&b, "  CRASHED at %.1fs\n", r.CrashS)
+	case r.Canceled:
+		fmt.Fprintf(&b, "  canceled mid-run\n")
+	default:
+		fmt.Fprintf(&b, "  survived\n")
+	}
+	if r.Switched {
+		fmt.Fprintf(&b, "  Simplex switch at %.2fs (%s)\n", r.SwitchS, r.SwitchRule)
+	}
+	fmt.Fprintf(&b, "  RMS err %.3fm  max dev %.3fm  max tilt %.1f°\n",
+		r.Metrics.RMSErrorM, r.Metrics.MaxDeviationM, r.Metrics.MaxTiltDeg())
+	return b.String()
+}
+
+// Sparkline renders one axis of the trajectory as a unicode sparkline
+// of the given width.
+func (r *Result) Sparkline(axis Axis, width int) string {
+	val, _ := axis.selectors()
+	return r.flightLog().Sparkline(val, width)
+}
+
+// Plot renders one axis as an ASCII plot in the layout of the paper's
+// figures: estimated position ('*') against the setpoint ('-', '#'
+// where they meet).
+func (r *Result) Plot(axis Axis, width, height int) string {
+	val, sp := axis.selectors()
+	return telemetry.Plot(r.flightLog().Samples(), val, sp, width, height)
+}
+
+// WindowMetrics computes tracking metrics over [from, to) of the
+// flight — e.g. the attack window of a figure.
+func (r *Result) WindowMetrics(from, to time.Duration) Metrics {
+	return fromMetrics(r.flightLog().WindowMetrics(from, to))
+}
+
+// WriteTrajectoryCSV emits the trajectory in the column layout of the
+// paper's figures: time, setpoint and estimate per axis, attitude,
+// source.
+func (r *Result) WriteTrajectoryCSV(w io.Writer) error {
+	return r.flightLog().WriteCSV(w)
+}
+
+// WriteBlackbox emits the flight as a binary blackbox recording
+// readable by ReadBlackbox.
+func (r *Result) WriteBlackbox(w io.Writer) error {
+	return telemetry.WriteBlackbox(w, r.flightLog())
+}
+
+// ReadBlackbox loads a blackbox recording written by WriteBlackbox
+// (or the CLI's -blackbox flag) as a replayed Result: trajectory,
+// crash status, and whole-flight metrics are populated; fields only a
+// live run knows (violations, streams, tasks) stay empty.
+func ReadBlackbox(rd io.Reader) (*Result, error) {
+	log, err := telemetry.ReadBlackbox(rd)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		SchemaVersion: SchemaVersion,
+		Attack:        Attack{Kind: "none"},
+		Metrics:       fromMetrics(log.Metrics()),
+		log:           log,
+	}
+	for _, s := range log.Samples() {
+		r.Samples = append(r.Samples, fromSample(s))
+	}
+	if len(r.Samples) > 0 {
+		r.DurationS = r.Samples[len(r.Samples)-1].TimeS
+	}
+	if crashed, at := log.Crashed(); crashed {
+		r.Crashed, r.CrashS = true, at.Seconds()
+	}
+	return r, nil
+}

@@ -1,0 +1,340 @@
+package containerdrone
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"containerdrone/internal/attack"
+	"containerdrone/internal/control"
+	"containerdrone/internal/core"
+	"containerdrone/internal/monitor"
+	"containerdrone/internal/physics"
+	"containerdrone/internal/telemetry"
+)
+
+// SchemaVersion is the version stamped into every serializable SDK
+// type (Config, Result, CampaignResult). Decoders reject payloads
+// from a different major schema so remote workers and collectors fail
+// loudly instead of misreading fields.
+const SchemaVersion = 1
+
+// Vec3 is a 3D vector in the simulation's NED-less world frame
+// (X east, Y north, Z up), meters.
+type Vec3 struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	Z float64 `json:"z"`
+}
+
+func (v Vec3) internal() physics.Vec3 { return physics.Vec3{X: v.X, Y: v.Y, Z: v.Z} }
+func fromVec3(v physics.Vec3) Vec3    { return Vec3{X: v.X, Y: v.Y, Z: v.Z} }
+
+// Waypoint is one leg of a mission flown by the complex controller.
+type Waypoint struct {
+	Pos Vec3 `json:"pos"`
+	// Yaw is the heading to hold at the waypoint, radians.
+	Yaw float64 `json:"yaw,omitempty"`
+	// HoldS is how long to dwell at the waypoint, seconds.
+	HoldS float64 `json:"hold_s,omitempty"`
+	// RadiusM is the acceptance radius in meters (0 = default).
+	RadiusM float64 `json:"radius_m,omitempty"`
+}
+
+// Attack names an adversary plan: one of the kind strings reported by
+// AttackKinds ("bandwidth", "udp-flood", "kill-controller",
+// "cpu-hog", or "none").
+type Attack struct {
+	Kind string `json:"kind"`
+	// StartS is the attack launch time in simulated seconds.
+	StartS float64 `json:"start_s,omitempty"`
+	// Rate parameterizes the attack: accesses/s for bandwidth,
+	// packets/s for udp-flood; ignored otherwise.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// Active reports whether the attack is anything other than "none".
+func (a Attack) Active() bool { return a.Kind != "" && a.Kind != attack.KindNone.String() }
+
+// AttackKinds lists the attack kind strings accepted by Attack.Kind.
+func AttackKinds() []string {
+	kinds := []attack.Kind{attack.KindNone, attack.KindBandwidth, attack.KindFlood, attack.KindKill, attack.KindCPUHog}
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// Config is the serializable description of one run: a registered
+// scenario name plus the overrides to apply on top of its preset. It
+// is the unit of remote dispatch — build it with New/NewConfig (or
+// decode it from JSON), ship it anywhere, and NewFromConfig
+// reconstructs an identical deterministic run.
+type Config struct {
+	SchemaVersion int    `json:"schema_version"`
+	Scenario      string `json:"scenario"`
+	// Seed overrides the scenario seed when non-zero; equal seeds
+	// give byte-identical runs.
+	Seed uint64 `json:"seed,omitempty"`
+	// DurationS overrides the flight length (seconds) when non-zero.
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Params are named numeric overrides applied in sorted key order;
+	// ParamInfos lists the key set.
+	Params map[string]float64 `json:"params,omitempty"`
+	// Attack, when non-nil, replaces the scenario's attack plan.
+	Attack *Attack `json:"attack,omitempty"`
+	// Mission, when non-empty, replaces the scenario's static
+	// setpoint (or preset mission) with this waypoint sequence.
+	Mission []Waypoint `json:"mission,omitempty"`
+}
+
+// build resolves the portable Config into the internal scenario
+// config via the registry.
+func (c Config) build() (core.Config, error) {
+	if c.SchemaVersion != 0 && c.SchemaVersion != SchemaVersion {
+		return core.Config{}, fmt.Errorf("containerdrone: config schema v%d, this SDK speaks v%d", c.SchemaVersion, SchemaVersion)
+	}
+	if c.Scenario == "" {
+		return core.Config{}, fmt.Errorf("containerdrone: config names no scenario")
+	}
+	cfg, err := core.Build(c.Scenario, core.Options{
+		Seed:     c.Seed,
+		Duration: durFromS(c.DurationS),
+		Params:   c.Params,
+	})
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c.Attack != nil {
+		kind, err := attack.ParseKind(c.Attack.Kind)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Attack = attack.Plan{Kind: kind, Start: durFromS(c.Attack.StartS), Rate: c.Attack.Rate}
+	}
+	if len(c.Mission) > 0 {
+		cfg.Mission = make([]control.Waypoint, len(c.Mission))
+		for i, w := range c.Mission {
+			cfg.Mission[i] = control.Waypoint{
+				Pos:    w.Pos.internal(),
+				Yaw:    w.Yaw,
+				Hold:   durFromS(w.HoldS),
+				Radius: w.RadiusM,
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// Sample is one telemetry sample of a flight: where the vehicle was,
+// where it was told to be, and which controller was in charge.
+type Sample struct {
+	TimeS    float64 `json:"t_s"`
+	Pos      Vec3    `json:"pos"`
+	Setpoint Vec3    `json:"setpoint"`
+	Roll     float64 `json:"roll"`
+	Pitch    float64 `json:"pitch"`
+	Yaw      float64 `json:"yaw"`
+	// Source is the controller driving the actuators at this sample
+	// ("complex", "safety", or "host").
+	Source string `json:"source"`
+}
+
+// Time returns the sample time as a duration.
+func (s Sample) Time() time.Duration { return durFromS(s.TimeS) }
+
+func fromSample(s telemetry.Sample) Sample {
+	return Sample{
+		TimeS:    s.Time.Seconds(),
+		Pos:      fromVec3(s.Position),
+		Setpoint: fromVec3(s.Setpoint),
+		Roll:     s.Roll, Pitch: s.Pitch, Yaw: s.Yaw,
+		Source: s.Source,
+	}
+}
+
+func (s Sample) internal() telemetry.Sample {
+	return telemetry.Sample{
+		Time:     durFromS(s.TimeS),
+		Position: s.Pos.internal(),
+		Setpoint: s.Setpoint.internal(),
+		Roll:     s.Roll, Pitch: s.Pitch, Yaw: s.Yaw,
+		Source: s.Source,
+	}
+}
+
+// Metrics summarizes tracking quality over a window of samples.
+type Metrics struct {
+	// RMSErrorM is the 3D RMS setpoint error, meters.
+	RMSErrorM float64 `json:"rms_error_m"`
+	// MaxDeviationM is the worst 3D setpoint error, meters.
+	MaxDeviationM float64 `json:"max_deviation_m"`
+	// MaxTiltRad is the worst roll/pitch magnitude, radians.
+	MaxTiltRad float64 `json:"max_tilt_rad"`
+	Samples    int     `json:"samples"`
+}
+
+// MaxTiltDeg returns the worst tilt in degrees.
+func (m Metrics) MaxTiltDeg() float64 { return telemetry.Degrees(m.MaxTiltRad) }
+
+func fromMetrics(m telemetry.Metrics) Metrics {
+	return Metrics{
+		RMSErrorM:     m.RMSError,
+		MaxDeviationM: m.MaxDeviation,
+		MaxTiltRad:    m.MaxTilt,
+		Samples:       m.Samples,
+	}
+}
+
+// Violation records one security-rule firing.
+type Violation struct {
+	Rule  string  `json:"rule"`
+	TimeS float64 `json:"t_s"`
+	Info  string  `json:"info,omitempty"`
+}
+
+func fromViolation(v monitor.Violation) Violation {
+	return Violation{Rule: string(v.Rule), TimeS: v.Time.Seconds(), Info: v.Info}
+}
+
+// StreamStat counts one HCE↔CCE data stream (Table I).
+type StreamStat struct {
+	Name       string `json:"name"`
+	Port       int    `json:"port"`
+	FrameSizeB int    `json:"frame_size_b"`
+	Packets    int64  `json:"packets"`
+}
+
+// TaskReport is one task's scheduling outcome over the run.
+type TaskReport struct {
+	Name        string  `json:"name"`
+	Core        int     `json:"core"`
+	Priority    int     `json:"priority"`
+	Released    int64   `json:"released"`
+	Completed   int64   `json:"completed"`
+	Missed      int64   `json:"missed"`
+	MissRate    float64 `json:"miss_rate"`
+	AvgLatencyS float64 `json:"avg_latency_s"`
+	MaxLatencyS float64 `json:"max_latency_s"`
+}
+
+// AvgLatency returns the mean job latency as a duration.
+func (t TaskReport) AvgLatency() time.Duration { return durFromS(t.AvgLatencyS) }
+
+// MaxLatency returns the worst job latency as a duration.
+func (t TaskReport) MaxLatency() time.Duration { return durFromS(t.MaxLatencyS) }
+
+// Result is the serializable outcome of one run. It is self-contained:
+// everything the reporting helpers need (summary, sparklines, plots,
+// window metrics, trajectory CSV, blackbox) is derived from the
+// serialized fields, so a Result collected from a remote worker via
+// JSON behaves exactly like one produced locally.
+type Result struct {
+	SchemaVersion int `json:"schema_version"`
+	// Config is the request that produced this result.
+	Config Config `json:"config"`
+	// DurationS is the resolved flight length, seconds.
+	DurationS float64 `json:"duration_s"`
+	// Attack is the resolved adversary plan ("none" when attack-free).
+	Attack Attack `json:"attack"`
+
+	Crashed bool    `json:"crashed"`
+	CrashS  float64 `json:"crash_s,omitempty"`
+
+	Switched   bool        `json:"switched"`
+	SwitchS    float64     `json:"switch_s,omitempty"`
+	SwitchRule string      `json:"switch_rule,omitempty"`
+	Violations []Violation `json:"violations,omitempty"`
+
+	// Canceled marks a partial result from a context-canceled run.
+	Canceled bool `json:"canceled,omitempty"`
+
+	GarbagePkts     int64 `json:"garbage_pkts,omitempty"`
+	MissionComplete bool  `json:"mission_complete,omitempty"`
+
+	Metrics       Metrics `json:"metrics"`
+	AttackMetrics Metrics `json:"attack_metrics"`
+
+	Streams   []StreamStat `json:"streams,omitempty"`
+	IdleRates []float64    `json:"idle_rates,omitempty"`
+	Tasks     []TaskReport `json:"tasks,omitempty"`
+
+	// Samples is the full telemetry trajectory at the configured
+	// telemetry rate.
+	Samples []Sample `json:"samples,omitempty"`
+	// Trace is the run's event log, one rendered line per event.
+	Trace []string `json:"trace,omitempty"`
+
+	// log caches the reconstructed flight log for the reporting
+	// helpers; it is rebuilt from Samples after a JSON round trip.
+	log *telemetry.FlightLog
+}
+
+// fromResult converts an internal run outcome into the public schema.
+func fromResult(cfg Config, res *core.Result) *Result {
+	r := &Result{
+		SchemaVersion: SchemaVersion,
+		Config:        cfg,
+		DurationS:     res.Cfg.Duration.Seconds(),
+		Attack: Attack{
+			Kind:   res.Cfg.Attack.Kind.String(),
+			StartS: res.Cfg.Attack.Start.Seconds(),
+			Rate:   res.Cfg.Attack.Rate,
+		},
+		Crashed:         res.Crashed,
+		Switched:        res.Switched,
+		SwitchRule:      string(res.SwitchRule),
+		GarbagePkts:     res.GarbagePkts,
+		MissionComplete: res.MissionComplete,
+		Metrics:         fromMetrics(res.Metrics),
+		AttackMetrics:   fromMetrics(res.AttackMetrics),
+	}
+	if !res.Switched {
+		r.SwitchRule = ""
+	}
+	if res.Crashed {
+		r.CrashS = res.CrashTime.Seconds()
+	}
+	if res.Switched {
+		r.SwitchS = res.SwitchTime.Seconds()
+	}
+	for _, v := range res.Violations {
+		r.Violations = append(r.Violations, fromViolation(v))
+	}
+	for _, st := range res.Streams {
+		r.Streams = append(r.Streams, StreamStat{
+			Name: st.Name, Port: st.Port, FrameSizeB: st.FrameSize, Packets: st.Packets,
+		})
+	}
+	r.IdleRates = make([]float64, len(res.IdleRates))
+	copy(r.IdleRates, res.IdleRates[:])
+	for _, t := range res.Tasks {
+		r.Tasks = append(r.Tasks, TaskReport{
+			Name: t.Name, Core: t.Core, Priority: t.Priority,
+			Released: t.Released, Completed: t.Completed, Missed: t.Missed,
+			MissRate:    t.MissRate,
+			AvgLatencyS: t.AvgLatency.Seconds(),
+			MaxLatencyS: t.MaxLatency.Seconds(),
+		})
+	}
+	if res.Log != nil {
+		for _, s := range res.Log.Samples() {
+			r.Samples = append(r.Samples, fromSample(s))
+		}
+		r.log = res.Log
+	}
+	if res.Trace != nil {
+		for _, ev := range res.Trace.Events() {
+			r.Trace = append(r.Trace, ev.String())
+		}
+	}
+	return r
+}
+
+// durFromS converts float seconds back to a duration, rounding to the
+// nearest nanosecond so values that crossed a JSON boundary print
+// cleanly (152µs, not 151.999µs).
+func durFromS(s float64) time.Duration {
+	return time.Duration(math.Round(s * float64(time.Second)))
+}
