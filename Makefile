@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race bench bench-short microbench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race . ./internal/campaign/
+
+# Full performance suite: emits BENCH_<timestamp>.json in the repo
+# root — the trajectory point for this commit.
+bench: build
+	$(GO) run ./cmd/bench -out .
+
+# Quick CI variant: shorter flights, single attempt per metric.
+bench-short: build
+	$(GO) run ./cmd/bench -quick -out .
+
+# Go micro-benchmarks (paper figures, ticks/sec, campaign throughput)
+# at one iteration each — a smoke pass, not a measurement.
+microbench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -5,8 +5,10 @@ import (
 	"testing"
 	"time"
 
+	"containerdrone/internal/campaign"
 	"containerdrone/internal/core"
 	"containerdrone/internal/monitor"
+	"containerdrone/internal/sim"
 )
 
 // Each benchmark regenerates one table or figure of the paper and
@@ -21,6 +23,54 @@ func runScenario(b *testing.B, cfg core.Config) *core.Result {
 		b.Fatal(err)
 	}
 	return sys.Run()
+}
+
+// BenchmarkEngineTicksPerSec measures raw simulation throughput — how
+// many 100 µs engine ticks execute per wall-clock second — on the
+// attack-free baseline and on the Fig 7 flood, the two poles of the
+// perf trajectory tracked by cmd/bench. ReportAllocs makes allocation
+// regressions on the hot path visible in every benchmark run.
+func BenchmarkEngineTicksPerSec(b *testing.B) {
+	for _, sc := range []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"baseline", core.ScenarioBaseline},
+		{"udpflood", core.ScenarioFlood},
+	} {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := sc.cfg()
+			ticksPerRun := float64(int64(cfg.Duration) / int64(sim.Tick))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runScenario(b, cfg)
+			}
+			b.ReportMetric(ticksPerRun*float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
+		})
+	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end Monte-Carlo
+// throughput (runs per wall-clock second) on the parallel campaign
+// runner, short baseline flights over the default worker pool.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	b.ReportAllocs()
+	const runsPer = 8
+	spec := campaign.Spec{
+		Points:   []campaign.Point{{Label: "baseline", Scenario: "baseline"}},
+		Runs:     runsPer,
+		BaseSeed: 1,
+		Duration: 2 * time.Second,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runsPer*b.N)/b.Elapsed().Seconds(), "runs/s")
 }
 
 // BenchmarkTableI regenerates Table I: the five HCE↔CCE streams at

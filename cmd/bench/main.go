@@ -1,0 +1,210 @@
+// Command bench is the reproducible performance harness: it runs a
+// fixed suite of end-to-end measurements — engine ticks/sec on the
+// attack-free baseline and the Fig 7 UDP flood, the flood's
+// wall-clock, whole-run allocations per tick, and parallel campaign
+// throughput — and emits a timestamped BENCH_<ts>.json so every PR
+// leaves a comparable point on the repo's performance trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/bench                 # full suite, BENCH_*.json in .
+//	go run ./cmd/bench -quick          # short suite (CI)
+//	go run ./cmd/bench -cpuprofile cpu.prof -memprofile mem.prof
+//
+// Profiles feed the standard pprof workflow:
+//
+//	go tool pprof -top cpu.prof
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"containerdrone"
+)
+
+// Measurement is one benchmark outcome.
+type Measurement struct {
+	// Name identifies the metric, e.g. "engine_ticks_per_sec/udpflood".
+	Name string `json:"name"`
+	// Value is the metric in Unit; higher is better unless the unit
+	// says otherwise (wall_s, allocs_per_tick).
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// WallS is the wall-clock cost of the measured run (best attempt).
+	WallS float64 `json:"wall_s"`
+}
+
+// Report is the emitted BENCH_*.json document.
+type Report struct {
+	SchemaVersion int           `json:"schema_version"`
+	Timestamp     string        `json:"timestamp"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	NumCPU        int           `json:"num_cpu"`
+	Quick         bool          `json:"quick"`
+	Benchmarks    []Measurement `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the suite; returning (rather than exiting) on error
+// lets the deferred profile writers flush even on failure.
+func run() error {
+	out := flag.String("out", ".", "directory to write BENCH_<timestamp>.json into")
+	quick := flag.Bool("quick", false, "short suite: fewer repetitions, shorter flights (CI)")
+	repeats := flag.Int("repeats", 3, "attempts per benchmark; the best is reported")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the suite to this file")
+	flag.Parse()
+
+	if *quick && *repeats > 1 {
+		*repeats = 1
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := Report{
+		SchemaVersion: 1,
+		Timestamp:     time.Now().UTC().Format("20060102T150405Z"),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         *quick,
+	}
+
+	flightDur := 30 * time.Second // simulated; the paper's figure length
+	campaignRuns, campaignDur := 16, 2*time.Second
+	if *quick {
+		flightDur = 10 * time.Second // still past the 8 s attack start
+		campaignRuns, campaignDur = 8, time.Second
+	}
+
+	for _, name := range []string{"baseline", "udpflood"} {
+		ms, err := benchScenario(name, flightDur, *repeats)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, ms...)
+	}
+	m, err := benchCampaign(campaignRuns, campaignDur, *repeats)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, m)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	path := filepath.Join(*out, "BENCH_"+rep.Timestamp+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	for _, m := range rep.Benchmarks {
+		fmt.Printf("%-38s %14.5g %-15s (%.3fs wall)\n", m.Name, m.Value, m.Unit, m.WallS)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// benchScenario measures one scenario end to end: ticks/sec, wall
+// seconds, and whole-run allocations per tick (setup included — the
+// steady-state path itself is pinned to zero by the alloc-regression
+// tests). The best of repeats attempts is reported, minimizing
+// scheduler noise on shared machines.
+func benchScenario(name string, dur time.Duration, repeats int) ([]Measurement, error) {
+	ticks := dur.Seconds() * containerdrone.TicksPerSecond
+	bestWall := 0.0
+	bestAllocs := 0.0
+	for i := 0; i < repeats; i++ {
+		sim, err := containerdrone.New(name, containerdrone.WithDuration(dur))
+		if err != nil {
+			return nil, err
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := sim.Run(context.Background()); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		if i == 0 || wall < bestWall {
+			bestWall = wall
+			bestAllocs = float64(after.Mallocs - before.Mallocs)
+		}
+	}
+	return []Measurement{
+		{Name: "engine_ticks_per_sec/" + name, Value: ticks / bestWall, Unit: "ticks/s", WallS: bestWall},
+		{Name: "flight_wall_s/" + name, Value: bestWall, Unit: "s", WallS: bestWall},
+		{Name: "allocs_per_tick/" + name, Value: bestAllocs / ticks, Unit: "allocs/tick", WallS: bestWall},
+	}, nil
+}
+
+// benchCampaign measures parallel Monte-Carlo throughput in completed
+// runs per wall-clock second.
+func benchCampaign(runs int, dur time.Duration, repeats int) (Measurement, error) {
+	best := 0.0
+	bestWall := 0.0
+	for i := 0; i < repeats; i++ {
+		c := containerdrone.NewCampaign("baseline",
+			containerdrone.WithRuns(runs),
+			containerdrone.WithRunDuration(dur))
+		start := time.Now()
+		if _, err := c.Run(context.Background()); err != nil {
+			return Measurement{}, err
+		}
+		wall := time.Since(start).Seconds()
+		if rps := float64(runs) / wall; rps > best {
+			best = rps
+			bestWall = wall
+		}
+	}
+	return Measurement{Name: "campaign_runs_per_sec", Value: best, Unit: "runs/s", WallS: bestWall}, nil
+}

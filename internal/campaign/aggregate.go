@@ -15,14 +15,14 @@ type Percentiles struct {
 	Max  float64 `json:"max"`
 }
 
-// percentiles computes the summary with nearest-rank percentiles.
+// percentiles computes the summary with nearest-rank percentiles,
+// sorting vals in place (callers pass reusable scratch buffers).
 // Empty input returns the zero value.
 func percentiles(vals []float64) Percentiles {
 	if len(vals) == 0 {
 		return Percentiles{}
 	}
-	s := make([]float64, len(vals))
-	copy(s, vals)
+	s := vals
 	sort.Float64s(s)
 	sum := 0.0
 	for _, v := range s {
@@ -81,11 +81,18 @@ func AggregateRecords(records []Record) []Aggregate {
 	for _, r := range records {
 		byPoint[r.Point] = append(byPoint[r.Point], r)
 	}
-	var out []Aggregate
-	for _, label := range pointOrder(records) {
+	order := pointOrder(records)
+	out := make([]Aggregate, 0, len(order))
+	// Metric buffers are reused across points (percentiles sorts them
+	// in place), so a large sweep aggregates without per-point garbage.
+	var switchTimes, missRates, rms, maxDev []float64
+	for _, label := range order {
 		runs := byPoint[label]
 		agg := Aggregate{Point: label, Runs: len(runs), RuleCounts: make(map[string]int)}
-		var switchTimes, missRates, rms, maxDev []float64
+		switchTimes = switchTimes[:0]
+		missRates = missRates[:0]
+		rms = rms[:0]
+		maxDev = maxDev[:0]
 		ok := 0
 		for _, r := range runs {
 			agg.Scenario = r.Scenario

@@ -129,6 +129,9 @@ func RunContext(ctx context.Context, spec Spec) ([]Record, error) {
 		workers = total
 	}
 
+	// One flat preallocated record array shared by every worker: each
+	// run writes its own index, so collection is allocation- and
+	// synchronization-free regardless of completion order.
 	records := make([]Record, total)
 	jobs := make(chan int)
 	var wg sync.WaitGroup

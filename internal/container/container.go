@@ -109,6 +109,28 @@ type Container struct {
 	hostOK map[int]bool
 	// inPorts are container-side ports reachable from the host.
 	inPorts map[int]bool
+	// routes/hostRoutes cache pre-resolved netsim routes per
+	// (srcPort, hostPort) pair, outbound and inbound respectively.
+	// Containers talk over a handful of fixed port pairs at high rates
+	// (the 400 Hz motor stream, the UDP flood, the Table-I sensor
+	// streams), so a linear scan of a tiny slice beats hashing three
+	// maps per datagram.
+	routes     []portRoute
+	hostRoutes []hostRoute
+}
+
+// portRoute is one cached container→host send path.
+type portRoute struct {
+	srcPort, hostPort int
+	route             *netsim.Route
+}
+
+// hostRoute is one cached host→container (DNAT) send path.
+type hostRoute struct {
+	srcPort, hostPort int
+	natGen            int
+	conntrack         *int64
+	route             *netsim.Route
 }
 
 // Spec returns the container's immutable spec.
@@ -339,12 +361,20 @@ func (c *Container) Send(srcPort, hostPort int, payload []byte) error {
 	if c.state != StateRunning {
 		return ErrNotRunning
 	}
+	for i := range c.routes {
+		if r := &c.routes[i]; r.srcPort == srcPort && r.hostPort == hostPort {
+			r.route.Send(payload)
+			return nil
+		}
+	}
 	if !c.hostOK[hostPort] {
 		return fmt.Errorf("%w: host port %d", ErrPortBlocked, hostPort)
 	}
 	src := netsim.Addr{Host: c.NetHost(), Port: srcPort}
 	dst := netsim.Addr{Host: c.runtime.hostName, Port: hostPort}
-	c.runtime.net.Send(src, dst, payload)
+	route := c.runtime.net.Route(src, dst)
+	c.routes = append(c.routes, portRoute{srcPort: srcPort, hostPort: hostPort, route: route})
+	route.Send(payload)
 	return nil
 }
 
@@ -356,12 +386,37 @@ func (r *Runtime) HostSend(c *Container, srcPort, hostPort int, payload []byte) 
 	if c.state != StateRunning {
 		return ErrNotRunning
 	}
+	for i := range c.hostRoutes {
+		hr := &c.hostRoutes[i]
+		if hr.srcPort != srcPort || hr.hostPort != hostPort {
+			continue
+		}
+		if hr.natGen == r.nat.Gen() {
+			*hr.conntrack++
+			hr.route.Send(payload)
+			return nil
+		}
+		// The DNAT rule set changed (container stop/kill): drop the
+		// stale entry and re-resolve below.
+		c.hostRoutes = append(c.hostRoutes[:i], c.hostRoutes[i+1:]...)
+		break
+	}
 	src := netsim.Addr{Host: r.hostName, Port: srcPort}
 	addressed := netsim.Addr{Host: r.hostName, Port: hostPort}
-	dst := r.nat.Translate(src, addressed)
+	dst, conntrack := r.nat.Resolve(src, addressed)
+	if conntrack != nil {
+		// A rule applied: count the rewrite even if it publishes a
+		// different container (matching Translate's accounting).
+		*conntrack++
+	}
 	if dst == addressed || dst.Host != c.NetHost() {
 		return fmt.Errorf("%w: host port %d does not publish container %q", ErrPortBlocked, hostPort, c.spec.Name)
 	}
-	r.net.Send(src, dst, payload)
+	route := r.net.Route(src, dst)
+	c.hostRoutes = append(c.hostRoutes, hostRoute{
+		srcPort: srcPort, hostPort: hostPort,
+		natGen: r.nat.Gen(), conntrack: conntrack, route: route,
+	})
+	route.Send(payload)
 	return nil
 }

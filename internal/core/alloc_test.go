@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// stepAllocs measures allocations per Engine.Step after advancing the
+// scenario to the given simulated time (past setup transients, attack
+// launches, and any Simplex switch).
+func stepAllocs(t *testing.T, cfg Config, warmup time.Duration, steps int) float64 {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Engine.Run(warmup)
+	return testing.AllocsPerRun(steps, sys.Engine.Step)
+}
+
+// TestEngineStepZeroAllocsFlood is the tentpole regression gate: in
+// the paper's Fig 7 UDP-flood scenario, the steady-state tick — flood
+// bursts, pooled packet delivery, frame decode, physics, telemetry —
+// must be allocation-free. The warmup runs past the attack start
+// (t=8s) and the resulting Simplex switch.
+func TestEngineStepZeroAllocsFlood(t *testing.T) {
+	if allocs := stepAllocs(t, ScenarioFlood(), 10*time.Second, 2000); allocs != 0 {
+		t.Fatalf("flood steady-state Engine.Step allocates %.2f times per tick, want 0", allocs)
+	}
+}
+
+// TestEngineStepZeroAllocsBaseline covers the attack-free hover of
+// the full architecture: all five Table-I streams active.
+func TestEngineStepZeroAllocsBaseline(t *testing.T) {
+	if allocs := stepAllocs(t, ScenarioBaseline(), 3*time.Second, 2000); allocs != 0 {
+		t.Fatalf("baseline steady-state Engine.Step allocates %.2f times per tick, want 0", allocs)
+	}
+}
+
+// TestEngineStepZeroAllocsMemDoS covers the memory-DoS deployment
+// (host-side complex controller, Bandwidth attacker in the container).
+func TestEngineStepZeroAllocsMemDoS(t *testing.T) {
+	if allocs := stepAllocs(t, ScenarioMemDoS(true), 12*time.Second, 2000); allocs != 0 {
+		t.Fatalf("memdos steady-state Engine.Step allocates %.2f times per tick, want 0", allocs)
+	}
+}

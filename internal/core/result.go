@@ -74,6 +74,7 @@ func (s *System) Result() *Result {
 	if s.Cfg.Attack.Active() {
 		r.AttackMetrics = s.Log.WindowMetrics(s.Cfg.Attack.Start, s.Cfg.Duration)
 	}
+	r.Streams = make([]StreamStat, 0, len(s.streams))
 	for _, st := range s.streams {
 		r.Streams = append(r.Streams, *st)
 	}
@@ -81,6 +82,7 @@ func (s *System) Result() *Result {
 	for core := 0; core < NumCores; core++ {
 		r.IdleRates[core] = s.CPU.IdleRate(core)
 	}
+	r.Tasks = make([]TaskReport, 0, len(s.CPU.Tasks()))
 	for _, task := range s.CPU.Tasks() {
 		st := task.Stats()
 		r.Tasks = append(r.Tasks, TaskReport{

@@ -117,8 +117,19 @@ type System struct {
 	flood       *attack.Flood
 
 	streams map[string]*StreamStat
+	// Per-stream stat pointers, resolved once at wiring time so the
+	// per-frame hot paths never hash the streams map.
+	imuStream, baroStream, gpsStream, rcStream, motorStream *StreamStat
+
 	seqOut  uint32
 	garbage int64 // undecodable packets seen by the receiver
+
+	// Steady-state encode scratch. The kernel is single-threaded and
+	// netsim.Send copies payloads into its pool, so one payload buffer
+	// and one frame buffer serve every host-side sensor stream without
+	// allocating per frame.
+	sendPayload []byte
+	sendFrame   []byte
 }
 
 // New builds and wires a system from the config.
@@ -129,10 +140,16 @@ func New(cfg Config) (*System, error) {
 	if cfg.BusCapacity <= 0 {
 		return nil, fmt.Errorf("core: non-positive bus capacity %v", cfg.BusCapacity)
 	}
+	// Presize the flight log for the whole run (+1 for the t=0 sample)
+	// so steady-state Add never reallocates.
+	logCap := 0
+	if cfg.TelemetryRate > 0 {
+		logCap = int(cfg.Duration.Seconds()*cfg.TelemetryRate) + 1
+	}
 	s := &System{
 		Cfg:     cfg,
 		Engine:  sim.NewEngine(),
-		Log:     telemetry.NewFlightLog(),
+		Log:     telemetry.NewFlightLogCap(logCap),
 		Trace:   sim.NewTrace(4096),
 		streams: make(map[string]*StreamStat),
 	}
@@ -240,11 +257,11 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	s.registerStream("IMU", PortSensors, mavlink.IMUPayloadSize+mavlink.Overhead)
-	s.registerStream("Barometer", PortSensors, mavlink.BaroPayloadSize+mavlink.Overhead)
-	s.registerStream("GPS", PortSensors, mavlink.GPSPayloadSize+mavlink.Overhead)
-	s.registerStream("RC", PortSensors, mavlink.RCPayloadSize+mavlink.Overhead)
-	s.registerStream("Motor Output", PortMotor, mavlink.MotorPayloadSize+mavlink.Overhead)
+	s.imuStream = s.registerStream("IMU", PortSensors, mavlink.IMUPayloadSize+mavlink.Overhead)
+	s.baroStream = s.registerStream("Barometer", PortSensors, mavlink.BaroPayloadSize+mavlink.Overhead)
+	s.gpsStream = s.registerStream("GPS", PortSensors, mavlink.GPSPayloadSize+mavlink.Overhead)
+	s.rcStream = s.registerStream("RC", PortSensors, mavlink.RCPayloadSize+mavlink.Overhead)
+	s.motorStream = s.registerStream("Motor Output", PortMotor, mavlink.MotorPayloadSize+mavlink.Overhead)
 
 	s.buildHCETasks()
 	if cfg.ComplexInContainer {
@@ -266,21 +283,26 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-func (s *System) registerStream(name string, port, size int) {
-	s.streams[name] = &StreamStat{Name: name, Port: port, FrameSize: size}
+func (s *System) registerStream(name string, port, size int) *StreamStat {
+	st := &StreamStat{Name: name, Port: port, FrameSize: size}
+	s.streams[name] = st
+	return st
 }
 
 // sendToCCE encodes and ships one sensor frame into the container.
-func (s *System) sendToCCE(stream string, msgID uint8, payload []byte) {
+// The frame is built in the System's scratch buffer; HostSend copies
+// it into the network's pool, so nothing here allocates at steady
+// state.
+func (s *System) sendToCCE(stream *StreamStat, msgID uint8, payload []byte) {
 	if !s.Cfg.ComplexInContainer {
 		return
 	}
-	frame := mavlink.Encode(mavlink.Frame{
+	s.sendFrame = mavlink.AppendEncode(s.sendFrame[:0], mavlink.Frame{
 		Seq: uint8(s.seqOut), SysID: 1, CompID: 1, MsgID: msgID, Payload: payload,
 	})
 	s.seqOut++
-	if err := s.Runtime.HostSend(s.CCE, 9000, PortSensors, frame); err == nil {
-		s.streams[stream].Packets++
+	if err := s.Runtime.HostSend(s.CCE, 9000, PortSensors, s.sendFrame); err == nil {
+		stream.Packets++
 	}
 }
 
@@ -303,7 +325,9 @@ func (s *System) buildHCETasks() {
 		Work: func(now time.Duration) {
 			s.lastIMU = s.suite.SampleIMU(s.Quad, nowUS(now))
 			s.hostEst.FeedIMU(s.lastIMU)
-			s.sendToCCE("IMU", mavlink.MsgIDIMU, mavlink.EncodeIMU(s.lastIMU))
+			var p []byte
+			s.sendPayload, p = mavlink.AppendIMU(s.sendPayload[:0], s.lastIMU)
+			s.sendToCCE(s.imuStream, mavlink.MsgIDIMU, p)
 		},
 	})
 	// Barometer driver.
@@ -313,7 +337,9 @@ func (s *System) buildHCETasks() {
 		AccessRate: 5e6, MemBound: 0.5,
 		Work: func(now time.Duration) {
 			s.lastBaro = s.suite.SampleBaro(s.Quad, nowUS(now))
-			s.sendToCCE("Barometer", mavlink.MsgIDBaro, mavlink.EncodeBaro(s.lastBaro))
+			var p []byte
+			s.sendPayload, p = mavlink.AppendBaro(s.sendPayload[:0], s.lastBaro)
+			s.sendToCCE(s.baroStream, mavlink.MsgIDBaro, p)
 		},
 	})
 	// GPS/Vicon driver.
@@ -324,7 +350,9 @@ func (s *System) buildHCETasks() {
 		Work: func(now time.Duration) {
 			s.lastGPS = s.suite.SampleGPS(s.Quad, nowUS(now))
 			s.hostEst.FeedFix(s.lastGPS)
-			s.sendToCCE("GPS", mavlink.MsgIDGPS, mavlink.EncodeGPS(s.lastGPS))
+			var p []byte
+			s.sendPayload, p = mavlink.AppendGPS(s.sendPayload[:0], s.lastGPS)
+			s.sendToCCE(s.gpsStream, mavlink.MsgIDGPS, p)
 		},
 	})
 	// RC driver.
@@ -334,7 +362,9 @@ func (s *System) buildHCETasks() {
 		AccessRate: 4e6, MemBound: 0.5,
 		Work: func(now time.Duration) {
 			s.lastRC = s.rcScript.Sample(nowUS(now))
-			s.sendToCCE("RC", mavlink.MsgIDRC, mavlink.EncodeRC(s.lastRC))
+			var p []byte
+			s.sendPayload, p = mavlink.AppendRC(s.sendPayload[:0], s.lastRC)
+			s.sendToCCE(s.rcStream, mavlink.MsgIDRC, p)
 		},
 	})
 	// PWM output: applies the selected actuator command to the ESCs.
@@ -399,7 +429,7 @@ func (s *System) drainMotorPort(now time.Duration) {
 		}
 		s.complexCmd = cmd.Motors
 		s.complexCmdAt = now
-		s.streams["Motor Output"].Packets++
+		s.motorStream.Packets++
 		s.Monitor.NoteComplexOutput(now)
 	}
 }
@@ -458,6 +488,9 @@ func (s *System) selectCommand() [4]float64 {
 func (s *System) buildCCEController() error {
 	var in control.Inputs
 	var seq uint32
+	// Per-stream encode scratch, reused across jobs: Container.Send
+	// copies the frame into the network pool before returning.
+	var motorPayload, motorFrame []byte
 	task := &sched.Task{
 		Name: "px4-complex", Core: CoreContainer, Priority: sched.PrioContainer,
 		Period: 2500 * time.Microsecond, WCET: 900 * time.Microsecond,
@@ -496,15 +529,16 @@ func (s *System) buildCCEController() error {
 			in.GPS = s.cceEst.GPSLike()
 			cmd := s.complexCtl.Compute(in, s.complexSetpoint(now, in.GPS.Pos, 1.0/400))
 			seq++
-			payload := mavlink.EncodeMotor(mavlink.MotorCommand{
+			var payload []byte
+			motorPayload, payload = mavlink.AppendMotor(motorPayload[:0], mavlink.MotorCommand{
 				TimeUS: nowUS(now), Motors: cmd, Seq: seq, Armed: true,
 			})
-			frame := mavlink.Encode(mavlink.Frame{
+			motorFrame = mavlink.AppendEncode(motorFrame[:0], mavlink.Frame{
 				Seq: uint8(seq), SysID: 2, CompID: 1, MsgID: mavlink.MsgIDMotor, Payload: payload,
 			})
 			// Best-effort UDP: namespace violations would be bugs, but
 			// a full fabric just drops.
-			_ = s.CCE.Send(9001, PortMotor, frame)
+			_ = s.CCE.Send(9001, PortMotor, motorFrame)
 		},
 	}
 	if err := s.CCE.StartTask(task); err != nil {

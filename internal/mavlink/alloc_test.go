@@ -1,0 +1,90 @@
+package mavlink
+
+import (
+	"testing"
+
+	"containerdrone/internal/sensors"
+)
+
+// TestAppendEncodeSteadyStateAllocs pins the zero-allocation contract
+// of the scratch-buffer encode path and the zero-copy decode: one
+// payload encode + frame encode + decode cycle must not allocate once
+// the scratch buffers have their capacity.
+func TestAppendEncodeSteadyStateAllocs(t *testing.T) {
+	var payloadBuf, frameBuf []byte
+	imu := sensors.IMUReading{TimeUS: 42}
+	cycle := func() {
+		var p []byte
+		payloadBuf, p = AppendIMU(payloadBuf[:0], imu)
+		frameBuf = AppendEncode(frameBuf[:0], Frame{
+			Seq: 1, SysID: 1, CompID: 1, MsgID: MsgIDIMU, Payload: p,
+		})
+		if _, _, err := Decode(frameBuf); err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+	}
+	cycle() // warm the scratch buffers
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("encode+decode cycle allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestAppendMotorSteadyStateAllocs covers the 400 Hz motor-output
+// stream, the hottest encode path in the flood scenario.
+func TestAppendMotorSteadyStateAllocs(t *testing.T) {
+	var payloadBuf, frameBuf []byte
+	cmd := MotorCommand{TimeUS: 7, Motors: [4]float64{0.5, 0.5, 0.5, 0.5}, Seq: 9, Armed: true}
+	cycle := func() {
+		var p []byte
+		payloadBuf, p = AppendMotor(payloadBuf[:0], cmd)
+		frameBuf = AppendEncode(frameBuf[:0], Frame{
+			Seq: uint8(cmd.Seq), SysID: 2, CompID: 1, MsgID: MsgIDMotor, Payload: p,
+		})
+		frame, _, err := Decode(frameBuf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if _, err := DecodeMotor(frame.Payload); err != nil {
+			t.Fatalf("DecodeMotor: %v", err)
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("motor encode+decode cycle allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestAppendVariantsMatchEncode pins the append-style encoders to the
+// allocating originals byte for byte.
+func TestAppendVariantsMatchEncode(t *testing.T) {
+	imu := sensors.IMUReading{TimeUS: 1}
+	if _, p := AppendIMU(nil, imu); string(p) != string(EncodeIMU(imu)) {
+		t.Fatal("AppendIMU disagrees with EncodeIMU")
+	}
+	baro := sensors.BaroReading{TimeUS: 2, Pressure: 1013.25}
+	if _, p := AppendBaro(nil, baro); string(p) != string(EncodeBaro(baro)) {
+		t.Fatal("AppendBaro disagrees with EncodeBaro")
+	}
+	gps := sensors.GPSReading{TimeUS: 3, NumSats: 9, FixOK: true}
+	if _, p := AppendGPS(nil, gps); string(p) != string(EncodeGPS(gps)) {
+		t.Fatal("AppendGPS disagrees with EncodeGPS")
+	}
+	rc := sensors.RCReading{TimeUS: 4, Throttle: 0.5}
+	if _, p := AppendRC(nil, rc); string(p) != string(EncodeRC(rc)) {
+		t.Fatal("AppendRC disagrees with EncodeRC")
+	}
+	m := MotorCommand{TimeUS: 5, Seq: 6, Armed: true}
+	if _, p := AppendMotor(nil, m); string(p) != string(EncodeMotor(m)) {
+		t.Fatal("AppendMotor disagrees with EncodeMotor")
+	}
+	f := Frame{Seq: 7, SysID: 1, CompID: 2, MsgID: MsgIDMotor, Payload: make([]byte, MotorPayloadSize)}
+	if got := AppendEncode(nil, f); string(got) != string(Encode(f)) {
+		t.Fatal("AppendEncode disagrees with Encode")
+	}
+	// Appending onto existing content extends rather than overwrites.
+	prefix := []byte{0xAA, 0xBB}
+	out := AppendEncode(prefix, f)
+	if string(out[:2]) != string(prefix) || string(out[2:]) != string(Encode(f)) {
+		t.Fatal("AppendEncode does not append after existing bytes")
+	}
+}

@@ -45,11 +45,20 @@ var (
 	ErrUnknownMsg  = errors.New("mavlink: unknown message id")
 )
 
+// crcTable precomputes the per-byte X25 CRC step: crcAccumulate's
+// output depends on the input byte only through tmp = x ^ x<<4 of
+// x = b ^ crc&0xFF, so one 256-entry table replaces the shift chain.
+var crcTable = func() (t [256]uint16) {
+	for i := range t {
+		tmp := byte(i) ^ byte(i)<<4
+		t[i] = uint16(tmp)<<8 ^ uint16(tmp)<<3 ^ uint16(tmp)>>4
+	}
+	return
+}()
+
 // crcAccumulate folds one byte into the X25 CRC state.
 func crcAccumulate(b byte, crc uint16) uint16 {
-	tmp := b ^ byte(crc&0xFF)
-	tmp ^= tmp << 4
-	return (crc >> 8) ^ uint16(tmp)<<8 ^ uint16(tmp)<<3 ^ uint16(tmp)>>4
+	return (crc >> 8) ^ crcTable[b^byte(crc&0xFF)]
 }
 
 // crcX25 computes the checksum over data, then folds in extra.
@@ -72,19 +81,30 @@ func crcExtra(msgID uint8) byte {
 
 // Encode serializes the frame. The caller owns the returned slice.
 func Encode(f Frame) []byte {
+	return AppendEncode(make([]byte, 0, f.WireSize()), f)
+}
+
+// AppendEncode serializes the frame onto dst and returns the extended
+// slice — the steady-state encode path: a per-stream scratch buffer
+// passed as dst[:0] makes repeated encoding allocation-free.
+func AppendEncode(dst []byte, f Frame) []byte {
 	if len(f.Payload) > 255 {
 		panic(fmt.Sprintf("mavlink: payload %d bytes exceeds 255", len(f.Payload)))
 	}
-	out := make([]byte, 0, f.WireSize())
-	out = append(out, Magic, byte(len(f.Payload)), f.Seq, f.SysID, f.CompID, f.MsgID)
-	out = append(out, f.Payload...)
-	crc := crcX25(out[1:], crcExtra(f.MsgID))
-	out = append(out, byte(crc&0xFF), byte(crc>>8))
-	return out
+	start := len(dst)
+	dst = append(dst, Magic, byte(len(f.Payload)), f.Seq, f.SysID, f.CompID, f.MsgID)
+	dst = append(dst, f.Payload...)
+	crc := crcX25(dst[start+1:], crcExtra(f.MsgID))
+	return append(dst, byte(crc&0xFF), byte(crc>>8))
 }
 
 // Decode parses one frame from the start of data. It returns the
 // frame and the number of bytes consumed.
+//
+// Ownership: the returned frame's Payload aliases data — no copy is
+// made, so decoding is allocation-free. Callers that retain the
+// payload beyond the lifetime of data (e.g. past a netsim receive
+// call that recycles the buffer) must copy it.
 func Decode(data []byte) (Frame, int, error) {
 	if len(data) < Overhead {
 		return Frame{}, 0, ErrShortFrame
@@ -102,7 +122,7 @@ func Decode(data []byte) (Frame, int, error) {
 		SysID:   data[3],
 		CompID:  data[4],
 		MsgID:   data[5],
-		Payload: append([]byte(nil), data[6:6+plen]...),
+		Payload: data[6 : 6+plen : 6+plen],
 	}
 	if _, ok := registry[f.MsgID]; !ok {
 		return Frame{}, total, fmt.Errorf("%w: %d", ErrUnknownMsg, f.MsgID)

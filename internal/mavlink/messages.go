@@ -39,9 +39,34 @@ func init() {
 func putF32(b []byte, v float64) { binary.LittleEndian.PutUint32(b, math.Float32bits(float32(v))) }
 func getF32(b []byte) float64    { return float64(math.Float32frombits(binary.LittleEndian.Uint32(b))) }
 
+// grow extends dst by n zeroed bytes and returns the extension —
+// allocation-free when dst has capacity. Zeroing matters: encoders
+// leave pad/aux bytes unwritten and scratch buffers are reused.
+func grow(dst []byte, n int) (out, ext []byte) {
+	l := len(dst)
+	if l+n <= cap(dst) {
+		out = dst[:l+n]
+		ext = out[l:]
+		clear(ext)
+		return out, ext
+	}
+	out = make([]byte, l+n)
+	copy(out, dst)
+	return out, out[l:]
+}
+
 // EncodeIMU packs an IMU reading: time(8) gyro(12) accel(12) rpy(12).
+// The Append variants of each encoder write onto a caller scratch
+// buffer instead, so steady-state encoding is allocation-free.
 func EncodeIMU(r sensors.IMUReading) []byte {
-	p := make([]byte, IMUPayloadSize)
+	out, _ := AppendIMU(make([]byte, 0, IMUPayloadSize), r)
+	return out
+}
+
+// AppendIMU appends an IMU payload to dst, returning the extended
+// slice and the payload region just written.
+func AppendIMU(dst []byte, r sensors.IMUReading) (out, payload []byte) {
+	out, p := grow(dst, IMUPayloadSize)
 	binary.LittleEndian.PutUint64(p[0:], r.TimeUS)
 	putF32(p[8:], r.Gyro.X)
 	putF32(p[12:], r.Gyro.Y)
@@ -53,7 +78,7 @@ func EncodeIMU(r sensors.IMUReading) []byte {
 	putF32(p[32:], roll)
 	putF32(p[36:], pitch)
 	putF32(p[40:], yaw)
-	return p
+	return out, p
 }
 
 // DecodeIMU unpacks an IMU payload. The attitude quaternion is
@@ -73,12 +98,18 @@ func DecodeIMU(p []byte) (sensors.IMUReading, error) {
 // EncodeBaro packs a barometer reading:
 // time(8) pressure-f64(8) alt(4) temp(4).
 func EncodeBaro(r sensors.BaroReading) []byte {
-	p := make([]byte, BaroPayloadSize)
+	out, _ := AppendBaro(make([]byte, 0, BaroPayloadSize), r)
+	return out
+}
+
+// AppendBaro appends a barometer payload to dst.
+func AppendBaro(dst []byte, r sensors.BaroReading) (out, payload []byte) {
+	out, p := grow(dst, BaroPayloadSize)
 	binary.LittleEndian.PutUint64(p[0:], r.TimeUS)
 	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(r.Pressure))
 	putF32(p[16:], r.AltM)
 	putF32(p[20:], r.TempC)
-	return p
+	return out, p
 }
 
 // DecodeBaro unpacks a barometer payload.
@@ -97,7 +128,13 @@ func DecodeBaro(p []byte) (sensors.BaroReading, error) {
 // EncodeGPS packs a position fix: time(8) pos(12) vel(12) sats(1)
 // fix(1) pad(2).
 func EncodeGPS(r sensors.GPSReading) []byte {
-	p := make([]byte, GPSPayloadSize)
+	out, _ := AppendGPS(make([]byte, 0, GPSPayloadSize), r)
+	return out
+}
+
+// AppendGPS appends a position payload to dst.
+func AppendGPS(dst []byte, r sensors.GPSReading) (out, payload []byte) {
+	out, p := grow(dst, GPSPayloadSize)
 	binary.LittleEndian.PutUint64(p[0:], r.TimeUS)
 	putF32(p[8:], r.Pos.X)
 	putF32(p[12:], r.Pos.Y)
@@ -109,7 +146,7 @@ func EncodeGPS(r sensors.GPSReading) []byte {
 	if r.FixOK {
 		p[33] = 1
 	}
-	return p
+	return out, p
 }
 
 // DecodeGPS unpacks a position payload.
@@ -130,7 +167,13 @@ func DecodeGPS(p []byte) (sensors.GPSReading, error) {
 // flags(1). Channels 0-3 carry roll/pitch/yaw/throttle; 4-7 are the
 // aux channels a real RC link transports.
 func EncodeRC(r sensors.RCReading) []byte {
-	p := make([]byte, RCPayloadSize)
+	out, _ := AppendRC(make([]byte, 0, RCPayloadSize), r)
+	return out
+}
+
+// AppendRC appends a pilot-input payload to dst.
+func AppendRC(dst []byte, r sensors.RCReading) (out, payload []byte) {
+	out, p := grow(dst, RCPayloadSize)
 	binary.LittleEndian.PutUint64(p[0:], r.TimeUS)
 	putF32(p[8:], r.Roll)
 	putF32(p[12:], r.Pitch)
@@ -138,7 +181,7 @@ func EncodeRC(r sensors.RCReading) []byte {
 	putF32(p[20:], r.Throttle)
 	// Aux channels 4..7 are zero.
 	p[40] = byte(r.Mode)
-	return p
+	return out, p
 }
 
 // DecodeRC unpacks a pilot-input payload.
@@ -169,7 +212,13 @@ type MotorCommand struct {
 // EncodeMotor packs the actuator command: time(8) motors-u16[4](8)
 // seq(4) flags(1). Throttles quantize to 16 bits like PWM outputs.
 func EncodeMotor(m MotorCommand) []byte {
-	p := make([]byte, MotorPayloadSize)
+	out, _ := AppendMotor(make([]byte, 0, MotorPayloadSize), m)
+	return out
+}
+
+// AppendMotor appends an actuator-command payload to dst.
+func AppendMotor(dst []byte, m MotorCommand) (out, payload []byte) {
+	out, p := grow(dst, MotorPayloadSize)
 	binary.LittleEndian.PutUint64(p[0:], m.TimeUS)
 	for i, v := range m.Motors {
 		if v < 0 {
@@ -183,7 +232,7 @@ func EncodeMotor(m MotorCommand) []byte {
 	if m.Armed {
 		p[20] = 1
 	}
-	return p
+	return out, p
 }
 
 // DecodeMotor unpacks an actuator command payload.

@@ -29,6 +29,7 @@ type Bus struct {
 	counters    []uint64 // lifetime accesses issued, per core (the PMC)
 	lastLambda  float64
 	tickSeconds float64
+	capPerTick  float64 // capPerSec * tickSeconds, cached for Resolve
 }
 
 // NewBus builds a bus for the given core count and capacity in
@@ -47,6 +48,7 @@ func NewBus(cores int, capPerSec float64, tick time.Duration) *Bus {
 		counters:    make([]uint64, cores),
 		lastLambda:  1,
 		tickSeconds: tick.Seconds(),
+		capPerTick:  capPerSec * tick.Seconds(),
 	}
 }
 
@@ -54,7 +56,7 @@ func NewBus(cores int, capPerSec float64, tick time.Duration) *Bus {
 func (b *Bus) Cores() int { return b.cores }
 
 // CapacityPerTick returns how many accesses the bus serves per tick.
-func (b *Bus) CapacityPerTick() float64 { return b.capPerSec * b.tickSeconds }
+func (b *Bus) CapacityPerTick() float64 { return b.capPerTick }
 
 // BeginTick clears per-tick demand.
 func (b *Bus) BeginTick() {

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSteadyStateAllocs pins the zero-allocation contract of the
+// fabric: once the payload pool and scratch slices are warm, a
+// send→deliver→drain cycle must not touch the heap.
+func TestSteadyStateAllocs(t *testing.T) {
+	n := New(nil, nil)
+	src := Addr{Host: "cce", Port: 40000}
+	dst := Addr{Host: "hce", Port: 14600}
+	ep := n.Bind(dst, 64)
+	payload := make([]byte, 64)
+	now := time.Duration(0)
+
+	cycle := func() {
+		for i := 0; i < 8; i++ {
+			n.Send(src, dst, payload)
+		}
+		now += 100 * time.Microsecond
+		n.Step(now)
+		ep.Drain()
+	}
+	for i := 0; i < 32; i++ {
+		cycle() // warm the pool, ring, and scratch slices
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state send/deliver/drain allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestRouteSendSteadyStateAllocs covers the pre-resolved Route path
+// the flood attack and Table-I streams use.
+func TestRouteSendSteadyStateAllocs(t *testing.T) {
+	n := New(nil, nil)
+	src := Addr{Host: "cce", Port: 9001}
+	dst := Addr{Host: "hce", Port: 14600}
+	ep := n.Bind(dst, 64)
+	n.Limit(dst, 8000, 512)
+	route := n.Route(src, dst)
+	payload := make([]byte, 29)
+	now := time.Duration(0)
+
+	cycle := func() {
+		for i := 0; i < 4; i++ {
+			route.Send(payload)
+		}
+		now += 100 * time.Microsecond
+		n.Step(now)
+		for {
+			if _, ok := ep.Recv(); !ok {
+				break
+			}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state Route.Send allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestDrainReturnsScratch documents the Drain ownership contract: the
+// slice (and payloads) are only valid until the next receive call.
+func TestDrainReturnsScratch(t *testing.T) {
+	n := New(nil, nil)
+	dst := Addr{Host: "hce", Port: 1}
+	ep := n.Bind(dst, 8)
+	n.Send(Addr{Host: "a", Port: 2}, dst, []byte{1})
+	n.Step(0)
+	first := ep.Drain()
+	if len(first) != 1 {
+		t.Fatalf("Drain returned %d packets, want 1", len(first))
+	}
+	n.Send(Addr{Host: "a", Port: 2}, dst, []byte{2})
+	n.Step(0)
+	second := ep.Drain()
+	if len(second) != 1 || second[0].Payload[0] != 2 {
+		t.Fatalf("second Drain = %+v, want the second packet", second)
+	}
+	// The scratch slice is reused: both calls returned the same backing
+	// array, which is exactly why callers must not retain it.
+	if &first[0] != &second[0] {
+		t.Fatalf("Drain allocated a fresh slice; want reused scratch")
+	}
+}

@@ -5,6 +5,13 @@
 // paper's UDP DoS experiment (Fig 7) is entirely a property of this
 // layer: a flood fills queues and consumes the rate budget, starving
 // the legitimate motor-output stream.
+//
+// The fabric is allocation-free at steady state: payload bytes live in
+// a free-list pool owned by the Network, receive queues are fixed
+// rings sized at Bind, and Drain hands out a reused scratch slice.
+// Payloads are recycled, not garbage collected — a payload handed to
+// the application by Recv/Drain/RecvAll is only valid until the next
+// receive call on that endpoint (see Recv).
 package netsim
 
 import (
@@ -27,6 +34,10 @@ type Packet struct {
 	Dst     Addr
 	Payload []byte
 	SentAt  time.Duration
+
+	// ep is the destination endpoint, resolved at send time so
+	// delivery in Step never hashes the endpoint map.
+	ep *Endpoint
 }
 
 // Stats counts per-endpoint delivery outcomes.
@@ -39,40 +50,92 @@ type Stats struct {
 	BytesDelivered int64
 }
 
-// Endpoint is a bound receive queue.
+// Endpoint is a bound receive queue: a fixed-capacity ring allocated
+// once at Bind, so steady-state enqueue/dequeue never allocates and
+// never shifts queued packets.
 type Endpoint struct {
 	addr  Addr
-	queue []Packet
-	cap   int
+	net   *Network
+	ring  []Packet // fixed ring storage, len(ring) == queue capacity
+	head  int      // index of the oldest queued packet
+	count int      // queued packets
 	stats Stats
+
+	// handed are pool payloads lent to the application by the previous
+	// receive call; they return to the pool on the next receive call.
+	handed [][]byte
+	// drain is the scratch slice Drain/RecvAll hand out.
+	drain []Packet
 }
 
 // Addr returns the bound address.
 func (e *Endpoint) Addr() Addr { return e.addr }
 
 // Pending returns the number of queued packets.
-func (e *Endpoint) Pending() int { return len(e.queue) }
+func (e *Endpoint) Pending() int { return e.count }
+
+// recycle returns the payloads lent by the previous receive call to
+// the network's pool. Every receive entry point calls it first, which
+// is what makes the lending contract "valid until the next receive
+// call on this endpoint".
+func (e *Endpoint) recycle() {
+	for i, p := range e.handed {
+		e.net.putBuf(p)
+		e.handed[i] = nil
+	}
+	e.handed = e.handed[:0]
+}
+
+// pop removes and returns the oldest queued packet. The caller must
+// have checked count > 0. The vacated slot is left as-is: its payload
+// reference pins only a pool-owned buffer, and the slot is overwritten
+// on reuse.
+func (e *Endpoint) pop() Packet {
+	p := e.ring[e.head]
+	e.head++
+	if e.head == len(e.ring) {
+		e.head = 0
+	}
+	e.count--
+	e.stats.Received++
+	return p
+}
 
 // Recv pops the oldest queued packet, reporting ok=false when empty.
+//
+// Ownership: the packet's Payload is a pooled buffer, valid only until
+// the next Recv/RecvAll/Drain call on this endpoint; callers that
+// retain it across receive calls must copy it.
 func (e *Endpoint) Recv() (Packet, bool) {
-	if len(e.queue) == 0 {
+	e.recycle()
+	if e.count == 0 {
 		return Packet{}, false
 	}
-	p := e.queue[0]
-	copy(e.queue, e.queue[1:])
-	e.queue = e.queue[:len(e.queue)-1]
-	e.stats.Received++
+	p := e.pop()
+	e.handed = append(e.handed, p.Payload)
 	return p, true
 }
 
-// RecvAll drains the queue, returning packets oldest-first.
-func (e *Endpoint) RecvAll() []Packet {
-	out := make([]Packet, len(e.queue))
-	copy(out, e.queue)
-	e.queue = e.queue[:0]
-	e.stats.Received += int64(len(out))
-	return out
+// Drain empties the queue, returning packets oldest-first in an
+// internal scratch slice reused across calls.
+//
+// Ownership: both the returned slice and every packet's Payload are
+// valid only until the next Recv/RecvAll/Drain call on this endpoint;
+// callers that retain them must copy.
+func (e *Endpoint) Drain() []Packet {
+	e.recycle()
+	e.drain = e.drain[:0]
+	for e.count > 0 {
+		p := e.pop()
+		e.handed = append(e.handed, p.Payload)
+		e.drain = append(e.drain, p)
+	}
+	return e.drain
 }
+
+// RecvAll is Drain under its historical name. Deprecated: use Drain;
+// unlike the original RecvAll the result is no longer caller-owned.
+func (e *Endpoint) RecvAll() []Packet { return e.Drain() }
 
 // Stats returns a copy of the endpoint's counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
@@ -125,17 +188,31 @@ type LinkParams struct {
 	Loss    float64       // independent drop probability
 }
 
+// flight is one in-fabric packet and its delivery deadline.
+type flight struct {
+	pkt Packet
+	at  time.Duration
+}
+
 // Network is the simulated fabric. Call Step once per simulation tick
 // to move in-flight packets into receive queues.
 type Network struct {
 	endpoints map[Addr]*Endpoint
 	limits    map[Addr]*TokenBucket
-	inflight  []Packet
-	deliverAt []time.Duration
+	inflight  []flight
 	link      LinkParams
 	now       time.Duration
 	norm      NormSource
 	uniform   UniformSource
+
+	// free is the payload buffer pool. Send copies into a pooled
+	// buffer; the buffer comes back on drop, on endpoint recycle, or
+	// never grows past the population the steady-state traffic needs.
+	free [][]byte
+
+	// gen invalidates cached Routes whenever the endpoint or limit
+	// tables change (Bind/Limit are setup-time operations).
+	gen int
 }
 
 // New builds an empty network. The random sources may be nil when the
@@ -155,11 +232,38 @@ func New(norm NormSource, uniform UniformSource) *Network {
 	}
 }
 
+// getBuf returns a pooled buffer with capacity >= n, allocating only
+// when the pool is empty or its top buffer is too small (buffer sizes
+// converge on the largest payload in the traffic mix).
+func (n *Network) getBuf(size int) []byte {
+	if last := len(n.free) - 1; last >= 0 {
+		b := n.free[last]
+		n.free[last] = nil
+		n.free = n.free[:last]
+		if cap(b) >= size {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, size)
+}
+
+// putBuf returns a payload buffer to the pool.
+func (n *Network) putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	n.free = append(n.free, b)
+}
+
+// PooledBuffers reports the free-list population (tests, telemetry).
+func (n *Network) PooledBuffers() int { return len(n.free) }
+
 // SetLink configures latency/jitter/loss for all traffic.
 func (n *Network) SetLink(p LinkParams) { n.link = p }
 
 // Bind creates (or returns) the endpoint for addr with the given
-// receive queue capacity. Rebinding keeps the original capacity.
+// receive queue capacity, preallocating its ring storage. Rebinding
+// keeps the original capacity.
 func (n *Network) Bind(addr Addr, queueCap int) *Endpoint {
 	if ep, ok := n.endpoints[addr]; ok {
 		return ep
@@ -167,8 +271,9 @@ func (n *Network) Bind(addr Addr, queueCap int) *Endpoint {
 	if queueCap <= 0 {
 		queueCap = 64
 	}
-	ep := &Endpoint{addr: addr, cap: queueCap}
+	ep := &Endpoint{addr: addr, net: n, ring: make([]Packet, queueCap)}
 	n.endpoints[addr] = ep
+	n.gen++
 	return ep
 }
 
@@ -176,6 +281,7 @@ func (n *Network) Bind(addr Addr, queueCap int) *Endpoint {
 // destined to addr: at most rate packets/second sustained, with the
 // given burst. Passing rate <= 0 removes the limit.
 func (n *Network) Limit(addr Addr, rate, burst float64) {
+	n.gen++
 	if rate <= 0 {
 		delete(n.limits, addr)
 		return
@@ -183,15 +289,22 @@ func (n *Network) Limit(addr Addr, rate, burst float64) {
 	n.limits[addr] = NewTokenBucket(rate, burst)
 }
 
-// Send submits a datagram. Drop decisions (rate limit, loss) happen at
-// send time; queue-full drops happen at delivery time. Returns whether
-// the packet entered the fabric.
+// Send submits a datagram, copying the payload into a pooled buffer
+// (the caller keeps ownership of payload). Drop decisions (rate limit,
+// loss) happen at send time; queue-full drops happen at delivery time.
+// Returns whether the packet entered the fabric.
 func (n *Network) Send(src, dst Addr, payload []byte) bool {
 	ep, bound := n.endpoints[dst]
 	if !bound {
 		return false // nothing listening: silently dropped like real UDP
 	}
-	if tb, limited := n.limits[dst]; limited && !tb.Allow(n.now) {
+	return n.sendTo(ep, n.limits[dst], src, dst, payload)
+}
+
+// sendTo is the resolved-destination send path shared by Send and
+// Route.Send.
+func (n *Network) sendTo(ep *Endpoint, tb *TokenBucket, src, dst Addr, payload []byte) bool {
+	if tb != nil && !tb.Allow(n.now) {
 		ep.stats.DroppedLimit++
 		return false
 	}
@@ -207,38 +320,83 @@ func (n *Network) Send(src, dst Addr, payload []byte) bool {
 		}
 		delay += j
 	}
-	pkt := Packet{Src: src, Dst: dst, Payload: append([]byte(nil), payload...), SentAt: n.now}
-	n.inflight = append(n.inflight, pkt)
-	n.deliverAt = append(n.deliverAt, n.now+delay)
+	buf := append(n.getBuf(len(payload)), payload...)
+	n.inflight = append(n.inflight, flight{
+		pkt: Packet{Src: src, Dst: dst, Payload: buf, SentAt: n.now, ep: ep},
+		at:  n.now + delay,
+	})
 	return true
+}
+
+// Route is a pre-resolved unicast path: fixed source and destination
+// with the endpoint and rate-limit lookups hoisted out of the
+// per-packet path. High-rate senders (the Table-I streams, the UDP
+// flood) send through a Route so the fabric's address maps are hashed
+// once per topology change instead of once per packet.
+type Route struct {
+	net      *Network
+	src, dst Addr
+	gen      int // matches net.gen when ep/tb are current
+	ep       *Endpoint
+	tb       *TokenBucket
+}
+
+// Route builds a reusable sender from src to dst. Resolution is lazy
+// and self-invalidating: a later Bind or Limit bumps the network's
+// generation and the Route re-resolves on its next Send.
+func (n *Network) Route(src, dst Addr) *Route {
+	return &Route{net: n, src: src, dst: dst, gen: n.gen - 1}
+}
+
+// Send submits one datagram along the route; semantics are identical
+// to Network.Send with the route's addresses.
+func (r *Route) Send(payload []byte) bool {
+	n := r.net
+	if r.gen != n.gen {
+		r.ep = n.endpoints[r.dst]
+		r.tb = n.limits[r.dst]
+		r.gen = n.gen
+	}
+	if r.ep == nil {
+		return false
+	}
+	return n.sendTo(r.ep, r.tb, r.src, r.dst, payload)
 }
 
 // Step advances the fabric to the given simulated time, delivering
 // every in-flight packet whose latency has elapsed, in send order.
+// Packets dropped at delivery (queue full, endpoint gone) return their
+// payload buffers to the pool.
 func (n *Network) Step(now time.Duration) {
 	n.now = now
 	kept := 0
-	for i, pkt := range n.inflight {
-		if n.deliverAt[i] > now {
-			n.inflight[kept] = pkt
-			n.deliverAt[kept] = n.deliverAt[i]
+	for i := range n.inflight {
+		f := &n.inflight[i]
+		if f.at > now {
+			if kept != i {
+				n.inflight[kept] = *f
+			}
 			kept++
 			continue
 		}
-		ep := n.endpoints[pkt.Dst]
-		if ep == nil {
-			continue
-		}
-		if len(ep.queue) >= ep.cap {
+		ep := f.pkt.ep
+		if ep.count >= len(ep.ring) {
 			ep.stats.DroppedQueue++
+			n.putBuf(f.pkt.Payload)
 			continue
 		}
-		ep.queue = append(ep.queue, pkt)
+		tail := ep.head + ep.count
+		if tail >= len(ep.ring) {
+			tail -= len(ep.ring)
+		}
+		ep.ring[tail] = f.pkt
+		ep.count++
 		ep.stats.Delivered++
-		ep.stats.BytesDelivered += int64(len(pkt.Payload))
+		ep.stats.BytesDelivered += int64(len(f.pkt.Payload))
 	}
+	// The truncated tail keeps its payload references; they point into
+	// the pool, which owns the buffers either way.
 	n.inflight = n.inflight[:kept]
-	n.deliverAt = n.deliverAt[:kept]
 }
 
 // InFlight reports packets not yet delivered.

@@ -104,6 +104,21 @@ func (q Quat) Rotate(v Vec3) Vec3 {
 	return v.Add(t.Scale(q.W)).Add(qv.Cross(t))
 }
 
+// UpVector returns the body Z axis expressed in the world frame:
+// Rotate(Vec3{Z: 1}) with the zero terms folded away. The arithmetic
+// mirrors Rotate's cross-product form operation for operation, so the
+// result is bit-identical (TestUpVectorMatchesRotate enforces this).
+func (q Quat) UpVector() Vec3 {
+	// t = 2 qv × (0,0,1) = (2y, −2x, 0); v' = v + w·t + qv × t.
+	tx := 2 * q.Y
+	ty := -(2 * q.X)
+	return Vec3{
+		X: q.W*tx + (q.Y*0 - q.Z*ty),
+		Y: q.W*ty + (q.Z*tx - q.X*0),
+		Z: 1 + (q.X*ty - q.Y*tx),
+	}
+}
+
 // FromAxisAngle builds a quaternion rotating by angle (radians) about
 // the given axis (need not be normalized).
 func FromAxisAngle(axis Vec3, angle float64) Quat {
@@ -155,24 +170,35 @@ func (q Quat) Euler() (roll, pitch, yaw float64) {
 // Integrate advances the quaternion by body angular rate omega
 // (rad/s) over dt seconds using the exponential map, then normalizes.
 func (q Quat) Integrate(omega Vec3, dt float64) Quat {
-	angle := omega.Norm() * dt
+	n := omega.Norm()
+	angle := n * dt
 	if angle == 0 {
 		return q
 	}
-	dq := FromAxisAngle(omega, angle)
+	// FromAxisAngle(omega, angle) with the norm already in hand
+	// (bit-identical, one sqrt instead of two).
+	a := omega.Scale(1 / n)
+	s, c := math.Sincos(angle / 2)
+	dq := Quat{W: c, X: a.X * s, Y: a.Y * s, Z: a.Z * s}
 	return q.Mul(dq).Normalized()
+}
+
+// CosTilt returns the cosine of TiltAngle, clamped to [-1, 1]. Cosine
+// is monotone decreasing on [0, π], so threshold comparisons against a
+// precomputed cosine avoid the arccosine on hot paths.
+func (q Quat) CosTilt() float64 {
+	c := q.UpVector().Z
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
 }
 
 // TiltAngle returns the angle in radians between the body Z axis and
 // the world Z axis — the single-number "how far from level" measure
 // used by the crash envelope and the attitude-error rule.
 func (q Quat) TiltAngle() float64 {
-	bodyZ := q.Rotate(Vec3{Z: 1})
-	c := bodyZ.Z
-	if c > 1 {
-		c = 1
-	} else if c < -1 {
-		c = -1
-	}
-	return math.Acos(c)
+	return math.Acos(q.CosTilt())
 }

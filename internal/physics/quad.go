@@ -150,19 +150,21 @@ func (q *Quad) Step(dt float64) {
 	totalThrust := 0.0
 	var torque Vec3
 	for i := range q.Rotors {
-		q.Rotors[i].Step(dt)
-		t := q.Rotors[i].Thrust()
+		r := &q.Rotors[i]
+		r.Step(dt)
+		t := r.Thrust()
 		totalThrust += t
 		g := rotorGeom[i]
 		// Arm torque is r × F with r=(x·L, y·L, 0), F=(0,0,t):
-		// τ = (y·L·t, −x·L·t, 0), plus the propeller reaction about Z.
+		// τ = (y·L·t, −x·L·t, 0), plus the propeller reaction about Z
+		// (ReactionTorque with the thrust already in hand).
 		torque.X += g.y * p.ArmLen * t
 		torque.Y += -g.x * p.ArmLen * t
-		torque.Z += q.Rotors[i].ReactionTorque()
+		torque.Z += r.Direction * r.TorqueCoeff * t
 	}
 
 	// Forces in world frame: thrust along body Z, gravity, drag, wind.
-	bodyZ := q.State.Attitude.Rotate(Vec3{Z: 1})
+	bodyZ := q.State.Attitude.UpVector()
 	force := bodyZ.Scale(totalThrust)
 	force.Z -= p.Mass * p.Gravity
 	force = force.Add(q.State.Vel.Scale(-p.LinDrag))
@@ -187,14 +189,19 @@ func (q *Quad) Step(dt float64) {
 
 	q.elapsed += dt
 
-	// Crash envelope: ground contact while moving, or inverted.
+	// Crash envelope: ground contact while moving, or inverted. The
+	// tilt test compares cosines (monotone on [0, π]) to keep the
+	// arccosine off the per-tick path.
 	if q.State.Pos.Z <= 0 && q.elapsed > 0.5 {
 		q.crash()
 	}
-	if q.State.Attitude.TiltAngle() > math.Pi*0.75 {
+	if q.State.Attitude.CosTilt() < crashCosTilt {
 		q.crash()
 	}
 }
+
+// crashCosTilt is cos(135°): tilting past it means inverted flight.
+var crashCosTilt = math.Cos(math.Pi * 0.75)
 
 func (q *Quad) crash() {
 	if q.crashed {

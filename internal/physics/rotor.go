@@ -20,6 +20,12 @@ type Rotor struct {
 
 	command  float64 // commanded throttle in [0,1]
 	throttle float64 // achieved throttle in [0,1]
+
+	// Memoized lag coefficient: dt and TimeConstant are fixed within a
+	// run, so 1-exp(-dt/τ) is computed once instead of every step.
+	alphaDT  float64
+	alphaTau float64
+	alpha    float64
 }
 
 // SetCommand sets the commanded throttle; values are clamped to [0,1]
@@ -44,8 +50,11 @@ func (r *Rotor) Step(dt float64) {
 		r.throttle = r.command
 		return
 	}
-	alpha := 1 - math.Exp(-dt/r.TimeConstant)
-	r.throttle += alpha * (r.command - r.throttle)
+	if dt != r.alphaDT || r.TimeConstant != r.alphaTau {
+		r.alphaDT, r.alphaTau = dt, r.TimeConstant
+		r.alpha = 1 - math.Exp(-dt/r.TimeConstant)
+	}
+	r.throttle += r.alpha * (r.command - r.throttle)
 }
 
 // Thrust returns the current thrust in newtons. Thrust scales with

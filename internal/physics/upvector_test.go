@@ -1,0 +1,28 @@
+package physics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUpVectorMatchesRotate pins the bit-exact equivalence the
+// UpVector fast path claims: the folded form must round identically
+// to the general Rotate at every step, or hot-loop consumers (crash
+// envelope, force assembly) would drift from the reference math.
+func TestUpVectorMatchesRotate(t *testing.T) {
+	seed := uint64(12345)
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(int64(seed)) / float64(math.MaxInt64) * 4
+	}
+	for i := 0; i < 1_000_000; i++ {
+		q := Quat{W: next(), X: next(), Y: next(), Z: next()}.Normalized()
+		want := q.Rotate(Vec3{Z: 1})
+		got := q.UpVector()
+		if got != want {
+			t.Fatalf("UpVector() = %+v, Rotate(Z) = %+v for %+v", got, want, q)
+		}
+	}
+}

@@ -2,28 +2,45 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"containerdrone/internal/membw"
 	"containerdrone/internal/memguard"
 )
 
+// neverDue is a release time beyond any simulated horizon, used when
+// no periodic task is registered.
+const neverDue = time.Duration(math.MaxInt64)
+
 // CPU is the multicore fixed-priority FIFO scheduler. It advances in
 // engine ticks: each tick every core runs its highest-priority ready
 // task, with progress scaled by memory-bus contention and gated by
 // MemGuard throttling.
+//
+// The tick loop is structured for the 10 kHz hot path: the earliest
+// pending release time is cached, so ticks with no release due (the
+// overwhelming majority at 10 kHz) skip the task scan entirely, and
+// the per-core winner is recomputed only when that core's ready set
+// changed (release, completion, task add/remove) — both bit-identical
+// to the full per-tick rescan they replace.
 type CPU struct {
-	cores   int
-	tick    time.Duration
-	tasks   []*Task
-	byCore  [][]*Task
-	bus     *membw.Bus      // optional
-	guard   *memguard.Guard // optional
-	idle    []int64         // idle ticks per core
-	busyT   []int64         // busy ticks per core
-	running []*Task         // chosen task per core this tick
-	demand  []float64       // full-speed demand per core this tick
-	now     time.Duration   // time of the most recent Tick
+	cores    int
+	tick     time.Duration
+	tickSec  float64 // tick.Seconds(), cached off the 10 kHz hot path
+	tasks    []*Task
+	byCore   [][]*Task
+	busy     []*Task         // busy-loop tasks, always ready
+	periodic []*Task         // periodic tasks, registration order
+	nextDue  time.Duration   // earliest nextRelease across periodic tasks
+	dirty    []bool          // per-core: ready set changed, re-pick
+	bus      *membw.Bus      // optional
+	guard    *memguard.Guard // optional
+	idle     []int64         // idle ticks per core
+	busyT    []int64         // busy ticks per core
+	running  []*Task         // chosen task per core this tick
+	demand   []float64       // full-speed demand per core this tick
+	now      time.Duration   // time of the most recent Tick
 }
 
 // NewCPU builds a scheduler for the given core count and tick. The
@@ -41,9 +58,12 @@ func NewCPU(cores int, tick time.Duration, bus *membw.Bus, guard *memguard.Guard
 	return &CPU{
 		cores:   cores,
 		tick:    tick,
+		tickSec: tick.Seconds(),
+		nextDue: neverDue,
 		bus:     bus,
 		guard:   guard,
 		byCore:  make([][]*Task, cores),
+		dirty:   make([]bool, cores),
 		idle:    make([]int64, cores),
 		busyT:   make([]int64, cores),
 		running: make([]*Task, cores),
@@ -67,6 +87,15 @@ func (c *CPU) Add(t *Task) *Task {
 	t.seq = len(c.tasks)
 	c.tasks = append(c.tasks, t)
 	c.byCore[t.Core] = append(c.byCore[t.Core], t)
+	if t.Busy() {
+		c.busy = append(c.busy, t)
+	} else {
+		c.periodic = append(c.periodic, t)
+		if t.nextRelease < c.nextDue {
+			c.nextDue = t.nextRelease
+		}
+	}
+	c.dirty[t.Core] = true
 	return t
 }
 
@@ -76,7 +105,15 @@ func (c *CPU) Add(t *Task) *Task {
 func (c *CPU) Remove(t *Task) {
 	c.tasks = removeTask(c.tasks, t)
 	c.byCore[t.Core] = removeTask(c.byCore[t.Core], t)
+	if t.Busy() {
+		c.busy = removeTask(c.busy, t)
+	} else {
+		// nextDue may now be earlier than any remaining task's release;
+		// that only costs one spurious scan, which recomputes it.
+		c.periodic = removeTask(c.periodic, t)
+	}
 	t.active = false
+	c.dirty[t.Core] = true
 }
 
 func removeTask(s []*Task, t *Task) []*Task {
@@ -127,31 +164,47 @@ func (c *CPU) Tick(now time.Duration) {
 		c.guard.Tick(now)
 	}
 
-	// Phase 1: job releases.
-	for _, t := range c.tasks {
-		if t.Busy() {
-			if !t.active {
-				t.active = true
-				t.releaseTime = now
-			}
-			continue
-		}
-		for t.nextRelease <= now {
-			t.stats.Released++
-			if t.active {
-				// Previous job still running: skip this release.
-				t.stats.Missed++
-			} else {
-				t.active = true
-				t.remaining = t.WCET
-				t.releaseTime = t.nextRelease
-			}
-			t.nextRelease += t.Period
+	// Phase 1: job releases. Busy-loop tasks are always ready; the
+	// periodic scan runs only on ticks where some release is due and
+	// recomputes the earliest upcoming release as it goes.
+	for _, t := range c.busy {
+		if !t.active {
+			t.active = true
+			t.releaseTime = now
+			c.dirty[t.Core] = true
 		}
 	}
+	if now >= c.nextDue {
+		next := neverDue
+		for _, t := range c.periodic {
+			for t.nextRelease <= now {
+				t.stats.Released++
+				if t.active {
+					// Previous job still running: skip this release.
+					t.stats.Missed++
+				} else {
+					t.active = true
+					t.remaining = t.WCET
+					t.releaseTime = t.nextRelease
+					c.dirty[t.Core] = true
+				}
+				t.nextRelease += t.Period
+			}
+			if t.nextRelease < next {
+				next = t.nextRelease
+			}
+		}
+		c.nextDue = next
+	}
 
-	// Phase 2: pick the highest-priority active task per core.
+	// Phase 2: pick the highest-priority active task per core,
+	// rescanning only cores whose ready set changed since their last
+	// pick (the winner is stable otherwise).
 	for core := 0; core < c.cores; core++ {
+		if !c.dirty[core] {
+			continue
+		}
+		c.dirty[core] = false
 		var best *Task
 		for _, t := range c.byCore[core] {
 			if !t.active {
@@ -178,7 +231,7 @@ func (c *CPU) Tick(now time.Duration) {
 			if c.guard != nil && c.guard.Throttled(core) {
 				continue
 			}
-			d := t.AccessRate * c.tick.Seconds()
+			d := t.AccessRate * c.tickSec
 			c.demand[core] = d
 			c.bus.AddDemand(core, d)
 		}
@@ -198,7 +251,10 @@ func (c *CPU) Tick(now time.Duration) {
 			continue // core stalled: no progress, no accesses
 		}
 		frac := membw.Slowdown(lambda, t.MemBound)
-		progress := time.Duration(float64(c.tick) * frac)
+		progress := c.tick
+		if frac != 1 {
+			progress = time.Duration(float64(c.tick) * frac)
+		}
 		t.stats.RunTicks++
 		if c.bus != nil && c.demand[core] > 0 {
 			issued := c.demand[core] * frac
@@ -214,6 +270,7 @@ func (c *CPU) Tick(now time.Duration) {
 		if t.remaining <= 0 {
 			t.active = false
 			t.stats.Completed++
+			c.dirty[core] = true
 			latency := now + c.tick - t.releaseTime
 			t.stats.SumLatency += latency
 			if latency > t.stats.MaxLatency {

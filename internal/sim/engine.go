@@ -221,20 +221,29 @@ func (e *Engine) Step() {
 
 	// Merge the always-due fast list with the due slow list, both
 	// sorted by (priority, order), preserving the global invocation
-	// order of the scan-based engine.
+	// order of the scan-based engine. Most ticks have no slow process
+	// due, so that case skips the merge bookkeeping entirely.
 	fast := e.everyTick
-	i, j := 0, 0
-	for i < len(fast) || j < len(e.due) {
-		var p *procEntry
-		if j >= len(e.due) || (i < len(fast) && procLess(fast[i], e.due[j])) {
-			p = fast[i]
-			i++
-		} else {
-			p = e.due[j]
-			j++
+	if len(e.due) == 0 {
+		for _, p := range fast {
+			if p.enabled {
+				p.proc.Tick(now)
+			}
 		}
-		if p.enabled {
-			p.proc.Tick(now)
+	} else {
+		i, j := 0, 0
+		for i < len(fast) || j < len(e.due) {
+			var p *procEntry
+			if j >= len(e.due) || (i < len(fast) && procLess(fast[i], e.due[j])) {
+				p = fast[i]
+				i++
+			} else {
+				p = e.due[j]
+				j++
+			}
+			if p.enabled {
+				p.proc.Tick(now)
+			}
 		}
 	}
 

@@ -101,7 +101,14 @@ func ReadBlackbox(r io.Reader) (*FlightLog, error) {
 	count := binary.LittleEndian.Uint32(hdr[4:])
 	crashNS := int64(binary.LittleEndian.Uint64(hdr[8:]))
 
-	l := NewFlightLog()
+	// The header carries the record count, so the log is presized and
+	// replay never reallocates mid-read. The hint is capped so a
+	// corrupt or hostile header cannot commit the whole heap up front.
+	capHint := int(count)
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	l := NewFlightLogCap(capHint)
 	rec := make([]byte, 8+9*4)
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {

@@ -35,6 +35,16 @@ type FlightLog struct {
 // NewFlightLog returns an empty log.
 func NewFlightLog() *FlightLog { return &FlightLog{} }
 
+// NewFlightLogCap returns an empty log presized for n samples, so a
+// run whose sample count is known up front (duration × sample rate)
+// never reallocates in Add.
+func NewFlightLogCap(n int) *FlightLog {
+	if n < 0 {
+		n = 0
+	}
+	return &FlightLog{samples: make([]Sample, 0, n)}
+}
+
 // Add appends a sample.
 func (l *FlightLog) Add(s Sample) { l.samples = append(l.samples, s) }
 

@@ -1,0 +1,18 @@
+package containerdrone_test
+
+import (
+	"testing"
+	"time"
+
+	"containerdrone"
+	"containerdrone/internal/sim"
+)
+
+// TestTicksPerSecondMatchesKernel pins the public constant to the
+// kernel's actual tick, so SDK consumers converting durations to
+// ticks can never drift from the engine.
+func TestTicksPerSecondMatchesKernel(t *testing.T) {
+	if got := int64(time.Second / sim.Tick); got != containerdrone.TicksPerSecond {
+		t.Fatalf("kernel runs at %d ticks/s, public TicksPerSecond is %d", got, containerdrone.TicksPerSecond)
+	}
+}
