@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-short microbench fmt vet
+.PHONY: build test race bench bench-short microbench fmt vet golden golden-update fuzz
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/campaign/
+	$(GO) test -race -skip TestGoldenTraces . ./internal/campaign/
 
 # Full performance suite: emits BENCH_<timestamp>.json in the repo
 # root — the trajectory point for this commit.
@@ -24,6 +24,22 @@ bench-short: build
 # at one iteration each — a smoke pass, not a measurement.
 microbench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Golden-trace regression gate: every scenario's outcome pinned
+# bit-for-bit in testdata/golden/.
+golden:
+	$(GO) test -run 'TestGolden' .
+
+# Regenerate golden traces after an intentional behavior change;
+# review the diff like code.
+golden-update:
+	$(GO) test -run TestGoldenTraces -update .
+
+# Short local fuzz pass over the decoder and the receive rings.
+fuzz:
+	$(GO) test ./internal/mavlink -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime 30s
+	$(GO) test ./internal/mavlink -run '^$$' -fuzz FuzzDecodeMessages -fuzztime 15s
+	$(GO) test ./internal/netsim -run '^$$' -fuzz FuzzRecv -fuzztime 30s
 
 fmt:
 	gofmt -l .

@@ -143,8 +143,11 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 // collected from remote campaign workers. Times are in simulated
 // seconds so records serialize compactly and uniformly.
 type Record struct {
-	Point    string  `json:"point"`
-	Scenario string  `json:"scenario"`
+	Point    string `json:"point"`
+	Scenario string `json:"scenario"`
+	// Faults names the run's injected fault plan (empty when
+	// fault-free), e.g. "gps-spoof" or "netsplit+jitter".
+	Faults   string  `json:"faults,omitempty"`
 	Run      int     `json:"run"`
 	Seed     uint64  `json:"seed"`
 	Crashed  bool    `json:"crashed"`
@@ -176,8 +179,11 @@ type Percentiles struct {
 type Aggregate struct {
 	Point    string `json:"point"`
 	Scenario string `json:"scenario"`
-	Runs     int    `json:"runs"`
-	Errors   int    `json:"errors,omitempty"`
+	// Faults names the point's fault plan; FailoverRate doubles as
+	// the fault's detection rate.
+	Faults string `json:"faults,omitempty"`
+	Runs   int    `json:"runs"`
+	Errors int    `json:"errors,omitempty"`
 
 	Crashes   int     `json:"crashes"`
 	CrashRate float64 `json:"crash_rate"`
@@ -200,7 +206,7 @@ type Aggregate struct {
 
 func fromAggregate(a campaign.Aggregate) Aggregate {
 	return Aggregate{
-		Point: a.Point, Scenario: a.Scenario, Runs: a.Runs, Errors: a.Errors,
+		Point: a.Point, Scenario: a.Scenario, Faults: a.Faults, Runs: a.Runs, Errors: a.Errors,
 		Crashes: a.Crashes, CrashRate: a.CrashRate,
 		Failovers: a.Failovers, FailoverRate: a.FailoverRate,
 		RuleCounts:   a.RuleCounts,
@@ -213,7 +219,7 @@ func fromAggregate(a campaign.Aggregate) Aggregate {
 
 func (a Aggregate) internal() campaign.Aggregate {
 	return campaign.Aggregate{
-		Point: a.Point, Scenario: a.Scenario, Runs: a.Runs, Errors: a.Errors,
+		Point: a.Point, Scenario: a.Scenario, Faults: a.Faults, Runs: a.Runs, Errors: a.Errors,
 		Crashes: a.Crashes, CrashRate: a.CrashRate,
 		Failovers: a.Failovers, FailoverRate: a.FailoverRate,
 		RuleCounts:   a.RuleCounts,

@@ -57,6 +57,7 @@ func main() {
 		list   = flag.Bool("list", false, "list registered scenarios and exit")
 		csvDir = flag.String("csv-dir", "", "write per-figure trajectory CSVs into this directory")
 
+		faults   = flag.Bool("faults", false, "fault matrix: run every fault scenario (monitored and unmonitored) and tabulate detection/outcome")
 		scenario = flag.String("scenario", "", "run one registered scenario (see -list)")
 		seed     = flag.Uint64("seed", 1, "simulation seed / campaign base seed")
 		duration = flag.Duration("duration", 0, "flight length override (default: scenario preset)")
@@ -89,7 +90,7 @@ func main() {
 		return
 	}
 	if *all {
-		*table1, *table2 = true, true
+		*table1, *table2, *faults = true, true, true
 		for i := range figFlags {
 			*figFlags[i] = true
 		}
@@ -98,7 +99,7 @@ func main() {
 	for i := range figFlags {
 		anyFig = anyFig || *figFlags[i]
 	}
-	if !(*table1 || *table2 || anyFig) {
+	if !(*table1 || *table2 || anyFig || *faults) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -113,6 +114,67 @@ func main() {
 			runFigure(f.title, f.flagName, f.scenario, *seed, 0, *csvDir)
 		}
 	}
+	if *faults {
+		runFaultMatrix(*seed)
+	}
+}
+
+// runFaultMatrix tabulates every fault scenario the registry carries:
+// detection rule and latency with the monitor armed, outcome with and
+// without it — the fault-injection extension of the paper's Figs 4–7.
+func runFaultMatrix(seed uint64) {
+	fmt.Println("FAULT MATRIX — fault scenarios beyond the paper's threat model")
+	fmt.Printf("  %-14s %-20s %-9s %-22s %s\n",
+		"fault", "detected by", "latency", "monitored outcome", "unmonitored outcome")
+	// Fault kinds double as the monitored scenario names by
+	// construction, so a new kind appears here without a code change.
+	for _, kind := range containerdrone.FaultKinds() {
+		mon := runQuiet(kind, seed)
+		detected, latency := "-", "-"
+		if mon.Switched {
+			detected = mon.SwitchRule
+			var start float64
+			if len(mon.Faults) > 0 {
+				start = mon.Faults[0].StartS
+			}
+			latency = fmt.Sprintf("%.0fms", (mon.SwitchS-start)*1e3)
+		}
+		unmonitored := "(no unmonitored variant)"
+		if scenarioExists(kind + "-unmonitored") {
+			unmonitored = outcome(runQuiet(kind+"-unmonitored", seed))
+		}
+		fmt.Printf("  %-14s %-20s %-9s %-22s %s\n",
+			kind, detected, latency, outcome(mon), unmonitored)
+	}
+	fmt.Println()
+}
+
+func scenarioExists(name string) bool {
+	for _, s := range containerdrone.Scenarios() {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func outcome(r *containerdrone.Result) string {
+	if r.Crashed {
+		return fmt.Sprintf("CRASH at %.1fs", r.CrashS)
+	}
+	return fmt.Sprintf("max dev %.2fm", r.Metrics.MaxDeviationM)
+}
+
+func runQuiet(scenario string, seed uint64) *containerdrone.Result {
+	sim, err := containerdrone.New(scenario, containerdrone.WithSeed(seed))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	return res
 }
 
 // runScenario runs one registered scenario: a single reported flight,

@@ -1,0 +1,70 @@
+package containerdrone_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"containerdrone"
+)
+
+// runSeeded executes one registered scenario at a fixed seed and
+// returns its result. Shared by the golden and determinism suites.
+func runSeeded(t *testing.T, scenario string, seed uint64) *containerdrone.Result {
+	t.Helper()
+	sim, err := containerdrone.New(scenario, containerdrone.WithSeed(seed))
+	if err != nil {
+		t.Fatalf("build %s: %v", scenario, err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run %s: %v", scenario, err)
+	}
+	return res
+}
+
+// TestScenarioDeterminism runs every registered scenario twice with
+// the same seed and requires byte-identical serialized Results. This
+// is the guard against nondeterminism creeping into the kernel — map
+// iteration reaching an output, pooled-buffer reuse leaking order
+// dependence (the PR-3 free lists), or a time source other than the
+// engine clock. The CI race job runs this same test under -race, so
+// cross-run agreement is checked with the detector watching.
+//
+// Flights are shortened to cover every preset's attack/fault window
+// without paying two full 30–40 s flights per scenario.
+func TestScenarioDeterminism(t *testing.T) {
+	const (
+		seed     = 99
+		duration = 16 * time.Second
+	)
+	for _, sc := range containerdrone.Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func() []byte {
+				sim, err := containerdrone.New(sc.Name,
+					containerdrone.WithSeed(seed),
+					containerdrone.WithDuration(duration))
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				res, err := sim.Run(context.Background())
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				raw, err := json.Marshal(res)
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				return raw
+			}
+			a, b := run(), run()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("two identical-seed runs of %s serialized differently (%d vs %d bytes)",
+					sc.Name, len(a), len(b))
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Faults is the SDK walk-through for the fault-injection subsystem:
+// a defended-vs-undefended comparison of one preset fault scenario,
+// then composing faults onto any scenario with WithFault — a GPS
+// spoof layered over a link-jitter window on the baseline flight —
+// the API the preset fault scenarios are built from. The full fault
+// matrix (every kind, detection rule, latency) is the experiment
+// driver's job: `go run ./cmd/experiments -faults`.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"containerdrone"
+)
+
+func main() {
+	fmt.Println("defended vs undefended (mav-replay):")
+	for _, name := range []string{"mav-replay", "mav-replay-unmonitored"} {
+		r := run(name)
+		fmt.Printf("  %-24s %s", name, r.Summary())
+	}
+
+	fmt.Println("composed faults via WithFault (GPS spoof + jitter on baseline):")
+	sim, err := containerdrone.New("baseline",
+		containerdrone.WithFault(containerdrone.Fault{Kind: "gps-spoof", StartS: 10, Rate: 0.5}),
+		containerdrone.WithFault(containerdrone.Fault{Kind: "jitter", StartS: 12, DurationS: 6}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Summary())
+	for _, ax := range []containerdrone.Axis{containerdrone.AxisX, containerdrone.AxisZ} {
+		fmt.Printf("  %s %s\n", ax, res.Sparkline(ax, 60))
+	}
+	for _, ev := range res.Trace {
+		fmt.Println(" ", ev)
+	}
+}
+
+func run(scenario string) *containerdrone.Result {
+	sim, err := containerdrone.New(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := sim.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

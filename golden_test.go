@@ -1,0 +1,177 @@
+package containerdrone_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"containerdrone"
+)
+
+// The golden-trace regression suite pins every registered scenario's
+// outcome bit-for-bit at a fixed seed: detection latency, crash time,
+// tracking metrics, and a digest of the complete serialized Result
+// (every telemetry sample, violation, stream counter, and task
+// report). A future perf PR that claims "figures unchanged" proves it
+// by leaving this suite green instead of asserting it in prose.
+//
+// Regenerate after an intentional behavior change with:
+//
+//	go test -run TestGoldenTraces -update .
+//
+// and review the golden diffs like any other code change.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files from current behavior")
+
+// goldenSeed fixes the RNG for every golden run. It deliberately
+// differs from the scenario presets' seed 1 so goldens also exercise
+// the seed-override path.
+const goldenSeed = 7
+
+// goldenTrace is the committed fingerprint of one scenario run.
+type goldenTrace struct {
+	Scenario  string  `json:"scenario"`
+	Seed      uint64  `json:"seed"`
+	DurationS float64 `json:"duration_s"`
+
+	// DetectMS is the Simplex switch latency in milliseconds of
+	// simulated time from flight start; -1 when no rule fired.
+	DetectMS   float64 `json:"detect_ms"`
+	SwitchRule string  `json:"switch_rule,omitempty"`
+
+	Crashed bool    `json:"crashed"`
+	CrashMS float64 `json:"crash_ms,omitempty"`
+
+	MaxDeviationM   float64 `json:"max_deviation_m"`
+	RMSErrorM       float64 `json:"rms_error_m"`
+	Violations      int     `json:"violations"`
+	GarbagePkts     int64   `json:"garbage_pkts"`
+	Samples         int     `json:"samples"`
+	MissionComplete bool    `json:"mission_complete"`
+
+	// ResultDigest is the FNV-64a hash of the complete serialized
+	// Result — the bit-for-bit pin on everything above plus the full
+	// trajectory, trace, streams, and task reports.
+	ResultDigest string `json:"result_digest"`
+}
+
+// goldenPath returns the committed location for a scenario's trace.
+func goldenPath(scenario string) string {
+	return filepath.Join("testdata", "golden", scenario+".json")
+}
+
+// runGolden executes one scenario at the golden seed and fingerprints
+// the result.
+func runGolden(t *testing.T, scenario string) goldenTrace {
+	t.Helper()
+	res := runSeeded(t, scenario, goldenSeed)
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	g := goldenTrace{
+		Scenario:        scenario,
+		Seed:            goldenSeed,
+		DurationS:       res.DurationS,
+		DetectMS:        -1,
+		Crashed:         res.Crashed,
+		MaxDeviationM:   res.Metrics.MaxDeviationM,
+		RMSErrorM:       res.Metrics.RMSErrorM,
+		Violations:      len(res.Violations),
+		GarbagePkts:     res.GarbagePkts,
+		Samples:         len(res.Samples),
+		MissionComplete: res.MissionComplete,
+		ResultDigest:    fmt.Sprintf("%016x", h.Sum64()),
+	}
+	if res.Switched {
+		g.DetectMS = res.SwitchS * 1e3
+		g.SwitchRule = res.SwitchRule
+	}
+	if res.Crashed {
+		g.CrashMS = res.CrashS * 1e3
+	}
+	return g
+}
+
+func TestGoldenTraces(t *testing.T) {
+	scenarios := containerdrone.Scenarios()
+	if len(scenarios) < 20 {
+		t.Fatalf("registry holds %d scenarios; expected the full set", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			got := runGolden(t, sc.Name)
+			path := goldenPath(sc.Name)
+			if *updateGolden {
+				raw, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run TestGoldenTraces -update .`): %v", err)
+			}
+			var want goldenTrace
+			if err := json.Unmarshal(raw, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			// Compare the summary fields individually for a readable
+			// failure before falling back to the digest, which pins
+			// everything else.
+			if got.DetectMS != want.DetectMS || got.SwitchRule != want.SwitchRule {
+				t.Errorf("detection drifted: got %.1fms (%s), want %.1fms (%s)",
+					got.DetectMS, got.SwitchRule, want.DetectMS, want.SwitchRule)
+			}
+			if got.Crashed != want.Crashed || got.CrashMS != want.CrashMS {
+				t.Errorf("crash outcome drifted: got %v@%.1fms, want %v@%.1fms",
+					got.Crashed, got.CrashMS, want.Crashed, want.CrashMS)
+			}
+			if got.MaxDeviationM != want.MaxDeviationM || got.RMSErrorM != want.RMSErrorM {
+				t.Errorf("tracking metrics drifted: got (%v, %v), want (%v, %v)",
+					got.MaxDeviationM, got.RMSErrorM, want.MaxDeviationM, want.RMSErrorM)
+			}
+			if got != want {
+				t.Errorf("golden trace mismatch for %s:\n got %+v\nwant %+v", sc.Name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFilesMatchRegistry fails when a scenario is added without
+// a golden file, or a golden file outlives its scenario.
+func TestGoldenFilesMatchRegistry(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	want := make(map[string]bool)
+	for _, sc := range containerdrone.Scenarios() {
+		want[sc.Name+".json"] = true
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !want[e.Name()] {
+			t.Errorf("golden file %s has no registered scenario", e.Name())
+		}
+		delete(want, e.Name())
+	}
+	for name := range want {
+		t.Errorf("scenario %s has no golden file (run -update)", name)
+	}
+}

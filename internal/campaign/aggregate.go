@@ -52,8 +52,11 @@ func percentiles(vals []float64) Percentiles {
 type Aggregate struct {
 	Point    string `json:"point"`
 	Scenario string `json:"scenario"`
-	Runs     int    `json:"runs"`
-	Errors   int    `json:"errors,omitempty"`
+	// Faults names the point's injected fault plan (empty when
+	// fault-free); FailoverRate doubles as the fault's detection rate.
+	Faults string `json:"faults,omitempty"`
+	Runs   int    `json:"runs"`
+	Errors int    `json:"errors,omitempty"`
 
 	Crashes   int     `json:"crashes"`
 	CrashRate float64 `json:"crash_rate"`
@@ -96,6 +99,9 @@ func AggregateRecords(records []Record) []Aggregate {
 		ok := 0
 		for _, r := range runs {
 			agg.Scenario = r.Scenario
+			if r.Faults != "" {
+				agg.Faults = r.Faults
+			}
 			if r.Err != "" {
 				agg.Errors++
 				continue

@@ -57,8 +57,12 @@ type Spec struct {
 // Record is the outcome of one run. Times are in simulated seconds so
 // records serialize compactly and uniformly.
 type Record struct {
-	Point    string  `json:"point"`
-	Scenario string  `json:"scenario"`
+	Point    string `json:"point"`
+	Scenario string `json:"scenario"`
+	// Faults names the run's injected fault plan ("gps-spoof",
+	// "netsplit+jitter", "none"), so fault campaigns aggregate
+	// detection and crash outcomes per fault mix.
+	Faults   string  `json:"faults,omitempty"`
 	Run      int     `json:"run"`
 	Seed     uint64  `json:"seed"`
 	Crashed  bool    `json:"crashed"`
@@ -198,6 +202,9 @@ func runOne(ctx context.Context, p Point, spec Spec, pi, ri int) Record {
 		rec.Err = err.Error()
 		return rec
 	}
+	if cfg.Faults.Active() {
+		rec.Faults = cfg.Faults.String()
+	}
 	sys, err := core.New(cfg)
 	if err != nil {
 		rec.Err = err.Error()
@@ -221,8 +228,9 @@ func runOne(ctx context.Context, p Point, spec Spec, pi, ri int) Record {
 	rec.RMSError = res.Metrics.RMSError
 	rec.MaxDeviation = res.Metrics.MaxDeviation
 	for _, t := range res.Tasks {
-		if t.Core == core.CoreContainer || strings.HasPrefix(t.Name, "attack-") {
-			continue // attacker scheduling health is not a defense metric
+		if t.Core == core.CoreContainer || strings.HasPrefix(t.Name, "attack-") ||
+			strings.HasPrefix(t.Name, "fault-") {
+			continue // attacker/fault scheduling health is not a defense metric
 		}
 		if t.MissRate > rec.MissRate {
 			rec.MissRate = t.MissRate

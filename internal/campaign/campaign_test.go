@@ -238,7 +238,7 @@ func TestEmitters(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("records CSV has %d lines, want 3", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "point,scenario,run,seed") {
+	if !strings.HasPrefix(lines[0], "point,scenario,faults,run,seed") {
 		t.Fatalf("records CSV header = %q", lines[0])
 	}
 

@@ -12,7 +12,7 @@ import (
 func WriteRecordsCSV(w io.Writer, records []Record) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"point", "scenario", "run", "seed",
+		"point", "scenario", "faults", "run", "seed",
 		"crashed", "crash_s", "switched", "switch_s", "rule",
 		"rms_error_m", "max_deviation_m", "miss_rate", "err",
 	}
@@ -21,7 +21,7 @@ func WriteRecordsCSV(w io.Writer, records []Record) error {
 	}
 	for _, r := range records {
 		row := []string{
-			r.Point, r.Scenario,
+			r.Point, r.Scenario, r.Faults,
 			strconv.Itoa(r.Run), strconv.FormatUint(r.Seed, 10),
 			strconv.FormatBool(r.Crashed), f(r.CrashS),
 			strconv.FormatBool(r.Switched), f(r.SwitchS), r.Rule,
@@ -39,7 +39,7 @@ func WriteRecordsCSV(w io.Writer, records []Record) error {
 func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"point", "scenario", "runs", "errors",
+		"point", "scenario", "faults", "runs", "errors",
 		"crash_rate", "failover_rate",
 		"switch_s_p50", "switch_s_p90", "switch_s_p99", "switch_s_max",
 		"miss_rate_p50", "miss_rate_p90", "miss_rate_p99", "miss_rate_max",
@@ -50,7 +50,7 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	}
 	for _, a := range aggs {
 		row := []string{
-			a.Point, a.Scenario, strconv.Itoa(a.Runs), strconv.Itoa(a.Errors),
+			a.Point, a.Scenario, a.Faults, strconv.Itoa(a.Runs), strconv.Itoa(a.Errors),
 			f(a.CrashRate), f(a.FailoverRate),
 			f(a.SwitchS.P50), f(a.SwitchS.P90), f(a.SwitchS.P99), f(a.SwitchS.Max),
 			f(a.MissRate.P50), f(a.MissRate.P90), f(a.MissRate.P99), f(a.MissRate.Max),

@@ -15,6 +15,7 @@ import (
 
 	"containerdrone/internal/attack"
 	"containerdrone/internal/control"
+	"containerdrone/internal/fault"
 	"containerdrone/internal/monitor"
 	"containerdrone/internal/physics"
 	"containerdrone/internal/sensors"
@@ -85,6 +86,12 @@ type Config struct {
 
 	// Attack is the adversary's plan.
 	Attack attack.Plan
+
+	// Faults is the environment's plan: timed sensor, network,
+	// scheduler, and airframe failures injected on top of (or instead
+	// of) the in-container adversary. Faults compose — several may
+	// overlap in one flight.
+	Faults fault.Plan
 
 	// BusCapacity is the DRAM service rate in accesses/second. The
 	// latency-inflation factor λ folds in bank-conflict amplification,

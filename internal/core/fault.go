@@ -1,0 +1,317 @@
+package core
+
+import (
+	"time"
+
+	"containerdrone/internal/fault"
+	"containerdrone/internal/netsim"
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sched"
+)
+
+// faultStepPeriod is the cadence of time-varying injectors (spoof
+// drift, rotor decay): 100 Hz tracks a drifting fault far faster than
+// any sensor that observes it.
+const faultStepPeriod = 10 * time.Millisecond
+
+// replaySourcePort identifies the on-path replay adversary on the
+// bridge. It is not the container: a MAVLink replay needs only a tap
+// on the shared medium, which is why it evades the container's
+// cpuset/priority/namespace confinement entirely.
+var replaySource = netsim.Addr{Host: "mitm", Port: 45000}
+
+// scheduleFaults arms every fault in the configured plan. Each spec
+// becomes one fault.Injector closing over the surface it corrupts;
+// fault.Arm sequences Begin/Step/End on the engine.
+func (s *System) scheduleFaults() {
+	for i, sp := range s.Cfg.Faults.Specs {
+		sp = sp.WithDefaults()
+		name := "fault-" + sp.Kind.String()
+		if len(s.Cfg.Faults.Specs) > 1 {
+			name += string(rune('0' + i%10))
+		}
+		inj, stepPeriod := s.buildInjector(sp)
+		if inj == nil {
+			continue
+		}
+		fault.Arm(s.Engine, name, s.Cfg.Duration, sp, inj, stepPeriod)
+	}
+	if s.Cfg.Faults.Has(fault.KindMAVReplay) {
+		// Capture legitimate motor frames ahead of the replay window.
+		// The cap is the largest capture magnitude across replay specs.
+		maxCap := 0
+		for _, sp := range s.Cfg.Faults.Specs {
+			if sp.Kind == fault.KindMAVReplay {
+				if n := int(sp.WithDefaults().Magnitude); n > maxCap {
+					maxCap = n
+				}
+			}
+		}
+		s.replayMax = maxCap
+		s.replayFrames = make([][]byte, 0, maxCap)
+	}
+}
+
+// buildInjector maps one fault spec to its injector and Step cadence
+// (zero for window-only faults).
+func (s *System) buildInjector(sp fault.Spec) (fault.Injector, time.Duration) {
+	switch sp.Kind {
+	case fault.KindGPSSpoof:
+		return s.gpsSpoofInjector(sp), faultStepPeriod
+	case fault.KindIMUBias:
+		return s.imuBiasInjector(sp), 0
+	case fault.KindBaroDrop:
+		return s.baroDropInjector(), 0
+	case fault.KindNetSplit:
+		return s.netSplitInjector(), 0
+	case fault.KindMAVReplay:
+		period := time.Duration(float64(time.Second) / sp.Rate)
+		return s.mavReplayInjector(sp), period
+	case fault.KindJitter:
+		return s.jitterInjector(sp), 0
+	case fault.KindPrioInv:
+		return s.prioInvInjector(sp), 0
+	case fault.KindRotorDecay:
+		return s.rotorDecayInjector(sp), faultStepPeriod
+	default:
+		return nil, 0
+	}
+}
+
+// gpsSpoofInjector drifts the GPS/Vicon position offset: the spoofer
+// walks its lie away from the truth at Rate m/s (+X), starting from
+// Magnitude meters. The position controller chases the lie, so the
+// vehicle physically drifts the opposite way while every estimator —
+// host and CCE alike — still believes it is on station. This is the
+// stealth fault: no rule observable from spoofed state can fire.
+//
+// The injector tracks its own contribution and adds/removes it from
+// the shared offset, so overlapping spoof windows compose additively.
+func (s *System) gpsSpoofInjector(sp fault.Spec) fault.Injector {
+	var start time.Duration
+	var applied physics.Vec3
+	retarget := func(to physics.Vec3) {
+		f := s.suite.Faults()
+		f.GPSOffset = f.GPSOffset.Sub(applied).Add(to)
+		s.suite.SetFaults(f)
+		applied = to
+	}
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			start = now
+			s.gpsSpoofDepth++
+			s.Trace.Add(now, "fault", "gps-spoof begins: drift %.2f m/s", sp.Rate)
+		},
+		StepF: func(now time.Duration) {
+			retarget(physics.Vec3{X: sp.Magnitude + sp.Rate*(now-start).Seconds()})
+		},
+		EndF: func(now time.Duration) {
+			retarget(physics.Vec3{})
+			s.gpsSpoofDepth--
+			if s.gpsSpoofDepth == 0 {
+				// Snap the accumulated contributions to exactly zero:
+				// float add/subtract of overlapping windows leaves dust.
+				f := s.suite.Faults()
+				f.GPSOffset = physics.Vec3{}
+				s.suite.SetFaults(f)
+			}
+			s.Trace.Add(now, "fault", "gps-spoof ends")
+		},
+	}
+}
+
+// imuBiasInjector switches a constant extra gyro bias on: the
+// estimator integrates the lie, the controllers fight the resulting
+// phantom rotation, and the real attitude diverges until the
+// accelerometer correction balances the bias. Contributions are
+// additive, so overlapping bias windows compose.
+func (s *System) imuBiasInjector(sp fault.Spec) fault.Injector {
+	bias := physics.Vec3{X: sp.Magnitude}
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			s.gyroBiasDepth++
+			f := s.suite.Faults()
+			f.GyroBias = f.GyroBias.Add(bias)
+			s.suite.SetFaults(f)
+			s.Trace.Add(now, "fault", "imu-bias begins: %.3f rad/s", sp.Magnitude)
+		},
+		EndF: func(now time.Duration) {
+			s.gyroBiasDepth--
+			f := s.suite.Faults()
+			f.GyroBias = f.GyroBias.Sub(bias)
+			if s.gyroBiasDepth == 0 {
+				// Snap to exactly zero (see gpsSpoofInjector).
+				f.GyroBias = physics.Vec3{}
+			}
+			s.suite.SetFaults(f)
+			s.Trace.Add(now, "fault", "imu-bias ends")
+		},
+	}
+}
+
+// baroDropInjector wedges the barometer driver: SampleBaro returns
+// the last healthy reading, timestamp and all, until the window ends.
+// Depth-counted so overlapping windows heal only when the last closes.
+func (s *System) baroDropInjector() fault.Injector {
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			s.baroDropDepth++
+			f := s.suite.Faults()
+			f.BaroFrozen = true
+			s.suite.SetFaults(f)
+			s.Trace.Add(now, "fault", "baro-drop begins")
+		},
+		EndF: func(now time.Duration) {
+			s.baroDropDepth--
+			if s.baroDropDepth == 0 {
+				f := s.suite.Faults()
+				f.BaroFrozen = false
+				s.suite.SetFaults(f)
+			}
+			s.Trace.Add(now, "fault", "baro-drop ends")
+		},
+	}
+}
+
+// netSplitInjector partitions the HCE↔CCE bridge in both directions:
+// sensor frames stop reaching the container and motor frames stop
+// reaching the host — docker0 going down mid-flight. The
+// receiving-interval rule is the designed detector. Depth-counted so
+// overlapping windows heal only when the last closes.
+func (s *System) netSplitInjector() fault.Injector {
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			s.splitDepth++
+			s.Net.SetPartition(hceHost, s.CCE.NetHost(), true)
+			s.Trace.Add(now, "fault", "netsplit begins: %s <-> %s partitioned", hceHost, s.CCE.NetHost())
+		},
+		EndF: func(now time.Duration) {
+			s.splitDepth--
+			if s.splitDepth == 0 {
+				s.Net.SetPartition(hceHost, s.CCE.NetHost(), false)
+			}
+			s.Trace.Add(now, "fault", "netsplit heals")
+		},
+	}
+}
+
+// mavReplayInjector replays captured motor frames from an on-path
+// tap: frames are cryptographically valid MAVLink (correct CRC, known
+// msgid), so the receiver accepts them and the interval rule stays
+// satisfied — but the commands are stale, steering the vehicle with
+// the past. Only the attitude/envelope rules can notice.
+func (s *System) mavReplayInjector(sp fault.Spec) fault.Injector {
+	var route *netsim.Route
+	var idx int
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			route = s.Net.Route(replaySource, netsim.Addr{Host: hceHost, Port: PortMotor})
+			s.Trace.Add(now, "fault", "mav-replay begins: %d captured frames at %.0f/s",
+				len(s.replayFrames), sp.Rate)
+		},
+		StepF: func(now time.Duration) {
+			if len(s.replayFrames) == 0 {
+				return
+			}
+			route.Send(s.replayFrames[idx])
+			idx++
+			if idx == len(s.replayFrames) {
+				idx = 0
+			}
+		},
+		EndF: func(now time.Duration) {
+			s.Trace.Add(now, "fault", "mav-replay ends")
+		},
+	}
+}
+
+// jitterInjector degrades the bridge with gaussian extra latency and
+// independent loss. Large jitter relative to the 2.5 ms motor period
+// also reorders frames, since delivery follows per-packet deadlines.
+// The healthy link is captured once when the first jitter window
+// opens; while windows overlap the link runs the most recently
+// opened window still active (a closing window reapplies the next
+// one down the stack), and the last End heals to the captured
+// baseline — composed jitter faults cannot leave a degraded link
+// behind nor keep a closed window's severity.
+func (s *System) jitterInjector(sp fault.Spec) fault.Injector {
+	degraded := &netsim.LinkParams{
+		Jitter: time.Duration(sp.Magnitude * float64(time.Second)),
+		Loss:   sp.Rate,
+	}
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			if len(s.jitterStack) == 0 {
+				s.baseLink = s.Net.Link()
+			}
+			degraded.Latency = s.baseLink.Latency
+			s.jitterStack = append(s.jitterStack, degraded)
+			s.Net.SetLink(*degraded)
+			s.Trace.Add(now, "fault", "jitter begins: σ=%.0fms loss=%.0f%%",
+				sp.Magnitude*1e3, sp.Rate*100)
+		},
+		EndF: func(now time.Duration) {
+			for i, p := range s.jitterStack {
+				if p == degraded {
+					s.jitterStack = append(s.jitterStack[:i], s.jitterStack[i+1:]...)
+					break
+				}
+			}
+			if n := len(s.jitterStack); n > 0 {
+				s.Net.SetLink(*s.jitterStack[n-1])
+			} else {
+				s.Net.SetLink(s.baseLink)
+			}
+			s.Trace.Add(now, "fault", "jitter ends")
+		},
+	}
+}
+
+// prioInvInjector starves the safety core: a busy spinner above
+// driver priority occupies the core carrying the safety controller,
+// the receiver, and the monitor itself. While it runs nothing on that
+// core executes — including detection; the interval rule can only
+// fire after the burst ends and the monitor task runs again.
+func (s *System) prioInvInjector(sp fault.Spec) fault.Injector {
+	var task *sched.Task
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			task = fault.PrioInversion(CoreSafety, int(sp.Magnitude))
+			s.CPU.Add(task)
+			s.Trace.Add(now, "fault", "prio-inv begins: FIFO %d spinner on core %d",
+				task.Priority, task.Core)
+		},
+		EndF: func(now time.Duration) {
+			if task != nil {
+				s.CPU.Remove(task)
+				task = nil
+			}
+			s.Trace.Add(now, "fault", "prio-inv ends")
+		},
+	}
+}
+
+// rotorDecayInjector ramps rotor 0's thrust efficiency down by Rate
+// per second until Magnitude of it is gone. The asymmetric thrust
+// deficit torques the airframe continuously; damage is permanent — a
+// closing window stops the decay but does not restore the rotor.
+func (s *System) rotorDecayInjector(sp fault.Spec) fault.Injector {
+	var start time.Duration
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			start = now
+			s.Trace.Add(now, "fault", "rotor-decay begins: rotor 0, %.0f%% loss at %.0f%%/s",
+				sp.Magnitude*100, sp.Rate*100)
+		},
+		StepF: func(now time.Duration) {
+			loss := sp.Rate * (now - start).Seconds()
+			if loss > sp.Magnitude {
+				loss = sp.Magnitude
+			}
+			s.Quad.SetRotorEfficiency(0, 1-loss)
+		},
+		EndF: func(now time.Duration) {
+			s.Trace.Add(now, "fault", "rotor-decay ends (damage persists)")
+		},
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"containerdrone/internal/attack"
 	"containerdrone/internal/control"
+	"containerdrone/internal/fault"
 	"containerdrone/internal/monitor"
 	"containerdrone/internal/physics"
 )
@@ -148,6 +149,29 @@ var paramSetters = map[string]struct {
 
 	"attack.start": {"attack start time (s)", func(c *Config, v float64) { c.Attack.Start = seconds(v) }},
 	"attack.rate":  {"attack intensity (accesses/s or pkt/s)", func(c *Config, v float64) { c.Attack.Rate = v }},
+
+	// Fault setters apply to every spec in the plan; single-fault
+	// scenarios (all the presets) sweep exactly as expected.
+	"fault.start": {"fault window start (s)", func(c *Config, v float64) {
+		for i := range c.Faults.Specs {
+			c.Faults.Specs[i].Start = seconds(v)
+		}
+	}},
+	"fault.duration": {"fault window length (s, 0=to end of run)", func(c *Config, v float64) {
+		for i := range c.Faults.Specs {
+			c.Faults.Specs[i].Duration = seconds(v)
+		}
+	}},
+	"fault.magnitude": {"fault severity (kind-specific; see internal/fault)", func(c *Config, v float64) {
+		for i := range c.Faults.Specs {
+			c.Faults.Specs[i].Magnitude = v
+		}
+	}},
+	"fault.rate": {"fault intensity (kind-specific; see internal/fault)", func(c *Config, v float64) {
+		for i := range c.Faults.Specs {
+			c.Faults.Specs[i].Rate = v
+		}
+	}},
 
 	"memguard.enabled": {"MemGuard on/off (1/0)", func(c *Config, v float64) { c.MemGuardEnabled = v != 0 }},
 	"memguard.budget":  {"CCE bandwidth budget (accesses/s)", func(c *Config, v float64) { c.MemGuardBudget = v }},
@@ -312,6 +336,86 @@ func init() {
 			cfg.Envelope = monitor.DefaultEnvelopeRules()
 			return cfg
 		})
+}
+
+// faultConfig is the shared base of the fault scenarios: the full
+// ContainerDrone deployment with the extended envelope rules armed
+// (faults stress physical state in ways the paper's two rules alone
+// may miss), injecting one fault spec. Unmonitored variants disable
+// the monitor to measure the undefended outcome.
+func faultConfig(kind fault.Kind, start, dur time.Duration, monitored bool) Config {
+	cfg := DefaultConfig()
+	cfg.Envelope = monitor.DefaultEnvelopeRules()
+	cfg.MonitorEnabled = monitored
+	cfg.Faults = fault.Plan{Specs: []fault.Spec{{Kind: kind, Start: start, Duration: dur}}}
+	return cfg
+}
+
+// The fault scenario set: eight failure modes the paper never
+// measured, each registered with an unmonitored variant where the
+// monitored/unmonitored comparison is informative. Magnitudes and
+// rates use the fault package defaults; sweep fault.* params to vary
+// them.
+func init() {
+	Register("gps-spoof",
+		"GPS/Vicon spoof drifting 0.5 m/s from 10s — the stealth fault: every estimator believes the lie, the vehicle walks off station undetected",
+		func(Options) Config { return faultConfig(fault.KindGPSSpoof, 10*time.Second, 0, true) })
+
+	Register("gps-spoof-unmonitored",
+		"GPS spoof with the monitor disabled — identical trajectory to gps-spoof, demonstrating the monitor is blind to spoofed state",
+		func(Options) Config { return faultConfig(fault.KindGPSSpoof, 10*time.Second, 0, false) })
+
+	Register("imu-bias",
+		"0.08 rad/s gyro bias injected at 10s — estimator integrates the lie; attitude rule should catch the divergence",
+		func(Options) Config { return faultConfig(fault.KindIMUBias, 10*time.Second, 0, true) })
+
+	Register("imu-bias-unmonitored",
+		"gyro bias with the monitor disabled — the undefended outcome of imu-bias",
+		func(Options) Config { return faultConfig(fault.KindIMUBias, 10*time.Second, 0, false) })
+
+	Register("baro-drop",
+		"barometer wedges at 10s, repeating its last reading — altitude flows from the fused estimate, so the flight should shrug",
+		func(Options) Config { return faultConfig(fault.KindBaroDrop, 10*time.Second, 0, true) })
+
+	Register("netsplit",
+		"HCE↔CCE bridge partitioned 10–15s — receiving-interval rule must fire within its threshold",
+		func(Options) Config { return faultConfig(fault.KindNetSplit, 10*time.Second, 5*time.Second, true) })
+
+	Register("netsplit-unmonitored",
+		"bridge partition with the monitor disabled — the vehicle flies 5s on frozen motor commands",
+		func(Options) Config { return faultConfig(fault.KindNetSplit, 10*time.Second, 5*time.Second, false) })
+
+	Register("mav-replay",
+		"on-path adversary replays captured motor frames from 12s — valid CRCs keep the interval rule happy; only attitude/envelope can notice",
+		func(Options) Config { return faultConfig(fault.KindMAVReplay, 12*time.Second, 0, true) })
+
+	Register("mav-replay-unmonitored",
+		"MAVLink replay with the monitor disabled — the undefended outcome of mav-replay",
+		func(Options) Config { return faultConfig(fault.KindMAVReplay, 12*time.Second, 0, false) })
+
+	Register("jitter",
+		"bridge degrades at 8s: 20ms σ jitter + 20% loss reorders and starves the 400 Hz motor stream",
+		func(Options) Config { return faultConfig(fault.KindJitter, 8*time.Second, 0, true) })
+
+	Register("prio-inv",
+		"FIFO-95 spinner seizes the safety core for 400ms at 10s — detection itself is starved until the burst ends",
+		func(Options) Config {
+			return faultConfig(fault.KindPrioInv, 10*time.Second, 400*time.Millisecond, true)
+		})
+
+	Register("prio-inv-unmonitored",
+		"priority-inversion burst with the monitor disabled — transient control gap, no failover",
+		func(Options) Config {
+			return faultConfig(fault.KindPrioInv, 10*time.Second, 400*time.Millisecond, false)
+		})
+
+	Register("rotor-decay",
+		"rotor 0 loses 35% thrust efficiency from 10s (8%/s) — asymmetric damage the controllers must fight",
+		func(Options) Config { return faultConfig(fault.KindRotorDecay, 10*time.Second, 0, true) })
+
+	Register("rotor-decay-unmonitored",
+		"rotor decay with the monitor disabled — the undefended outcome of rotor-decay",
+		func(Options) Config { return faultConfig(fault.KindRotorDecay, 10*time.Second, 0, false) })
 }
 
 // memDoSConfig is the deployment of the memory experiments: complex

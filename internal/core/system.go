@@ -116,6 +116,25 @@ type System struct {
 	recvTask    *sched.Task
 	flood       *attack.Flood
 
+	// MAVLink replay capture: when the fault plan includes mav-replay,
+	// the receiving thread copies the first replayMax valid motor
+	// frames it sees — the adversary's tap on the bridge.
+	replayFrames [][]byte
+	replayMax    int
+
+	// Shared-surface fault accounting, so same-kind fault windows can
+	// overlap without one injector's End healing a surface another
+	// injector still degrades (see fault.go).
+	splitDepth    int
+	baroDropDepth int
+	gyroBiasDepth int
+	gpsSpoofDepth int
+	// jitterStack holds the link parameters of every open jitter
+	// window, in Begin order; the link runs the newest open window's
+	// parameters and heals to baseLink when the stack empties.
+	jitterStack []*netsim.LinkParams
+	baseLink    netsim.LinkParams
+
 	streams map[string]*StreamStat
 	// Per-stream stat pointers, resolved once at wiring time so the
 	// per-frame hot paths never hash the streams map.
@@ -139,6 +158,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.BusCapacity <= 0 {
 		return nil, fmt.Errorf("core: non-positive bus capacity %v", cfg.BusCapacity)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	// Presize the flight log for the whole run (+1 for the t=0 sample)
 	// so steady-state Add never reallocates.
@@ -273,6 +295,7 @@ func New(cfg Config) (*System, error) {
 	}
 	s.buildEngineProcs()
 	s.scheduleAttack()
+	s.scheduleFaults()
 
 	if cfg.MonitorEnabled {
 		s.Engine.At(cfg.ArmDelay, func(now time.Duration) {
@@ -426,6 +449,11 @@ func (s *System) drainMotorPort(now time.Duration) {
 		if err != nil {
 			s.garbage++
 			continue
+		}
+		if len(s.replayFrames) < s.replayMax {
+			// Copy: pkt.Payload is a pooled buffer, invalid after the
+			// next receive call on this endpoint.
+			s.replayFrames = append(s.replayFrames, append([]byte(nil), pkt.Payload...))
 		}
 		s.complexCmd = cmd.Motors
 		s.complexCmdAt = now

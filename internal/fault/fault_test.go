@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"containerdrone/internal/sim"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range append(Kinds(), KindNone) {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("definitely-not-a-fault"); err == nil {
+		t.Fatal("ParseKind accepted an unknown kind")
+	}
+}
+
+func TestWithDefaultsFillsOnlyZeroFields(t *testing.T) {
+	sp := Spec{Kind: KindMAVReplay, Rate: 123}.WithDefaults()
+	if sp.Rate != 123 {
+		t.Fatalf("explicit Rate overwritten: %v", sp.Rate)
+	}
+	if sp.Magnitude != DefaultReplayCapture {
+		t.Fatalf("Magnitude default = %v, want %v", sp.Magnitude, DefaultReplayCapture)
+	}
+	if d := (Spec{Kind: KindRotorDecay}).WithDefaults(); d.Magnitude != DefaultRotorDecayLoss || d.Rate != DefaultRotorDecayPerSec {
+		t.Fatalf("rotor-decay defaults = %+v", d)
+	}
+	// Window-only kinds have no numeric defaults.
+	if d := (Spec{Kind: KindNetSplit}).WithDefaults(); d.Magnitude != 0 || d.Rate != 0 {
+		t.Fatalf("netsplit gained spurious defaults: %+v", d)
+	}
+}
+
+func TestSpecEnd(t *testing.T) {
+	run := 30 * time.Second
+	if _, ok := (Spec{Start: 10 * time.Second}).End(run); ok {
+		t.Fatal("zero Duration must have no end event")
+	}
+	if _, ok := (Spec{Start: 28 * time.Second, Duration: 5 * time.Second}).End(run); ok {
+		t.Fatal("window past the run must have no end event")
+	}
+	end, ok := (Spec{Start: 10 * time.Second, Duration: 5 * time.Second}).End(run)
+	if !ok || end != 15*time.Second {
+		t.Fatalf("End = %v, %v", end, ok)
+	}
+}
+
+func TestPlanStringAndQueries(t *testing.T) {
+	var p Plan
+	if p.Active() || p.String() != "none" {
+		t.Fatalf("zero plan: active=%v str=%q", p.Active(), p)
+	}
+	p = Plan{Specs: []Spec{{Kind: KindNetSplit}, {Kind: KindJitter}}}
+	if !p.Active() || !p.Has(KindJitter) || p.Has(KindGPSSpoof) {
+		t.Fatalf("plan queries wrong: %+v", p)
+	}
+	if got := p.String(); got != "netsplit+jitter" {
+		t.Fatalf("plan string = %q", got)
+	}
+}
+
+// countingInjector records the lifecycle calls Arm drives.
+type countingInjector struct {
+	begins, steps, ends int
+	beganAt, endedAt    time.Duration
+}
+
+func (c *countingInjector) Begin(now time.Duration) { c.begins++; c.beganAt = now }
+func (c *countingInjector) Step(time.Duration)      { c.steps++ }
+func (c *countingInjector) End(now time.Duration)   { c.ends++; c.endedAt = now }
+
+func TestArmDrivesWindowLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	run := 100 * time.Millisecond
+	sp := Spec{Kind: KindRotorDecay, Start: 20 * time.Millisecond, Duration: 30 * time.Millisecond}
+	inj := &countingInjector{}
+	Arm(e, "fault-test", run, sp, inj, 10*time.Millisecond)
+	e.Run(run)
+
+	if inj.begins != 1 || inj.ends != 1 {
+		t.Fatalf("begins=%d ends=%d, want 1/1", inj.begins, inj.ends)
+	}
+	if inj.beganAt != sp.Start {
+		t.Fatalf("began at %v, want %v", inj.beganAt, sp.Start)
+	}
+	if inj.endedAt != 50*time.Millisecond {
+		t.Fatalf("ended at %v, want 50ms", inj.endedAt)
+	}
+	// Step runs only inside the open window (30 ms at a 10 ms cadence).
+	if inj.steps < 2 || inj.steps > 4 {
+		t.Fatalf("steps = %d, want ~3 (window-gated)", inj.steps)
+	}
+}
+
+func TestArmWithoutEndKeepsFaultActive(t *testing.T) {
+	e := sim.NewEngine()
+	run := 100 * time.Millisecond
+	inj := &countingInjector{}
+	Arm(e, "fault-test", run, Spec{Start: 50 * time.Millisecond}, inj, 10*time.Millisecond)
+	e.Run(run)
+	if inj.begins != 1 || inj.ends != 0 {
+		t.Fatalf("begins=%d ends=%d, want 1/0 (no window close)", inj.begins, inj.ends)
+	}
+	if inj.steps == 0 {
+		t.Fatal("stepping injector never stepped")
+	}
+}
+
+func TestPrioInversionTask(t *testing.T) {
+	task := PrioInversion(1, 95)
+	if task.Period != 0 {
+		t.Fatal("inversion spinner must be a busy-loop task")
+	}
+	if task.Core != 1 || task.Priority != 95 {
+		t.Fatalf("task placement = core %d prio %d", task.Core, task.Priority)
+	}
+}

@@ -3,6 +3,9 @@ package mavlink
 import (
 	"bytes"
 	"testing"
+
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sensors"
 )
 
 // FuzzDecode exercises the frame parser against arbitrary bytes: it
@@ -15,6 +18,20 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xFE})
 	f.Add(bytes.Repeat([]byte{0xA5}, 64)) // the flood payload
+	// Captured-traffic seeds: frames as the wire actually carries them
+	// mid-flight, plus the mutations the replay/jitter faults produce
+	// (truncation, a flipped CRC byte, two frames back to back).
+	for _, frame := range capturedFrames() {
+		f.Add(frame)
+		if len(frame) > 4 {
+			f.Add(frame[:len(frame)/2]) // truncated mid-payload
+			bad := append([]byte(nil), frame...)
+			bad[len(bad)-1] ^= 0xFF // corrupted checksum
+			f.Add(bad)
+		}
+	}
+	all := capturedFrames()
+	f.Add(append(append([]byte(nil), all[0]...), all[1]...)) // coalesced datagrams
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, n, err := Decode(data)
 		if err != nil {
@@ -30,12 +47,42 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// capturedFrames returns realistic Table-I frames — the seed corpus
+// a bridge tap would record in steady flight: every stream with
+// in-envelope values and live sequence/timestamp fields.
+func capturedFrames() [][]byte {
+	imu := sensors.IMUReading{
+		TimeUS: 12_504_000,
+		Gyro:   physics.Vec3{X: 0.01, Y: -0.02, Z: 0.001},
+		Accel:  physics.Vec3{Z: 9.81},
+		Quat:   physics.FromEuler(0.02, -0.01, 0.5),
+	}
+	baro := sensors.BaroReading{TimeUS: 12_500_000, Pressure: 101322.7, AltM: 1.002, TempC: 22}
+	gps := sensors.GPSReading{
+		TimeUS: 12_500_000,
+		Pos:    physics.Vec3{X: 0.01, Y: -0.02, Z: 1.0},
+		Vel:    physics.Vec3{X: 0.1}, NumSats: 12, FixOK: true,
+	}
+	rc := sensors.RCReading{TimeUS: 12_500_000, Throttle: 0.5, Mode: sensors.ModePosition}
+	motor := MotorCommand{TimeUS: 12_502_500, Motors: [4]float64{0.52, 0.51, 0.52, 0.51}, Seq: 5001, Armed: true}
+	return [][]byte{
+		Encode(Frame{Seq: 17, SysID: 1, CompID: 1, MsgID: MsgIDIMU, Payload: EncodeIMU(imu)}),
+		Encode(Frame{Seq: 18, SysID: 1, CompID: 1, MsgID: MsgIDBaro, Payload: EncodeBaro(baro)}),
+		Encode(Frame{Seq: 19, SysID: 1, CompID: 1, MsgID: MsgIDGPS, Payload: EncodeGPS(gps)}),
+		Encode(Frame{Seq: 20, SysID: 1, CompID: 1, MsgID: MsgIDRC, Payload: EncodeRC(rc)}),
+		Encode(Frame{Seq: 201, SysID: 2, CompID: 1, MsgID: MsgIDMotor, Payload: EncodeMotor(motor)}),
+	}
+}
+
 // FuzzDecodeMessages feeds arbitrary payloads to every message
 // decoder; none may panic.
 func FuzzDecodeMessages(f *testing.F) {
 	f.Add(make([]byte, IMUPayloadSize))
 	f.Add(make([]byte, MotorPayloadSize))
 	f.Add([]byte{})
+	for _, frame := range capturedFrames() {
+		f.Add(frame[6 : len(frame)-2]) // the payload region of each capture
+	}
 	f.Fuzz(func(t *testing.T, p []byte) {
 		_, _ = DecodeIMU(p)
 		_, _ = DecodeBaro(p)

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestDrainPayloadAliasing pins the package's payload-ownership
+// contract (see the package godoc): a payload handed out by
+// Recv/Drain is a pooled buffer, valid only until the next receive
+// call on the endpoint — after the pool recycles it into a later
+// send, the retained slice observes the NEW datagram's bytes. The
+// test demonstrates both halves: the retained reference is clobbered,
+// and a copy taken before the next receive call survives. If buffer
+// recycling ever changes (copy-on-hand-out, GC ownership), this test
+// fails and the contract comment must change with it.
+func TestDrainPayloadAliasing(t *testing.T) {
+	n := New(nil, nil)
+	src := Addr{Host: "a", Port: 1}
+	dst := Addr{Host: "b", Port: 2}
+	ep := n.Bind(dst, 8)
+	now := time.Duration(0)
+	deliver := func(payload string) {
+		if !n.Send(src, dst, []byte(payload)) {
+			t.Fatalf("send %q failed", payload)
+		}
+		now += time.Millisecond
+		n.Step(now)
+	}
+
+	// Batch 1: drain and retain the payload across receive calls —
+	// the misuse the contract warns about — plus a defensive copy,
+	// the documented correct pattern.
+	deliver("first--datagram")
+	first := ep.Drain()
+	retained := first[0].Payload
+	copied := append([]byte(nil), retained...)
+
+	// Batch 2: the next Drain recycles batch 1's buffer to the pool.
+	deliver("second-datagram")
+	second := ep.Drain()
+	if !bytes.Equal(second[0].Payload, []byte("second-datagram")) {
+		t.Fatalf("second drain = %q", second[0].Payload)
+	}
+	// The scratch slice itself is also reused: both drains return the
+	// same backing array.
+	if &first[0] != &second[0] {
+		t.Error("Drain scratch slice was reallocated; contract comment in the godoc is stale")
+	}
+
+	// Batch 3: the pool hands batch 1's buffer to this send — the
+	// retained slice now silently shows the third datagram's bytes.
+	deliver("third--datagram")
+	ep.Drain()
+	if bytes.Equal(retained, []byte("first--datagram")) {
+		t.Error("retained payload survived two receive calls; pooling contract no longer holds — update the godoc")
+	}
+	if !bytes.Equal(retained, []byte("third--datagram")) {
+		t.Errorf("retained payload = %q, want it clobbered by the recycled send", retained)
+	}
+	if !bytes.Equal(copied, []byte("first--datagram")) {
+		t.Errorf("defensive copy corrupted: %q", copied)
+	}
+}
+
+// TestSetPartition covers the fault layer's network-split switch:
+// blocking is bidirectional, queryable via Partitioned, counted in
+// DroppedSplit, and fully healed by the off switch.
+func TestSetPartition(t *testing.T) {
+	n := New(nil, nil)
+	a := Addr{Host: "hce", Port: 1}
+	b := Addr{Host: "cce", Port: 2}
+	epA := n.Bind(a, 4)
+	epB := n.Bind(b, 4)
+
+	n.SetPartition("hce", "cce", true)
+	if !n.Partitioned("hce", "cce") || !n.Partitioned("cce", "hce") {
+		t.Fatal("partition must block both directions")
+	}
+	if n.Partitioned("hce", "mitm") {
+		t.Fatal("unrelated host pair reported partitioned")
+	}
+	if n.Send(a, b, []byte("x")) || n.Send(b, a, []byte("y")) {
+		t.Fatal("send across an open partition succeeded")
+	}
+	if epB.Stats().DroppedSplit != 1 || epA.Stats().DroppedSplit != 1 {
+		t.Fatalf("DroppedSplit = %d/%d, want 1/1", epB.Stats().DroppedSplit, epA.Stats().DroppedSplit)
+	}
+
+	n.SetPartition("hce", "cce", false)
+	if n.Partitioned("hce", "cce") || n.Partitioned("cce", "hce") {
+		t.Fatal("partition not healed")
+	}
+	if !n.Send(a, b, []byte("x")) {
+		t.Fatal("send after heal failed")
+	}
+	// Healing an already-healed pair on a nil map must be a no-op.
+	fresh := New(nil, nil)
+	fresh.SetPartition("x", "y", false)
+	if fresh.Partitioned("x", "y") {
+		t.Fatal("no-op heal created a partition")
+	}
+}
+
+// TestRecvPayloadValidUntilNextReceive verifies the positive half of
+// the contract: between receive calls the handed payload is stable,
+// even while new traffic is in flight and delivered.
+func TestRecvPayloadValidUntilNextReceive(t *testing.T) {
+	n := New(nil, nil)
+	src := Addr{Host: "a", Port: 1}
+	dst := Addr{Host: "b", Port: 2}
+	ep := n.Bind(dst, 8)
+
+	n.Send(src, dst, []byte("hold-me"))
+	n.Step(time.Millisecond)
+	pkt, ok := ep.Recv()
+	if !ok {
+		t.Fatal("no packet")
+	}
+	// More traffic arrives and is delivered — but not yet received.
+	n.Send(src, dst, []byte("later-1"))
+	n.Send(src, dst, []byte("later-2"))
+	n.Step(2 * time.Millisecond)
+	if !bytes.Equal(pkt.Payload, []byte("hold-me")) {
+		t.Fatalf("payload mutated before any receive call: %q", pkt.Payload)
+	}
+}

@@ -9,9 +9,25 @@
 // The fabric is allocation-free at steady state: payload bytes live in
 // a free-list pool owned by the Network, receive queues are fixed
 // rings sized at Bind, and Drain hands out a reused scratch slice.
-// Payloads are recycled, not garbage collected — a payload handed to
-// the application by Recv/Drain/RecvAll is only valid until the next
-// receive call on that endpoint (see Recv).
+//
+// # Payload ownership
+//
+// Payloads are recycled, not garbage collected. Every receive entry
+// point (Recv, Drain, RecvAll) first returns the buffers it lent on
+// the previous call to the pool, so:
+//
+//   - a Packet.Payload is valid only until the NEXT receive call on
+//     the same endpoint — after that the same backing array may be
+//     rewritten with a different datagram's bytes;
+//   - the slice returned by Drain is scratch, overwritten by the next
+//     Drain/RecvAll on the endpoint;
+//   - callers that retain a payload across receive calls (queues,
+//     capture buffers, logs) must copy it first, e.g.
+//     buf = append(buf[:0], pkt.Payload...).
+//
+// Decoding in place is safe (mavlink.Decode aliases its input), but
+// the decoded frame's Payload inherits the same lifetime. The
+// aliasing regression test in this package pins this contract.
 package netsim
 
 import (
@@ -47,6 +63,7 @@ type Stats struct {
 	DroppedQueue   int64 // receiver queue full
 	DroppedLimit   int64 // iptables rate limit exceeded
 	DroppedLoss    int64 // random link loss
+	DroppedSplit   int64 // host pair partitioned (fault injection)
 	BytesDelivered int64
 }
 
@@ -205,6 +222,11 @@ type Network struct {
 	norm      NormSource
 	uniform   UniformSource
 
+	// partitions holds directed host pairs whose traffic is dropped at
+	// send time — the fault layer's network-split switch. nil (the
+	// common case) keeps the per-packet check to one pointer test.
+	partitions map[hostPair]bool
+
 	// free is the payload buffer pool. Send copies into a pooled
 	// buffer; the buffer comes back on drop, on endpoint recycle, or
 	// never grows past the population the steady-state traffic needs.
@@ -261,6 +283,40 @@ func (n *Network) PooledBuffers() int { return len(n.free) }
 // SetLink configures latency/jitter/loss for all traffic.
 func (n *Network) SetLink(p LinkParams) { n.link = p }
 
+// Link returns the current link parameters, so a transient
+// degradation (the jitter fault) can restore the previous state when
+// its window closes.
+func (n *Network) Link() LinkParams { return n.link }
+
+// hostPair is a directed (src host, dst host) edge.
+type hostPair struct{ src, dst string }
+
+// SetPartition opens (on=true) or heals (on=false) a bidirectional
+// partition between two hosts: while open, every datagram between
+// them is dropped at send time and counted in DroppedSplit — the
+// bridge-down failure mode of a network split.
+func (n *Network) SetPartition(a, b string, on bool) {
+	if n.partitions == nil {
+		if !on {
+			return
+		}
+		n.partitions = make(map[hostPair]bool)
+	}
+	if on {
+		n.partitions[hostPair{a, b}] = true
+		n.partitions[hostPair{b, a}] = true
+	} else {
+		delete(n.partitions, hostPair{a, b})
+		delete(n.partitions, hostPair{b, a})
+	}
+}
+
+// Partitioned reports whether traffic from src host to dst host is
+// currently dropped.
+func (n *Network) Partitioned(src, dst string) bool {
+	return n.partitions != nil && n.partitions[hostPair{src, dst}]
+}
+
 // Bind creates (or returns) the endpoint for addr with the given
 // receive queue capacity, preallocating its ring storage. Rebinding
 // keeps the original capacity.
@@ -304,6 +360,10 @@ func (n *Network) Send(src, dst Addr, payload []byte) bool {
 // sendTo is the resolved-destination send path shared by Send and
 // Route.Send.
 func (n *Network) sendTo(ep *Endpoint, tb *TokenBucket, src, dst Addr, payload []byte) bool {
+	if n.partitions != nil && n.partitions[hostPair{src.Host, dst.Host}] {
+		ep.stats.DroppedSplit++
+		return false
+	}
 	if tb != nil && !tb.Allow(n.now) {
 		ep.stats.DroppedLimit++
 		return false

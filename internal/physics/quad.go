@@ -119,6 +119,13 @@ func (q *Quad) SettleRotors() {
 	}
 }
 
+// SetRotorEfficiency degrades (or restores) one rotor's thrust
+// efficiency — the airframe surface of the rotor-decay fault. The
+// index is the quad-x rotor number; e is clamped to [0,1].
+func (q *Quad) SetRotorEfficiency(i int, e float64) {
+	q.Rotors[i].SetEfficiency(e)
+}
+
 // SetDisturbance applies an external world-frame force (N) and body
 // torque (N·m), held until changed. Used by the wind model.
 func (q *Quad) SetDisturbance(force, torque Vec3) {

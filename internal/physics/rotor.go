@@ -21,6 +21,11 @@ type Rotor struct {
 	command  float64 // commanded throttle in [0,1]
 	throttle float64 // achieved throttle in [0,1]
 
+	// thrustLoss is 1 - efficiency: the fraction of the thrust map
+	// lost to physical degradation (prop damage, bearing wear). Stored
+	// as a loss so the zero value is a healthy rotor.
+	thrustLoss float64
+
 	// Memoized lag coefficient: dt and TimeConstant are fixed within a
 	// run, so 1-exp(-dt/τ) is computed once instead of every step.
 	alphaDT  float64
@@ -57,11 +62,19 @@ func (r *Rotor) Step(dt float64) {
 	r.throttle += r.alpha * (r.command - r.throttle)
 }
 
+// SetEfficiency sets the thrust-efficiency factor, clamped to [0,1].
+// The fault layer's rotor-decay injector ramps it down mid-flight.
+func (r *Rotor) SetEfficiency(e float64) { r.thrustLoss = 1 - clamp01(e) }
+
+// Efficiency returns the current thrust-efficiency factor (1 for a
+// healthy rotor).
+func (r *Rotor) Efficiency() float64 { return 1 - r.thrustLoss }
+
 // Thrust returns the current thrust in newtons. Thrust scales with
 // the square of the (normalized) rotor speed, approximated here by the
-// achieved throttle.
+// achieved throttle, degraded by the efficiency factor.
 func (r *Rotor) Thrust() float64 {
-	return r.MaxThrust * r.throttle * r.throttle
+	return r.MaxThrust * (1 - r.thrustLoss) * r.throttle * r.throttle
 }
 
 // ReactionTorque returns the signed yaw reaction torque in N·m.

@@ -109,10 +109,29 @@ func DefaultNoise() Noise {
 // it via a closure.
 type NormSource func() float64
 
+// Faults is the suite's live fault-injection state, driven by the
+// fault layer while a sensor fault's window is open. The zero value
+// is a healthy suite; every field composes with the noise model.
+type Faults struct {
+	// GPSOffset shifts every position fix — a GPS/Vicon spoofer
+	// steering the vehicle by lying about where it is.
+	GPSOffset physics.Vec3
+	// GyroBias adds to the gyro channel on top of Noise.GyroBias — a
+	// thermally drifting or tampered IMU.
+	GyroBias physics.Vec3
+	// BaroFrozen makes SampleBaro return the last healthy reading
+	// (stale timestamp included) — a wedged barometer driver.
+	BaroFrozen bool
+}
+
 // Suite samples a physics.Quad into sensor readings.
 type Suite struct {
 	Noise Noise
 	norm  NormSource
+
+	faults   Faults
+	lastBaro BaroReading
+	haveBaro bool
 }
 
 // NewSuite builds a sensor suite; norm may be nil for a noise-free
@@ -123,6 +142,14 @@ func NewSuite(noise Noise, norm NormSource) *Suite {
 	}
 	return &Suite{Noise: noise, norm: norm}
 }
+
+// SetFaults replaces the live fault state; the zero value heals the
+// suite. Called by fault injectors at window boundaries and, for
+// time-varying faults (GPS spoof drift), from their Step cadence.
+func (s *Suite) SetFaults(f Faults) { s.faults = f }
+
+// Faults returns the current fault state.
+func (s *Suite) Faults() Faults { return s.faults }
 
 func (s *Suite) n(sigma float64) float64 {
 	if sigma == 0 {
@@ -135,6 +162,7 @@ func (s *Suite) n(sigma float64) float64 {
 func (s *Suite) SampleIMU(q *physics.Quad, timeUS uint64) IMUReading {
 	st := q.State
 	gyro := st.Omega.Add(s.Noise.GyroBias)
+	gyro = gyro.Add(s.faults.GyroBias)
 	gyro = gyro.Add(physics.Vec3{X: s.n(s.Noise.GyroSigma), Y: s.n(s.Noise.GyroSigma), Z: s.n(s.Noise.GyroSigma)})
 	// Specific force in body frame: attitude⁻¹ · (a - g), with the quad
 	// near equilibrium this is ≈ -g rotated into body.
@@ -147,15 +175,21 @@ func (s *Suite) SampleIMU(q *physics.Quad, timeUS uint64) IMUReading {
 // SampleBaro reads barometric altitude using the standard-atmosphere
 // pressure lapse near sea level.
 func (s *Suite) SampleBaro(q *physics.Quad, timeUS uint64) BaroReading {
+	if s.faults.BaroFrozen && s.haveBaro {
+		return s.lastBaro // wedged driver: stale reading, stale timestamp
+	}
 	alt := q.State.Pos.Z + s.n(s.Noise.BaroSigma)
 	const p0 = 101325.0 // Pa
 	pressure := p0 * (1 - 2.25577e-5*alt)
-	return BaroReading{TimeUS: timeUS, Pressure: pressure, AltM: alt, TempC: 22.0}
+	r := BaroReading{TimeUS: timeUS, Pressure: pressure, AltM: alt, TempC: 22.0}
+	s.lastBaro, s.haveBaro = r, true
+	return r
 }
 
 // SampleGPS reads the Vicon/GPS position fix.
 func (s *Suite) SampleGPS(q *physics.Quad, timeUS uint64) GPSReading {
-	pos := q.State.Pos.Add(physics.Vec3{X: s.n(s.Noise.PosSigma), Y: s.n(s.Noise.PosSigma), Z: s.n(s.Noise.PosSigma)})
+	pos := q.State.Pos.Add(s.faults.GPSOffset)
+	pos = pos.Add(physics.Vec3{X: s.n(s.Noise.PosSigma), Y: s.n(s.Noise.PosSigma), Z: s.n(s.Noise.PosSigma)})
 	vel := q.State.Vel.Add(physics.Vec3{X: s.n(s.Noise.VelSigma), Y: s.n(s.Noise.VelSigma), Z: s.n(s.Noise.VelSigma)})
 	return GPSReading{TimeUS: timeUS, Pos: pos, Vel: vel, NumSats: 12, FixOK: true}
 }

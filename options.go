@@ -52,6 +52,18 @@ func WithAttack(a Attack) Option {
 	return func(s *simSetup) { s.cfg.Attack = &a }
 }
 
+// WithFault adds one timed fault to the run's fault plan; repeat to
+// compose several. The first WithFault (or WithFaults) call on a
+// scenario that carries a preset fault plan replaces the preset.
+func WithFault(f Fault) Option {
+	return func(s *simSetup) { s.cfg.Faults = append(s.cfg.Faults, f) }
+}
+
+// WithFaults replaces the run's fault plan wholesale.
+func WithFaults(faults ...Fault) Option {
+	return func(s *simSetup) { s.cfg.Faults = faults }
+}
+
 // WithMission replaces the scenario's setpoint or preset mission with
 // a waypoint sequence flown by the complex controller.
 func WithMission(waypoints ...Waypoint) Option {

@@ -78,7 +78,11 @@ func (r *Result) SwitchTime() time.Duration { return durFromS(r.SwitchS) }
 // Summary renders a human-readable digest of the run.
 func (r *Result) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "flight %v  attack=%s@%v\n", r.Duration(), r.Attack.Kind, durFromS(r.Attack.StartS))
+	fmt.Fprintf(&b, "flight %v  attack=%s@%v", r.Duration(), r.Attack.Kind, durFromS(r.Attack.StartS))
+	for _, f := range r.Faults {
+		fmt.Fprintf(&b, "  fault=%s@%v", f.Kind, durFromS(f.StartS))
+	}
+	fmt.Fprintln(&b)
 	switch {
 	case r.Crashed:
 		fmt.Fprintf(&b, "  CRASHED at %.1fs\n", r.CrashS)

@@ -8,6 +8,7 @@ import (
 	"containerdrone/internal/attack"
 	"containerdrone/internal/control"
 	"containerdrone/internal/core"
+	"containerdrone/internal/fault"
 	"containerdrone/internal/monitor"
 	"containerdrone/internal/physics"
 	"containerdrone/internal/telemetry"
@@ -66,6 +67,62 @@ func AttackKinds() []string {
 	return out
 }
 
+// Fault names one timed environmental failure: one of the kind
+// strings reported by FaultKinds ("gps-spoof", "imu-bias",
+// "baro-drop", "netsplit", "mav-replay", "jitter", "prio-inv",
+// "rotor-decay"). Faults compose — a Config may carry several, with
+// overlapping windows. Magnitude and Rate are kind-specific
+// severities; zero selects the kind's default (see internal/fault).
+type Fault struct {
+	Kind string `json:"kind"`
+	// StartS is the fault window start in simulated seconds.
+	StartS float64 `json:"start_s,omitempty"`
+	// DurationS bounds the window; 0 keeps the fault active to the
+	// end of the run.
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Magnitude is the kind-specific severity (offset meters, gyro
+	// bias rad/s, jitter sigma seconds, capture frames, spinner
+	// priority, efficiency loss fraction).
+	Magnitude float64 `json:"magnitude,omitempty"`
+	// Rate is the kind-specific intensity (drift m/s, loss
+	// probability, replay frames/s, decay 1/s).
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// FaultKinds lists the fault kind strings accepted by Fault.Kind.
+func FaultKinds() []string {
+	kinds := fault.Kinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+func fromFaultSpec(s fault.Spec) Fault {
+	return Fault{
+		Kind:      s.Kind.String(),
+		StartS:    s.Start.Seconds(),
+		DurationS: s.Duration.Seconds(),
+		Magnitude: s.Magnitude,
+		Rate:      s.Rate,
+	}
+}
+
+func (f Fault) internal() (fault.Spec, error) {
+	kind, err := fault.ParseKind(f.Kind)
+	if err != nil {
+		return fault.Spec{}, err
+	}
+	return fault.Spec{
+		Kind:      kind,
+		Start:     durFromS(f.StartS),
+		Duration:  durFromS(f.DurationS),
+		Magnitude: f.Magnitude,
+		Rate:      f.Rate,
+	}, nil
+}
+
 // Config is the serializable description of one run: a registered
 // scenario name plus the overrides to apply on top of its preset. It
 // is the unit of remote dispatch — build it with New/NewConfig (or
@@ -84,6 +141,9 @@ type Config struct {
 	Params map[string]float64 `json:"params,omitempty"`
 	// Attack, when non-nil, replaces the scenario's attack plan.
 	Attack *Attack `json:"attack,omitempty"`
+	// Faults, when non-empty, replaces the scenario's fault plan with
+	// this composable set of timed failures.
+	Faults []Fault `json:"faults,omitempty"`
 	// Mission, when non-empty, replaces the scenario's static
 	// setpoint (or preset mission) with this waypoint sequence.
 	Mission []Waypoint `json:"mission,omitempty"`
@@ -112,6 +172,17 @@ func (c Config) build() (core.Config, error) {
 			return core.Config{}, err
 		}
 		cfg.Attack = attack.Plan{Kind: kind, Start: durFromS(c.Attack.StartS), Rate: c.Attack.Rate}
+	}
+	if len(c.Faults) > 0 {
+		specs := make([]fault.Spec, len(c.Faults))
+		for i, f := range c.Faults {
+			sp, err := f.internal()
+			if err != nil {
+				return core.Config{}, err
+			}
+			specs[i] = sp
+		}
+		cfg.Faults = fault.Plan{Specs: specs}
 	}
 	if len(c.Mission) > 0 {
 		cfg.Mission = make([]control.Waypoint, len(c.Mission))
@@ -238,6 +309,9 @@ type Result struct {
 	DurationS float64 `json:"duration_s"`
 	// Attack is the resolved adversary plan ("none" when attack-free).
 	Attack Attack `json:"attack"`
+	// Faults is the resolved fault plan with kind-specific defaults
+	// filled in (empty when the flight is fault-free).
+	Faults []Fault `json:"faults,omitempty"`
 
 	Crashed bool    `json:"crashed"`
 	CrashS  float64 `json:"crash_s,omitempty"`
@@ -289,6 +363,9 @@ func fromResult(cfg Config, res *core.Result) *Result {
 		MissionComplete: res.MissionComplete,
 		Metrics:         fromMetrics(res.Metrics),
 		AttackMetrics:   fromMetrics(res.AttackMetrics),
+	}
+	for _, sp := range res.Cfg.Faults.Specs {
+		r.Faults = append(r.Faults, fromFaultSpec(sp.WithDefaults()))
 	}
 	if !res.Switched {
 		r.SwitchRule = ""

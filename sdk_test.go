@@ -53,6 +53,50 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFaultConfigRoundTrip checks that a fault plan survives the
+// Config JSON round trip and that the resolved plan (defaults filled)
+// lands in the Result — the contract that makes fault runs
+// dispatchable to remote workers like any other scenario.
+func TestFaultConfigRoundTrip(t *testing.T) {
+	sim, err := containerdrone.New("baseline",
+		containerdrone.WithSeed(7),
+		containerdrone.WithDuration(3*time.Second),
+		containerdrone.WithFault(containerdrone.Fault{Kind: "netsplit", StartS: 1, DurationS: 1}),
+		containerdrone.WithFault(containerdrone.Fault{Kind: "gps-spoof", StartS: 2, Rate: 0.25}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config()
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded containerdrone.Config
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Faults) != 2 || decoded.Faults[0].Kind != "netsplit" || decoded.Faults[1].Rate != 0.25 {
+		t.Fatalf("faults did not survive the round trip: %+v", decoded.Faults)
+	}
+	sim2, err := containerdrone.NewFromConfig(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) != 2 {
+		t.Fatalf("resolved result carries %d faults, want 2", len(res.Faults))
+	}
+	// An unknown kind must fail at build time, not at Run.
+	if _, err := containerdrone.New("baseline",
+		containerdrone.WithFault(containerdrone.Fault{Kind: "gremlins"})); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}
+
 // TestConfigSchemaVersionRejected checks that a foreign schema fails
 // loudly instead of being misread.
 func TestConfigSchemaVersionRejected(t *testing.T) {
