@@ -35,7 +35,8 @@ func WithRuns(n int) CampaignOption {
 	return func(c *Campaign) { c.runs = n }
 }
 
-// WithParallel sets the worker count (default 0 = NumCPU).
+// WithParallel sets the worker count (default 0 = GOMAXPROCS: the
+// schedulable CPU count, which respects quota and taskset limits).
 func WithParallel(workers int) CampaignOption {
 	return func(c *Campaign) { c.parallel = workers }
 }
@@ -75,19 +76,64 @@ func WithBaseParams(params map[string]float64) CampaignOption {
 	}
 }
 
+// WithRecordObserver registers fn to receive every Record as its run
+// completes — live campaign output (progress meters, streaming CSV)
+// off the workers' hot path. All observers run on one emitter
+// goroutine, so they need no locking among themselves; records arrive
+// in completion order, not index order, and exactly once each. The
+// CampaignResult still carries the full index-ordered record set.
+func WithRecordObserver(fn func(Record)) CampaignOption {
+	return func(c *Campaign) { c.observers = append(c.observers, fn) }
+}
+
+// StreamRecordsCSV writes the standard records-CSV header to w and
+// returns a record observer that appends one flushed row per
+// completed run, plus a done function to call after the campaign
+// finishes — it reports the first write error, so a disk filling up
+// mid-campaign cannot masquerade as a complete records file:
+//
+//	f, _ := os.Create("records.csv")
+//	stream, done, _ := containerdrone.StreamRecordsCSV(f)
+//	c := containerdrone.NewCampaign("udpflood",
+//	    containerdrone.WithRuns(1000),
+//	    containerdrone.WithRecordObserver(stream))
+//	res, err := c.Run(ctx)
+//	// ...
+//	if err := done(); err != nil { /* records.csv is incomplete */ }
+func StreamRecordsCSV(w io.Writer) (stream func(Record), done func() error, err error) {
+	s, d, err := campaign.NewRecordStreamer(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return func(r Record) { s(campaign.Record(r)) }, d, nil
+}
+
+// WithColdStart disables warm-pool reuse: every run rebuilds its
+// simulation from scratch instead of resetting a per-worker cached
+// instance. Campaigns default to reuse — the two paths produce
+// byte-identical records (reset-to-cold equivalence is pinned by the
+// test suite for every registry scenario) and reuse is what makes a
+// campaign run allocation-free at steady state. The escape hatch
+// exists for debugging and A/B measurement.
+func WithColdStart() CampaignOption {
+	return func(c *Campaign) { c.coldStart = true }
+}
+
 // Campaign is a Monte-Carlo experiment campaign over one scenario:
 // N seeds × the cartesian grid of the configured sweeps, executed on
 // a worker pool and reduced to per-point aggregates. Results are
 // deterministic: a campaign is a pure function of its options,
 // independent of worker count and scheduling.
 type Campaign struct {
-	scenario string
-	params   map[string]float64
-	sweeps   []Sweep
-	runs     int
-	parallel int
-	baseSeed uint64
-	duration time.Duration
+	scenario  string
+	params    map[string]float64
+	sweeps    []Sweep
+	runs      int
+	parallel  int
+	baseSeed  uint64
+	duration  time.Duration
+	coldStart bool
+	observers []func(Record)
 }
 
 // NewCampaign builds a campaign over a registered scenario:
@@ -113,13 +159,23 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		sweeps[i] = campaign.Sweep{Key: sw.Key, Values: sw.Values}
 	}
 	spec := campaign.Spec{
-		Points:   campaign.Expand(c.scenario, c.params, sweeps),
-		Runs:     c.runs,
-		Parallel: c.parallel,
-		BaseSeed: c.baseSeed,
-		Duration: c.duration,
+		Points:    campaign.Expand(c.scenario, c.params, sweeps),
+		Runs:      c.runs,
+		Parallel:  c.parallel,
+		BaseSeed:  c.baseSeed,
+		Duration:  c.duration,
+		ColdStart: c.coldStart,
 	}
-	records, err := campaign.RunContext(ctx, spec)
+	if len(c.observers) > 0 {
+		obs := c.observers
+		spec.Stream = func(r campaign.Record) {
+			pub := Record(r)
+			for _, fn := range obs {
+				fn(pub)
+			}
+		}
+	}
+	records, aggs, err := campaign.RunAggregated(ctx, spec)
 	if records == nil {
 		return nil, err
 	}
@@ -133,7 +189,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	for _, r := range records {
 		res.Records = append(res.Records, Record(r))
 	}
-	for _, a := range campaign.AggregateRecords(records) {
+	for _, a := range aggs {
 		res.Aggregates = append(res.Aggregates, fromAggregate(a))
 	}
 	return res, err

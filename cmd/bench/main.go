@@ -11,6 +11,19 @@
 //	go run ./cmd/bench -quick          # short suite (CI)
 //	go run ./cmd/bench -cpuprofile cpu.prof -memprofile mem.prof
 //
+// Compare mode pins the performance trajectory: given a committed
+// baseline report it prints per-benchmark deltas and exits non-zero
+// when any benchmark regresses past the tolerance —
+//
+//	go run ./cmd/bench -baseline testdata/bench/baseline.json
+//	go run ./cmd/bench -quick -baseline testdata/bench/baseline-quick.json
+//
+// Throughput metrics (ticks/s, runs/s) regress downward; cost metrics
+// (s, allocs/tick) regress upward. The default tolerance is 10% — the
+// bench-machine gate; CI machines vary too much for percent-level wall
+// clock and run the comparison with a wide tolerance as an
+// order-of-magnitude guard.
+//
 // Profiles feed the standard pprof workflow:
 //
 //	go tool pprof -top cpu.prof
@@ -25,6 +38,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"containerdrone"
@@ -44,14 +58,17 @@ type Measurement struct {
 
 // Report is the emitted BENCH_*.json document.
 type Report struct {
-	SchemaVersion int           `json:"schema_version"`
-	Timestamp     string        `json:"timestamp"`
-	GoVersion     string        `json:"go_version"`
-	GOOS          string        `json:"goos"`
-	GOARCH        string        `json:"goarch"`
-	NumCPU        int           `json:"num_cpu"`
-	Quick         bool          `json:"quick"`
-	Benchmarks    []Measurement `json:"benchmarks"`
+	SchemaVersion int    `json:"schema_version"`
+	Timestamp     string `json:"timestamp"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	// GOMAXPROCS is the schedulable CPU count the campaign pool
+	// actually uses (NumCPU can overstate it under quota/taskset).
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick"`
+	Benchmarks []Measurement `json:"benchmarks"`
 }
 
 func main() {
@@ -67,6 +84,8 @@ func run() error {
 	out := flag.String("out", ".", "directory to write BENCH_<timestamp>.json into")
 	quick := flag.Bool("quick", false, "short suite: fewer repetitions, shorter flights (CI)")
 	repeats := flag.Int("repeats", 3, "attempts per benchmark; the best is reported")
+	baseline := flag.String("baseline", "", "BENCH_*.json to compare against; exit non-zero on regression")
+	tolerance := flag.Float64("baseline-tolerance", 0.10, "fractional regression tolerated in compare mode")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the suite to this file")
 	flag.Parse()
@@ -93,6 +112,7 @@ func run() error {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Quick:         *quick,
 	}
 
@@ -110,11 +130,26 @@ func run() error {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, ms...)
 	}
-	m, err := benchCampaign(campaignRuns, campaignDur, *repeats)
-	if err != nil {
-		return err
+	// Campaign throughput: the bare name is the historical baseline-
+	// scenario warm-pool measurement (comparable across the whole
+	// trajectory); the suffixed scenarios cover an attack and a fault
+	// campaign, and /coldstart is the per-run-rebuild A/B partner.
+	for _, cs := range []struct {
+		name     string
+		scenario string
+		cold     bool
+	}{
+		{"campaign_runs_per_sec", "baseline", false},
+		{"campaign_runs_per_sec/udpflood", "udpflood", false},
+		{"campaign_runs_per_sec/gps-spoof", "gps-spoof", false},
+		{"campaign_runs_per_sec/coldstart", "baseline", true},
+	} {
+		m, err := benchCampaign(cs.name, cs.scenario, cs.cold, campaignRuns, campaignDur, *repeats)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, m)
 	}
-	rep.Benchmarks = append(rep.Benchmarks, m)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -131,6 +166,9 @@ func run() error {
 		}
 	}
 
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
 	path := filepath.Join(*out, "BENCH_"+rep.Timestamp+".json")
 	f, err := os.Create(path)
 	if err != nil {
@@ -150,6 +188,87 @@ func run() error {
 		fmt.Printf("%-38s %14.5g %-15s (%.3fs wall)\n", m.Name, m.Value, m.Unit, m.WallS)
 	}
 	fmt.Printf("wrote %s\n", path)
+
+	if *baseline != "" {
+		return compareBaseline(rep, *baseline, *tolerance)
+	}
+	return nil
+}
+
+// lowerIsBetter classifies a unit: wall seconds and allocation counts
+// regress upward, throughputs regress downward.
+func lowerIsBetter(unit string) bool {
+	return unit == "s" || unit == "allocs/tick"
+}
+
+// compareBaseline prints per-benchmark deltas against a committed
+// baseline report and returns an error when any benchmark regresses
+// past the tolerance — the perf gate run on every PR.
+func compareBaseline(cur Report, path string, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Quick != cur.Quick {
+		return fmt.Errorf("baseline %s was recorded with quick=%v but this run used quick=%v; quick and full values are not comparable",
+			path, base.Quick, cur.Quick)
+	}
+	baseByName := make(map[string]Measurement, len(base.Benchmarks))
+	for _, m := range base.Benchmarks {
+		baseByName[m.Name] = m
+	}
+	fmt.Printf("\nbaseline comparison against %s (tolerance %.0f%%):\n", path, tol*100)
+	var regressions []string
+	for _, m := range cur.Benchmarks {
+		b, ok := baseByName[m.Name]
+		if !ok {
+			fmt.Printf("  %-38s %14.5g %-15s (new benchmark, no baseline)\n", m.Name, m.Value, m.Unit)
+			continue
+		}
+		delete(baseByName, m.Name)
+		delta := 0.0
+		if b.Value != 0 {
+			delta = m.Value/b.Value - 1
+		}
+		worse := delta < -tol
+		if lowerIsBetter(m.Unit) {
+			worse = delta > tol
+			if b.Value == 0 && m.Value > 0 {
+				// A cost metric pinned at zero (the allocation-free
+				// steady state) regresses on ANY nonzero value; the
+				// ratio-based delta cannot see it.
+				worse = true
+			}
+		}
+		marker := ""
+		if worse {
+			marker = "  << REGRESSION"
+			regressions = append(regressions, m.Name)
+		}
+		fmt.Printf("  %-38s %14.5g -> %14.5g %-12s %+6.1f%%%s\n",
+			m.Name, b.Value, m.Value, m.Unit, delta*100, marker)
+	}
+	// A benchmark the baseline has but this run lacks means the gate
+	// stopped measuring something it used to gate — that is itself a
+	// failure, not an FYI; re-pin the baseline if the removal was
+	// intentional. Sorted so failure logs are comparable run to run.
+	missing := make([]string, 0, len(baseByName))
+	for name := range baseByName {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("  %-38s missing from this run (baseline has it)  << REGRESSION\n", name)
+		regressions = append(regressions, name+" (missing)")
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %v", len(regressions), tol*100, regressions)
+	}
+	fmt.Println("  no regressions")
 	return nil
 }
 
@@ -188,14 +307,20 @@ func benchScenario(name string, dur time.Duration, repeats int) ([]Measurement, 
 }
 
 // benchCampaign measures parallel Monte-Carlo throughput in completed
-// runs per wall-clock second.
-func benchCampaign(runs int, dur time.Duration, repeats int) (Measurement, error) {
+// runs per wall-clock second, on the warm-pool path by default or with
+// the per-run-rebuild escape hatch when cold is set.
+func benchCampaign(name, scenario string, cold bool, runs int, dur time.Duration, repeats int) (Measurement, error) {
 	best := 0.0
 	bestWall := 0.0
 	for i := 0; i < repeats; i++ {
-		c := containerdrone.NewCampaign("baseline",
+		opts := []containerdrone.CampaignOption{
 			containerdrone.WithRuns(runs),
-			containerdrone.WithRunDuration(dur))
+			containerdrone.WithRunDuration(dur),
+		}
+		if cold {
+			opts = append(opts, containerdrone.WithColdStart())
+		}
+		c := containerdrone.NewCampaign(scenario, opts...)
 		start := time.Now()
 		if _, err := c.Run(context.Background()); err != nil {
 			return Measurement{}, err
@@ -206,5 +331,5 @@ func benchCampaign(runs int, dur time.Duration, repeats int) (Measurement, error
 			bestWall = wall
 		}
 	}
-	return Measurement{Name: "campaign_runs_per_sec", Value: best, Unit: "runs/s", WallS: bestWall}, nil
+	return Measurement{Name: name, Value: best, Unit: "runs/s", WallS: bestWall}, nil
 }

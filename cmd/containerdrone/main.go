@@ -47,8 +47,9 @@ func main() {
 
 		// Campaign mode.
 		runs     = flag.Int("runs", 1, "seeds per sweep point; >1 (or any -sweep) switches to campaign mode")
-		parallel = flag.Int("parallel", 0, "campaign workers (0 = NumCPU)")
-		recCSV   = flag.String("records-csv", "", "campaign: write per-run records CSV to this path")
+		parallel = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
+		cold     = flag.Bool("coldstart", false, "campaign: rebuild every run instead of reusing warm engines")
+		recCSV   = flag.String("records-csv", "", "campaign: per-run records CSV, streamed live then finalized in run order")
 		aggCSV   = flag.String("agg-csv", "", "campaign: write per-point aggregate CSV to this path")
 		jsonPath = flag.String("json", "", "campaign: write full report JSON to this path")
 
@@ -121,7 +122,7 @@ func main() {
 			fatal(fmt.Errorf("-csv and -blackbox are single-run flags; campaigns emit -records-csv/-agg-csv/-json"))
 		}
 		runCampaign(*scenario, params, parsed, *runs, *parallel, *seed, *duration,
-			*recCSV, *aggCSV, *jsonPath)
+			*cold, *recCSV, *aggCSV, *jsonPath)
 		return
 	}
 	runSingle(*scenario, params, *seed, *duration, *csvPath, *bbPath, *trace)
@@ -147,24 +148,54 @@ func listScenarios() {
 
 func runCampaign(scenario string, params map[string]float64, sweeps []containerdrone.Sweep,
 	runs, parallel int, seed uint64, duration time.Duration,
-	recCSV, aggCSV, jsonPath string) {
+	coldStart bool, recCSV, aggCSV, jsonPath string) {
 	if runs < 1 {
 		runs = 1
 	}
-	c := containerdrone.NewCampaign(scenario,
+	opts := []containerdrone.CampaignOption{
 		containerdrone.WithBaseParams(params),
 		containerdrone.WithSweeps(sweeps...),
 		containerdrone.WithRuns(runs),
 		containerdrone.WithParallel(parallel),
 		containerdrone.WithBaseSeed(seed),
 		containerdrone.WithRunDuration(duration),
-	)
+	}
+	if coldStart {
+		opts = append(opts, containerdrone.WithColdStart())
+	}
+	// Records stream to disk as runs complete, off the workers' hot
+	// path, so long campaigns are observable with tail -f.
+	var recDone func() error
+	if recCSV != "" {
+		f, err := os.Create(recCSV)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		stream, done, err := containerdrone.StreamRecordsCSV(f)
+		if err != nil {
+			fatal(err)
+		}
+		recDone = done
+		opts = append(opts, containerdrone.WithRecordObserver(stream))
+		fmt.Printf("streaming records to %s\n", recCSV)
+	}
+	c := containerdrone.NewCampaign(scenario, opts...)
 	res, err := c.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}
+	if recDone != nil {
+		if err := recDone(); err != nil {
+			fatal(fmt.Errorf("records CSV %s is incomplete: %w", recCSV, err))
+		}
+		// The streamed rows arrived in completion order — fine for
+		// tail -f, wrong for the determinism contract (byte-identical
+		// output regardless of -parallel). Finalize the file in index
+		// order from the in-memory record set.
+		writeOut(recCSV, res.WriteRecordsCSV)
+	}
 	fmt.Print(res.Summary())
-	writeOut(recCSV, res.WriteRecordsCSV)
 	writeOut(aggCSV, res.WriteAggregatesCSV)
 	writeOut(jsonPath, res.WriteJSON)
 }
@@ -177,8 +208,13 @@ func writeOut(path string, write func(io.Writer) error) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := write(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	// Close errors carry the last buffered write; ignoring them can
+	// report success on a truncated file.
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)

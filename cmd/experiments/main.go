@@ -62,7 +62,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed / campaign base seed")
 		duration = flag.Duration("duration", 0, "flight length override (default: scenario preset)")
 		runs     = flag.Int("runs", 1, "campaign: seeds per point (>1 or -sweep enables campaign mode)")
-		parallel = flag.Int("parallel", 0, "campaign: workers (0 = NumCPU)")
+		parallel = flag.Int("parallel", 0, "campaign: workers (0 = GOMAXPROCS)")
 		sweeps   stringList
 	)
 	figFlags := make([]*bool, len(figures))

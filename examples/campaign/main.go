@@ -3,6 +3,12 @@
 // read the defense off the aggregates — failover rate, detection-time
 // percentiles, and worst-case deviation per intensity.
 //
+// Campaign workers run on the warm pool: each worker builds its sweep
+// point's simulation once and rewinds it between seeds (byte-identical
+// to a cold build, enforced by the repo's reset-equivalence suite), so
+// the steady state of the sweep allocates nothing per run. A record
+// observer watches runs complete live, off the workers' hot path.
+//
 // The same sweep is available from the CLI:
 //
 //	containerdrone -scenario udpflood -runs 8 -sweep attack.rate=2000,8000,32000
@@ -19,16 +25,24 @@ import (
 )
 
 func main() {
+	done := 0
 	c := containerdrone.NewCampaign("udpflood",
 		containerdrone.WithSweep("attack.rate", 2000, 8000, 32000),
 		containerdrone.WithRuns(8),
 		containerdrone.WithBaseSeed(1),
 		containerdrone.WithRunDuration(15*time.Second),
+		// Live progress: records arrive in completion order on a single
+		// emitter goroutine as the campaign flies.
+		containerdrone.WithRecordObserver(func(r containerdrone.Record) {
+			done++
+			fmt.Printf("\r%2d/24 runs  (latest: %s seed %d)", done, r.Point, r.Seed)
+		}),
 	)
 	res, err := c.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println()
 
 	fmt.Printf("UDP-flood intensity sweep: %d points × %d seeds\n\n",
 		res.Points, res.Runs)

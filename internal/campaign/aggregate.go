@@ -77,54 +77,114 @@ type Aggregate struct {
 	MaxDeviation Percentiles `json:"max_deviation_m"`
 }
 
-// Aggregate reduces records to one Aggregate per point, in the
-// records' point order.
-func AggregateRecords(records []Record) []Aggregate {
-	byPoint := make(map[string][]Record)
-	for _, r := range records {
-		byPoint[r.Point] = append(byPoint[r.Point], r)
+// pointAgg is the mergeable partial aggregate of one point within one
+// shard: outcome counts plus the raw metric populations percentile
+// reduction needs.
+type pointAgg struct {
+	label      string
+	scenario   string
+	faults     string
+	runs       int
+	errors     int
+	crashes    int
+	failovers  int
+	ruleCounts map[string]int
+
+	switchS   []float64
+	missRates []float64
+	rms       []float64
+	maxDev    []float64
+}
+
+// Shard is one worker's private partial aggregation over the campaign
+// grid. Workers fold each completed run into their shard lock-free;
+// MergeShards reduces the shards to the final per-point Aggregates
+// once, after the pool drains. The merged result is identical to
+// AggregateRecords over the same records: counts are associative, and
+// the percentile reduction sorts its population, so the shard-order
+// concatenation of metric values cannot change it.
+type Shard struct {
+	points []pointAgg
+}
+
+// NewShard builds an empty shard covering the campaign's points.
+func NewShard(points []Point) *Shard {
+	s := &Shard{points: make([]pointAgg, len(points))}
+	for i, p := range points {
+		s.points[i].label = p.Label
+		s.points[i].scenario = p.Scenario
 	}
-	order := pointOrder(records)
-	out := make([]Aggregate, 0, len(order))
-	// Metric buffers are reused across points (percentiles sorts them
-	// in place), so a large sweep aggregates without per-point garbage.
+	return s
+}
+
+// Add folds one run's record into the shard.
+func (s *Shard) Add(pi int, r *Record) {
+	a := &s.points[pi]
+	a.runs++
+	if r.Faults != "" {
+		a.faults = r.Faults
+	}
+	if r.Err != "" {
+		a.errors++
+		return
+	}
+	if r.Crashed {
+		a.crashes++
+	}
+	if r.Switched {
+		a.failovers++
+		if a.ruleCounts == nil {
+			a.ruleCounts = make(map[string]int)
+		}
+		a.ruleCounts[r.Rule]++
+		a.switchS = append(a.switchS, r.SwitchS)
+	}
+	a.missRates = append(a.missRates, r.MissRate)
+	a.rms = append(a.rms, r.RMSError)
+	a.maxDev = append(a.maxDev, r.MaxDeviation)
+}
+
+// MergeShards reduces worker shards to the final per-point Aggregates,
+// in point order. All shards must cover the same point grid.
+func MergeShards(shards []*Shard) []Aggregate {
+	if len(shards) == 0 {
+		return nil
+	}
+	npoints := len(shards[0].points)
+	out := make([]Aggregate, 0, npoints)
 	var switchTimes, missRates, rms, maxDev []float64
-	for _, label := range order {
-		runs := byPoint[label]
-		agg := Aggregate{Point: label, Runs: len(runs), RuleCounts: make(map[string]int)}
+	for pi := 0; pi < npoints; pi++ {
+		var agg Aggregate
 		switchTimes = switchTimes[:0]
 		missRates = missRates[:0]
 		rms = rms[:0]
 		maxDev = maxDev[:0]
-		ok := 0
-		for _, r := range runs {
-			agg.Scenario = r.Scenario
-			if r.Faults != "" {
-				agg.Faults = r.Faults
+		for _, sh := range shards {
+			a := &sh.points[pi]
+			if agg.Point == "" {
+				agg.Point, agg.Scenario = a.label, a.scenario
 			}
-			if r.Err != "" {
-				agg.Errors++
-				continue
+			if a.faults != "" {
+				agg.Faults = a.faults
 			}
-			ok++
-			if r.Crashed {
-				agg.Crashes++
+			agg.Runs += a.runs
+			agg.Errors += a.errors
+			agg.Crashes += a.crashes
+			agg.Failovers += a.failovers
+			for rule, n := range a.ruleCounts {
+				if agg.RuleCounts == nil {
+					agg.RuleCounts = make(map[string]int)
+				}
+				agg.RuleCounts[rule] += n
 			}
-			if r.Switched {
-				agg.Failovers++
-				agg.RuleCounts[r.Rule]++
-				switchTimes = append(switchTimes, r.SwitchS)
-			}
-			missRates = append(missRates, r.MissRate)
-			rms = append(rms, r.RMSError)
-			maxDev = append(maxDev, r.MaxDeviation)
+			switchTimes = append(switchTimes, a.switchS...)
+			missRates = append(missRates, a.missRates...)
+			rms = append(rms, a.rms...)
+			maxDev = append(maxDev, a.maxDev...)
 		}
-		if ok > 0 {
+		if ok := agg.Runs - agg.Errors; ok > 0 {
 			agg.CrashRate = float64(agg.Crashes) / float64(ok)
 			agg.FailoverRate = float64(agg.Failovers) / float64(ok)
-		}
-		if len(agg.RuleCounts) == 0 {
-			agg.RuleCounts = nil
 		}
 		agg.SwitchS = percentiles(switchTimes)
 		agg.MissRate = percentiles(missRates)
@@ -133,6 +193,29 @@ func AggregateRecords(records []Record) []Aggregate {
 		out = append(out, agg)
 	}
 	return out
+}
+
+// Aggregate reduces records to one Aggregate per point, in the
+// records' point order — the replay-side reduction (records decoded
+// from CSV/JSON). It is a fold into a single Shard followed by the
+// same merge the live campaign uses, so there is exactly one
+// reduction implementation to keep correct: a field added to the
+// shard fold shows up in live and replayed aggregates alike.
+func AggregateRecords(records []Record) []Aggregate {
+	order := pointOrder(records)
+	idx := make(map[string]int, len(order))
+	sh := &Shard{points: make([]pointAgg, len(order))}
+	for i, label := range order {
+		idx[label] = i
+		sh.points[i].label = label
+	}
+	for i := range records {
+		r := &records[i]
+		pi := idx[r.Point]
+		sh.points[pi].scenario = r.Scenario
+		sh.Add(pi, r)
+	}
+	return MergeShards([]*Shard{sh})
 }
 
 // Table renders aggregates as an aligned text table for terminals.

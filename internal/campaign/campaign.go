@@ -45,13 +45,30 @@ type Spec struct {
 	Points []Point
 	// Runs is the number of seeds per point.
 	Runs int
-	// Parallel is the worker count; 0 means runtime.NumCPU().
+	// Parallel is the worker count; 0 means runtime.GOMAXPROCS(0) —
+	// the schedulable CPU count, which unlike NumCPU respects quota
+	// and taskset restrictions.
 	Parallel int
 	// BaseSeed roots the deterministic per-run seed derivation.
 	BaseSeed uint64
 	// Duration overrides each scenario's flight length when non-zero
 	// (campaigns usually run shorter flights than the paper figures).
 	Duration time.Duration
+
+	// ColdStart disables warm-pool reuse: every run rebuilds its
+	// core.System from scratch instead of resetting a per-worker
+	// cached instance. The two paths produce byte-identical records
+	// (core.System.Reset is pinned to cold-build equivalence); the
+	// escape hatch exists for debugging and for the equivalence tests
+	// themselves.
+	ColdStart bool
+
+	// Stream, when non-nil, receives every Record exactly once as runs
+	// complete, from a single emitter goroutine off the workers' hot
+	// path — live CSV/JSON emit without a post-pass. Delivery order is
+	// completion order, not index order; the returned record slice is
+	// still index-ordered and deterministic.
+	Stream func(Record)
 }
 
 // Record is the outcome of one run. Times are in simulated seconds so
@@ -111,57 +128,139 @@ func Run(spec Spec) ([]Record, error) {
 // the context's error. Every cell is present in the output; cells
 // that never ran (or were interrupted) carry a non-empty Err.
 func RunContext(ctx context.Context, spec Spec) ([]Record, error) {
+	records, _, err := RunAggregated(ctx, spec)
+	return records, err
+}
+
+// RunAggregated is RunContext returning the per-point aggregates
+// alongside the records. Aggregation is sharded: each worker folds
+// its completed runs into a private partial aggregate as it goes, and
+// the shards are merged once after the pool drains — no post-pass
+// over the record population and no cross-worker synchronization on
+// the hot path. The merged aggregates are identical to
+// AggregateRecords over the same records.
+func RunAggregated(ctx context.Context, spec Spec) ([]Record, []Aggregate, error) {
 	if spec.Runs <= 0 {
-		return nil, fmt.Errorf("campaign: non-positive run count %d", spec.Runs)
+		return nil, nil, fmt.Errorf("campaign: non-positive run count %d", spec.Runs)
 	}
 	if len(spec.Points) == 0 {
-		return nil, fmt.Errorf("campaign: no points")
+		return nil, nil, fmt.Errorf("campaign: no points")
 	}
 	// Validate every point up front: a typo in a sweep key should
 	// fail the campaign before it burns CPU on the valid cells.
 	for _, p := range spec.Points {
 		if _, err := buildPoint(p, spec, 1); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	workers := spec.Parallel
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0)
 	}
 	total := len(spec.Points) * spec.Runs
 	if workers > total {
 		workers = total
 	}
 
+	// Optional streaming emit: a single consumer goroutine fed by a
+	// bounded channel. The buffer absorbs bursts so workers virtually
+	// never wait on the observer; only an observer persistently slower
+	// than the whole worker pool backpressures it (bounding memory at
+	// O(buffer), not O(total records) — a million-run campaign must
+	// not allocate its record population twice up front).
+	var streamCh chan Record
+	var streamWG sync.WaitGroup
+	if spec.Stream != nil {
+		streamCh = make(chan Record, min(total, 8192))
+		streamWG.Add(1)
+		go func() {
+			defer streamWG.Done()
+			for r := range streamCh {
+				spec.Stream(r)
+			}
+		}()
+	}
+
+	// Work is dispatched as contiguous per-point run ranges rather
+	// than single cells: a worker that receives [lo, hi) of one point
+	// cold-builds at most once and resets between the rest, so warm
+	// reuse survives even when a point's run count is at or below the
+	// worker count (per-cell dispatch would hand each worker a
+	// different point every pull and silently degrade every run to a
+	// cold start). Chunks are sized so each point is covered by the
+	// fewest workers that still keep the whole pool busy, and are
+	// emitted in index order, preserving the records' determinism and
+	// the cancellation contract (dispatched cells form an index-space
+	// prefix).
+	chunkSize := spec.Runs
+	if per := (total + workers - 1) / workers; per < chunkSize {
+		chunkSize = per
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	type chunk struct{ pi, lo, hi int } // runs [lo, hi) of point pi
+	var chunks []chunk
+	for pi := range spec.Points {
+		for lo := 0; lo < spec.Runs; lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > spec.Runs {
+				hi = spec.Runs
+			}
+			chunks = append(chunks, chunk{pi, lo, hi})
+		}
+	}
+
 	// One flat preallocated record array shared by every worker: each
 	// run writes its own index, so collection is allocation- and
 	// synchronization-free regardless of completion order.
 	records := make([]Record, total)
-	jobs := make(chan int)
+	shards := make([]*Shard, workers)
+	jobs := make(chan chunk)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for wi := 0; wi < workers; wi++ {
+		shards[wi] = NewShard(spec.Points)
 		wg.Add(1)
-		go func() {
+		go func(shard *Shard) {
 			defer wg.Done()
-			for idx := range jobs {
-				pi, ri := idx/spec.Runs, idx%spec.Runs
-				records[idx] = runOne(ctx, spec.Points[pi], spec, pi, ri)
+			w := worker{spec: spec, pi: -1}
+			for c := range jobs {
+				for ri := c.lo; ri < c.hi; ri++ {
+					idx := c.pi*spec.Runs + ri
+					if err := ctx.Err(); err != nil {
+						// Match the undispatched-cell shape: no build,
+						// no fault label, just the error.
+						records[idx] = Record{
+							Point:    spec.Points[c.pi].Label,
+							Scenario: spec.Points[c.pi].Scenario,
+							Run:      ri,
+							Seed:     DeriveSeed(spec.BaseSeed, c.pi, ri),
+							Err:      err.Error(),
+						}
+					} else {
+						records[idx] = w.runOne(ctx, c.pi, ri)
+					}
+					shard.Add(c.pi, &records[idx])
+					if streamCh != nil {
+						streamCh <- records[idx]
+					}
+				}
 			}
-		}()
+		}(shards[wi])
 	}
 	dispatched := total
-	for i := 0; i < total; i++ {
+	for _, c := range chunks {
 		// Checking the context before the send (not only in the
 		// select, which picks randomly among ready cases) guarantees
 		// nothing is dispatched once the context is done.
 		if ctx.Err() != nil {
-			dispatched = i
+			dispatched = c.pi*spec.Runs + c.lo
 			break
 		}
 		select {
-		case jobs <- i:
+		case jobs <- c:
 		case <-ctx.Done():
-			dispatched = i
+			dispatched = c.pi*spec.Runs + c.lo
 		}
 		if dispatched < total {
 			break
@@ -180,8 +279,16 @@ func RunContext(ctx context.Context, spec Spec) ([]Record, error) {
 			Seed:     DeriveSeed(spec.BaseSeed, pi, ri),
 			Err:      ctx.Err().Error(),
 		}
+		shards[0].Add(pi, &records[idx])
+		if streamCh != nil {
+			streamCh <- records[idx]
+		}
 	}
-	return records, ctx.Err()
+	if streamCh != nil {
+		close(streamCh)
+		streamWG.Wait()
+	}
+	return records, MergeShards(shards), ctx.Err()
 }
 
 // buildPoint constructs the Config for one run of a point.
@@ -193,29 +300,61 @@ func buildPoint(p Point, spec Spec, seed uint64) (core.Config, error) {
 	})
 }
 
-// runOne executes a single (point, run) cell.
-func runOne(ctx context.Context, p Point, spec Spec, pi, ri int) Record {
-	seed := DeriveSeed(spec.BaseSeed, pi, ri)
-	rec := Record{Point: p.Label, Scenario: p.Scenario, Run: ri, Seed: seed}
-	cfg, err := buildPoint(p, spec, seed)
-	if err != nil {
-		rec.Err = err.Error()
-		return rec
+// worker is one pool member's run state: the cached warm System for
+// the point it is currently working through, plus a reused Result
+// buffer. A warm run rewinds the cached System with Reset(seed)
+// instead of rebuilding it — rings, schedules, fault/attack plans,
+// and telemetry buffers all survive in place, so the steady state of
+// a campaign allocates nothing per run.
+type worker struct {
+	spec Spec
+	pi   int // point index the cached System was built for (-1 none)
+	sys  *core.System
+	res  core.Result
+}
+
+// system returns a System ready to run (point pi, given seed):
+// the cached instance reset in place when the point matches, a cold
+// build otherwise.
+func (w *worker) system(pi int, seed uint64) (*core.System, error) {
+	if !w.spec.ColdStart && w.sys != nil && w.pi == pi {
+		w.sys.Reset(seed)
+		return w.sys, nil
 	}
-	if cfg.Faults.Active() {
-		rec.Faults = cfg.Faults.String()
+	cfg, err := buildPoint(w.spec.Points[pi], w.spec, seed)
+	if err != nil {
+		return nil, err
 	}
 	sys, err := core.New(cfg)
 	if err != nil {
-		rec.Err = err.Error()
-		return rec
+		return nil, err
 	}
-	res, err := sys.RunContext(ctx)
+	if !w.spec.ColdStart {
+		w.sys, w.pi = sys, pi
+	}
+	return sys, nil
+}
+
+// runOne executes a single (point, run) cell.
+func (w *worker) runOne(ctx context.Context, pi, ri int) Record {
+	p := w.spec.Points[pi]
+	seed := DeriveSeed(w.spec.BaseSeed, pi, ri)
+	rec := Record{Point: p.Label, Scenario: p.Scenario, Run: ri, Seed: seed}
+	sys, err := w.system(pi, seed)
 	if err != nil {
-		// An interrupted flight carries no trustworthy metrics.
 		rec.Err = err.Error()
 		return rec
 	}
+	if sys.Cfg.Faults.Active() {
+		rec.Faults = sys.Cfg.Faults.String()
+	}
+	if err := sys.RunContextInto(ctx, &w.res); err != nil {
+		// An interrupted flight carries no trustworthy metrics. The
+		// cached System stays reusable: Reset rewinds mid-run state.
+		rec.Err = err.Error()
+		return rec
+	}
+	res := &w.res
 	rec.Crashed = res.Crashed
 	if res.Crashed {
 		rec.CrashS = res.CrashTime.Seconds()

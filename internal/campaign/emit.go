@@ -7,27 +7,33 @@ import (
 	"strconv"
 )
 
-// WriteRecordsCSV emits one row per run. The column set is stable;
-// downstream plotting scripts key on the header.
+// recordsHeader is the stable records-CSV column set; downstream
+// plotting scripts key on it.
+var recordsHeader = []string{
+	"point", "scenario", "faults", "run", "seed",
+	"crashed", "crash_s", "switched", "switch_s", "rule",
+	"rms_error_m", "max_deviation_m", "miss_rate", "err",
+}
+
+// recordRow renders one record in recordsHeader order.
+func recordRow(r *Record) []string {
+	return []string{
+		r.Point, r.Scenario, r.Faults,
+		strconv.Itoa(r.Run), strconv.FormatUint(r.Seed, 10),
+		strconv.FormatBool(r.Crashed), f(r.CrashS),
+		strconv.FormatBool(r.Switched), f(r.SwitchS), r.Rule,
+		f(r.RMSError), f(r.MaxDeviation), f(r.MissRate), r.Err,
+	}
+}
+
+// WriteRecordsCSV emits one row per run, in record (index) order.
 func WriteRecordsCSV(w io.Writer, records []Record) error {
 	cw := csv.NewWriter(w)
-	header := []string{
-		"point", "scenario", "faults", "run", "seed",
-		"crashed", "crash_s", "switched", "switch_s", "rule",
-		"rms_error_m", "max_deviation_m", "miss_rate", "err",
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(recordsHeader); err != nil {
 		return err
 	}
-	for _, r := range records {
-		row := []string{
-			r.Point, r.Scenario, r.Faults,
-			strconv.Itoa(r.Run), strconv.FormatUint(r.Seed, 10),
-			strconv.FormatBool(r.Crashed), f(r.CrashS),
-			strconv.FormatBool(r.Switched), f(r.SwitchS), r.Rule,
-			f(r.RMSError), f(r.MaxDeviation), f(r.MissRate), r.Err,
-		}
-		if err := cw.Write(row); err != nil {
+	for i := range records {
+		if err := cw.Write(recordRow(&records[i])); err != nil {
 			return err
 		}
 	}
@@ -62,6 +68,49 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// NewRecordStreamer writes the records-CSV header to w immediately
+// and returns a Spec.Stream callback that appends one flushed row per
+// completed run — live campaign output for `tail -f` style consumers.
+// Rows arrive in completion order (each row names its point and run
+// index); the post-hoc WriteRecordsCSV emits the same rows in index
+// order.
+//
+// The stream callback cannot return an error (it runs on the
+// campaign's emitter goroutine), so write failures are sticky: call
+// the returned done function after the campaign finishes to flush and
+// learn whether every row reached w — a full disk mid-campaign must
+// not masquerade as a complete records file.
+func NewRecordStreamer(w io.Writer) (stream func(Record), done func() error, err error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(recordsHeader); err != nil {
+		return nil, nil, err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return nil, nil, err
+	}
+	var sticky error
+	stream = func(r Record) {
+		if sticky != nil {
+			return
+		}
+		if err := cw.Write(recordRow(&r)); err != nil {
+			sticky = err
+			return
+		}
+		cw.Flush()
+		sticky = cw.Error()
+	}
+	done = func() error {
+		cw.Flush()
+		if sticky != nil {
+			return sticky
+		}
+		return cw.Error()
+	}
+	return stream, done, nil
 }
 
 // Report bundles a campaign's raw and reduced outputs for JSON.

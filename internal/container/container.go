@@ -117,6 +117,12 @@ type Container struct {
 	// maps per datagram.
 	routes     []portRoute
 	hostRoutes []hostRoute
+
+	// Checkpoint state for Reset: the task list and cgroup process
+	// count as they stood when Checkpoint was called.
+	chkTasks []*sched.Task
+	chkPids  int
+	chkValid bool
 }
 
 // portRoute is one cached container→host send path.
@@ -339,6 +345,42 @@ func (c *Container) StopTask(t *sched.Task) {
 
 // Tasks returns the container's running tasks.
 func (c *Container) Tasks() []*sched.Task { return c.tasks }
+
+// Checkpoint records the container's task list and cgroup process
+// count so Reset can rewind to them. Call it when scenario
+// construction completes, while the container is Running.
+func (c *Container) Checkpoint() {
+	c.chkTasks = append(c.chkTasks[:0], c.tasks...)
+	c.chkPids = c.group.PIDs()
+	c.chkValid = true
+}
+
+// Reset restores the checkpointed bookkeeping: mid-run task arrivals
+// (attack tasks) are forgotten, mid-run stops (a killed controller)
+// are reinstated, and the cgroup process count rewinds to match. The
+// scheduler's own Reset restores the tasks' scheduling state; Reset
+// here only re-aligns the container's view. The container must not
+// have been stopped or killed since the checkpoint.
+func (c *Container) Reset() {
+	if !c.chkValid {
+		panic("container: Reset without Checkpoint")
+	}
+	if c.state != StateRunning {
+		panic(fmt.Sprintf("container: Reset from state %v", c.state))
+	}
+	clear(c.tasks)
+	c.tasks = append(c.tasks[:0], c.chkTasks...)
+	for c.group.PIDs() > c.chkPids {
+		c.group.Exit()
+	}
+	// Re-forking up to a previously admitted count cannot exceed any
+	// limit: counts only shrank since the checkpoint.
+	for c.group.PIDs() < c.chkPids {
+		if err := c.group.Fork(); err != nil {
+			panic(fmt.Sprintf("container: Reset re-fork failed: %v", err))
+		}
+	}
+}
 
 // NetHost returns the container's network identity on the bridge.
 func (c *Container) NetHost() string { return c.spec.Name }

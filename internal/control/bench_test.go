@@ -18,7 +18,7 @@ func BenchmarkCascadeCompute(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in.IMU.TimeUS += 2500
-		_ = c.Compute(in, sp)
+		_ = c.Compute(&in, sp)
 	}
 }
 

@@ -113,7 +113,9 @@ func NewCascade(g Gains, af Airframe, rateHz float64) *Cascade {
 	return c
 }
 
-// Reset clears all regulator state (hand-off hygiene).
+// Reset clears all regulator state (hand-off hygiene), including the
+// timestamp history and the published attitude setpoint, so a reset
+// controller is indistinguishable from a freshly built one.
 func (c *Cascade) Reset() {
 	c.velX.Reset()
 	c.velY.Reset()
@@ -122,6 +124,8 @@ func (c *Cascade) Reset() {
 	c.rateY.Reset()
 	c.rateZ.Reset()
 	c.primed = false
+	c.lastUS = 0
+	c.lastRollSP, c.lastPitchSP, c.lastYawSP = 0, 0, 0
 }
 
 // dt derives the integration step from IMU timestamps, clamped so a
@@ -141,7 +145,10 @@ func (c *Cascade) dt(timeUS uint64) float64 {
 }
 
 // Compute runs one full cascade cycle and returns motor throttles.
-func (c *Cascade) Compute(in Inputs, sp Setpoint) [4]float64 {
+// The inputs are passed by pointer purely to keep the ~230-byte
+// bundle off the per-cycle copy path (two controllers run at
+// 250–400 Hz); Compute never retains or mutates it.
+func (c *Cascade) Compute(in *Inputs, sp Setpoint) [4]float64 {
 	g := c.Gains
 	dt := c.dt(in.IMU.TimeUS)
 	roll, pitch, yaw := in.IMU.Quat.Euler()

@@ -36,7 +36,7 @@ func flyLoop(t *testing.T, c *Cascade, sp Setpoint, start physics.Vec3, seconds 
 				Baro: suite.SampleBaro(q, us),
 				RC:   sensors.RCReading{TimeUS: us, Mode: sensors.ModePosition, Throttle: 0.5},
 			}
-			q.SetMotors(c.Compute(in, sp))
+			q.SetMotors(c.Compute(&in, sp))
 		}
 		q.Step(physDT)
 	}
@@ -104,7 +104,7 @@ func TestSafetyControllerRecoversFromUpset(t *testing.T) {
 				Baro: suite.SampleBaro(q, us),
 				RC:   sensors.RCReading{TimeUS: us, Mode: sensors.ModePosition},
 			}
-			q.SetMotors(c.Compute(in, sp))
+			q.SetMotors(c.Compute(&in, sp))
 		}
 		q.Step(physDT)
 	}
@@ -172,7 +172,7 @@ func TestManualMode(t *testing.T) {
 				IMU: suite.SampleIMU(q, us), GPS: suite.SampleGPS(q, us),
 				RC: sensors.RCReading{TimeUS: us, Mode: sensors.ModeManual, Pitch: 0.3, Throttle: 0.55},
 			}
-			q.SetMotors(c.Compute(in, Setpoint{}))
+			q.SetMotors(c.Compute(&in, Setpoint{}))
 		}
 		q.Step(0.0001)
 	}
@@ -188,7 +188,7 @@ func TestCascadeResetClearsState(t *testing.T) {
 		GPS: sensors.GPSReading{Pos: physics.Vec3{X: 5}},
 		RC:  sensors.RCReading{Mode: sensors.ModePosition},
 	}
-	c.Compute(in, Setpoint{})
+	c.Compute(&in, Setpoint{})
 	c.Reset()
 	if c.velX.Integrator() != 0 {
 		t.Fatal("velocity integrator survived reset")

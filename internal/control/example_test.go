@@ -27,7 +27,7 @@ func ExampleNewCascade() {
 		GPS: sensors.GPSReading{Pos: physics.Vec3{Z: 1}, FixOK: true},
 		RC:  sensors.RCReading{Mode: sensors.ModePosition},
 	}
-	motors := ctl.Compute(in, control.Setpoint{Pos: physics.Vec3{Z: 1}})
+	motors := ctl.Compute(&in, control.Setpoint{Pos: physics.Vec3{Z: 1}})
 	// At the setpoint with level attitude, all four motors sit at the
 	// hover trim.
 	fmt.Printf("trim: %.2f %.2f %.2f %.2f\n", motors[0], motors[1], motors[2], motors[3])

@@ -38,6 +38,16 @@ func NewMission(wps ...Waypoint) *Mission {
 // Done reports whether every waypoint has been visited and held.
 func (m *Mission) Done() bool { return m.idx >= len(m.Waypoints) }
 
+// Reset rewinds the mission to its first waypoint with no hold or
+// slew history, as if freshly built.
+func (m *Mission) Reset() {
+	m.idx = 0
+	m.holdUntil = 0
+	m.holding = false
+	m.current = Setpoint{}
+	m.primed = false
+}
+
 // Target returns the active waypoint, or false when the mission is
 // complete.
 func (m *Mission) Target() (Waypoint, bool) {

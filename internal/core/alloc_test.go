@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -42,5 +43,46 @@ func TestEngineStepZeroAllocsBaseline(t *testing.T) {
 func TestEngineStepZeroAllocsMemDoS(t *testing.T) {
 	if allocs := stepAllocs(t, ScenarioMemDoS(true), 12*time.Second, 2000); allocs != 0 {
 		t.Fatalf("memdos steady-state Engine.Step allocates %.2f times per tick, want 0", allocs)
+	}
+}
+
+// warmRunAllocs measures allocations of one complete steady-state
+// campaign run — Reset, full flight, Result extraction — after the
+// warm-up run has populated every pool and scratch buffer.
+func warmRunAllocs(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	cfg.Duration = 2 * time.Second
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	run := func() {
+		sys.Reset(7)
+		if err := sys.RunContextInto(context.Background(), &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	run()
+	return testing.AllocsPerRun(3, run)
+}
+
+// TestWarmCampaignRunAllocs extends the zero-alloc regression gate
+// from a single Engine.Step to an entire steady-state campaign run:
+// with the System reused and the Result buffers pooled, a warm
+// baseline run is allocation-free end to end, and a warm flood run is
+// bounded by its per-launch attack setup (flood generator, trace
+// events), not by anything per-tick or per-record.
+func TestWarmCampaignRunAllocs(t *testing.T) {
+	if allocs := warmRunAllocs(t, ScenarioBaseline()); allocs > 4 {
+		t.Fatalf("warm baseline campaign run allocates %.1f times, want <= 4", allocs)
+	}
+	flood := ScenarioFlood()
+	// Launch the attack inside the shortened flight so the warm run
+	// exercises the whole flood path, not an attack-free prefix.
+	flood.Attack.Start = 500 * time.Millisecond
+	if allocs := warmRunAllocs(t, flood); allocs > 64 {
+		t.Fatalf("warm flood campaign run allocates %.1f times, want <= 64", allocs)
 	}
 }

@@ -99,6 +99,7 @@ func (s *System) gpsSpoofInjector(sp fault.Spec) fault.Injector {
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
 			start = now
+			applied = physics.Vec3{} // fresh window (and fresh warm-pool run)
 			s.gpsSpoofDepth++
 			s.Trace.Add(now, "fault", "gps-spoof begins: drift %.2f m/s", sp.Rate)
 		},
@@ -206,6 +207,7 @@ func (s *System) mavReplayInjector(sp fault.Spec) fault.Injector {
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
 			route = s.Net.Route(replaySource, netsim.Addr{Host: hceHost, Port: PortMotor})
+			idx = 0 // restart the capture cursor (fresh window, fresh warm-pool run)
 			s.Trace.Add(now, "fault", "mav-replay begins: %d captured frames at %.0f/s",
 				len(s.replayFrames), sp.Rate)
 		},

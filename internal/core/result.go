@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -59,9 +59,27 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	return s.Result(), err
 }
 
+// RunContextInto is RunContext writing the outcome into a caller-owned
+// Result whose slices are reused — the warm-pool campaign's per-run
+// path, which keeps a steady-state campaign run allocation-free.
+func (s *System) RunContextInto(ctx context.Context, r *Result) error {
+	err := s.Engine.RunContext(ctx, s.Cfg.Duration)
+	s.resultInto(r)
+	return err
+}
+
 // Result snapshots the current outcome without advancing time.
 func (s *System) Result() *Result {
-	r := &Result{Cfg: s.Cfg, Log: s.Log, Trace: s.Trace, GarbagePkts: s.garbage}
+	r := &Result{}
+	s.resultInto(r)
+	return r
+}
+
+// resultInto fills r with the current outcome, reusing its Streams and
+// Tasks backing arrays.
+func (s *System) resultInto(r *Result) {
+	streams, tasks := r.Streams[:0], r.Tasks[:0]
+	*r = Result{Cfg: s.Cfg, Log: s.Log, Trace: s.Trace, GarbagePkts: s.garbage}
 	r.Crashed, r.CrashTime = s.Log.Crashed()
 	if at, rule, ok := s.Monitor.SwitchedAt(); ok {
 		r.Switched, r.SwitchTime, r.SwitchRule = true, at, rule
@@ -74,15 +92,19 @@ func (s *System) Result() *Result {
 	if s.Cfg.Attack.Active() {
 		r.AttackMetrics = s.Log.WindowMetrics(s.Cfg.Attack.Start, s.Cfg.Duration)
 	}
-	r.Streams = make([]StreamStat, 0, len(s.streams))
+	r.Streams = streams
 	for _, st := range s.streams {
 		r.Streams = append(r.Streams, *st)
 	}
-	sort.Slice(r.Streams, func(i, j int) bool { return r.Streams[i].Name < r.Streams[j].Name })
+	// slices.SortFunc rather than sort.Slice: no reflection, no
+	// allocation on the per-run campaign path. Stream names and
+	// (core, name) task keys are unique, so the unstable sort still
+	// yields one deterministic order.
+	slices.SortFunc(r.Streams, func(a, b StreamStat) int { return strings.Compare(a.Name, b.Name) })
 	for core := 0; core < NumCores; core++ {
 		r.IdleRates[core] = s.CPU.IdleRate(core)
 	}
-	r.Tasks = make([]TaskReport, 0, len(s.CPU.Tasks()))
+	r.Tasks = tasks
 	for _, task := range s.CPU.Tasks() {
 		st := task.Stats()
 		r.Tasks = append(r.Tasks, TaskReport{
@@ -97,13 +119,12 @@ func (s *System) Result() *Result {
 			MaxLatency: st.MaxLatency,
 		})
 	}
-	sort.Slice(r.Tasks, func(i, j int) bool {
-		if r.Tasks[i].Core != r.Tasks[j].Core {
-			return r.Tasks[i].Core < r.Tasks[j].Core
+	slices.SortFunc(r.Tasks, func(a, b TaskReport) int {
+		if a.Core != b.Core {
+			return a.Core - b.Core
 		}
-		return r.Tasks[i].Name < r.Tasks[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
-	return r
 }
 
 // TaskReport is one task's scheduling outcome over the run.

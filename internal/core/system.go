@@ -149,6 +149,28 @@ type System struct {
 	// allocating per frame.
 	sendPayload []byte
 	sendFrame   []byte
+
+	// hostIn is the host-side controller-input scratch; see hostInputs.
+	hostIn control.Inputs
+
+	// CCE controller per-run state and scratch (fields rather than
+	// closure locals so Reset can rewind them between warm-pool runs).
+	cceIn           control.Inputs
+	cceSeq          uint32
+	cceMotorPayload []byte
+	cceMotorFrame   []byte
+
+	// The per-subsystem RNG streams, held so Reset(seed) can re-derive
+	// them in place in exactly the Split order New used.
+	netRNG, sensorRNG, windRNG *sim.RNG
+
+	// trim is the hover throttle vector every run starts from.
+	trim [4]float64
+
+	// chkLink is the bridge's link parameters at checkpoint time,
+	// restored on Reset (a persistent jitter fault may leave the link
+	// degraded at run end).
+	chkLink netsim.LinkParams
 }
 
 // New builds and wires a system from the config.
@@ -186,8 +208,8 @@ func New(cfg Config) (*System, error) {
 	}
 	s.CPU = sched.NewCPU(NumCores, sim.Tick, s.Bus, s.Guard)
 
-	netRNG := rng.Split()
-	s.Net = netsim.New(netRNG.Norm, netRNG.Float64)
+	s.netRNG = rng.Split()
+	s.Net = netsim.New(s.netRNG.Norm, s.netRNG.Float64)
 	if cfg.IPTablesRate > 0 {
 		s.Net.Limit(netsim.Addr{Host: hceHost, Port: PortMotor}, cfg.IPTablesRate, cfg.IPTablesBurst)
 	}
@@ -224,10 +246,10 @@ func New(cfg Config) (*System, error) {
 	s.Quad = physics.NewQuad(physics.DefaultParams())
 	s.Quad.State.Pos = cfg.Setpoint
 	hov := s.Quad.HoverThrottle()
-	trim := [4]float64{hov, hov, hov, hov}
-	s.Quad.SetMotors(trim)
+	s.trim = [4]float64{hov, hov, hov, hov}
+	s.Quad.SetMotors(s.trim)
 	s.Quad.SettleRotors()
-	s.complexCmd, s.safetyCmd, s.hostCmd = trim, trim, trim
+	s.complexCmd, s.safetyCmd, s.hostCmd = s.trim, s.trim, s.trim
 
 	s.curSetpoint = cfg.Setpoint
 	s.holdSP = cfg.Setpoint
@@ -235,8 +257,8 @@ func New(cfg Config) (*System, error) {
 		s.mission = control.NewMission(cfg.Mission...)
 	}
 
-	sensorRNG := rng.Split()
-	s.suite = sensors.NewSuite(cfg.Noise, sensorRNG.Norm)
+	s.sensorRNG = rng.Split()
+	s.suite = sensors.NewSuite(cfg.Noise, s.sensorRNG.Norm)
 	s.rcScript = sensors.NewRCScript()
 	if cfg.ManualUntil > 0 {
 		s.rcScript.
@@ -245,8 +267,8 @@ func New(cfg Config) (*System, error) {
 				sensors.RCReading{Mode: sensors.ModePosition, Throttle: 0.5})
 	}
 	if cfg.Wind {
-		windRNG := rng.Split()
-		s.wind = physics.NewWind(0.25, 0.6, 2.0, windRNG.Norm)
+		s.windRNG = rng.Split()
+		s.wind = physics.NewWind(0.25, 0.6, 2.0, s.windRNG.Norm)
 	}
 
 	af := control.AirframeFrom(s.Quad.Params)
@@ -303,7 +325,102 @@ func New(cfg Config) (*System, error) {
 			s.Trace.Add(now, "monitor", "armed")
 		})
 	}
+
+	// Checkpoint the fully wired scenario so Reset can rewind to this
+	// exact state: the engine's one-shot schedule (attack launches,
+	// fault windows, monitor arming), the scheduler's task set, the
+	// container's bookkeeping, and the healthy link parameters.
+	s.Engine.Checkpoint()
+	s.CPU.Checkpoint()
+	s.CCE.Checkpoint()
+	s.chkLink = s.Net.Link()
 	return s, nil
+}
+
+// Reset rewinds the System to its just-built state under a new seed,
+// reusing every allocation: rings, schedules, logs, task sets, and
+// fault/attack plans are rewound in place rather than rebuilt. A reset
+// System runs byte-identically to a cold core.New with the same Config
+// and seed (TestResetEquivalence pins this for every registry
+// scenario); at steady state Reset itself does not allocate.
+//
+// Results produced before the Reset share buffers (flight log, trace,
+// violations) with the System: consume or serialize them first.
+//
+// Reset must not be called mid-run — only after a completed (or
+// context-canceled and abandoned) run.
+func (s *System) Reset(seed uint64) {
+	s.Cfg.Seed = seed
+
+	// Substrates: engine schedule, scheduler, memory system, fabric.
+	s.Engine.Reset()
+	s.CPU.Reset()
+	s.Bus.Reset()
+	s.Guard.Reset()
+	s.Net.Reset()
+	s.Net.SetLink(s.chkLink)
+	s.Runtime.NAT().ResetCounters()
+	s.CCE.Reset()
+
+	// Re-derive the RNG tree exactly as New does: one root generator,
+	// children split in wiring order (network, sensors, wind).
+	var rng sim.RNG
+	rng.Reseed(seed)
+	rng.SplitInto(s.netRNG)
+	rng.SplitInto(s.sensorRNG)
+	if s.windRNG != nil {
+		rng.SplitInto(s.windRNG)
+	}
+
+	// Vehicle back to the start of the flight envelope.
+	s.Quad.Reset()
+	s.Quad.State.Pos = s.Cfg.Setpoint
+	s.Quad.SetMotors(s.trim)
+	s.Quad.SettleRotors()
+	s.complexCmd, s.safetyCmd, s.hostCmd = s.trim, s.trim, s.trim
+	if s.wind != nil {
+		s.wind.Reset()
+	}
+
+	// Sensors, estimators, controllers, monitor, mission.
+	s.suite.Reset()
+	s.hostEst.Reset()
+	s.cceEst.Reset()
+	s.safetyCtl.Reset()
+	s.complexCtl.Reset()
+	s.Monitor.Reset()
+	if s.mission != nil {
+		s.mission.Reset()
+	}
+	s.curSetpoint = s.Cfg.Setpoint
+	s.holdSP = s.Cfg.Setpoint
+
+	// Recording and per-run caches.
+	s.Log.Reset()
+	s.Trace.Reset()
+	s.lastIMU = sensors.IMUReading{}
+	s.lastGPS = sensors.GPSReading{}
+	s.lastBaro = sensors.BaroReading{}
+	s.lastRC = sensors.RCReading{}
+	s.complexCmdAt = 0
+	s.seqOut = 0
+	s.garbage = 0
+	s.cceIn = control.Inputs{}
+	s.cceSeq = 0
+	s.flood = nil
+	for _, st := range s.streams {
+		st.Packets = 0
+	}
+
+	// Fault-layer shared-surface accounting.
+	clear(s.replayFrames)
+	s.replayFrames = s.replayFrames[:0]
+	s.splitDepth = 0
+	s.baroDropDepth = 0
+	s.gyroBiasDepth = 0
+	s.gpsSpoofDepth = 0
+	clear(s.jitterStack)
+	s.jitterStack = s.jitterStack[:0]
 }
 
 func (s *System) registerStream(name string, port, size int) *StreamStat {
@@ -463,14 +580,17 @@ func (s *System) drainMotorPort(now time.Duration) {
 }
 
 // hostInputs assembles controller inputs from the host estimator's
-// fused state plus the raw barometer/RC channels.
-func (s *System) hostInputs() control.Inputs {
-	return control.Inputs{
+// fused state plus the raw barometer/RC channels, into a reused
+// scratch field (fully overwritten on every call, so it needs no
+// per-run reset).
+func (s *System) hostInputs() *control.Inputs {
+	s.hostIn = control.Inputs{
 		IMU:  s.hostEst.Inputs(s.lastBaro, s.lastRC),
 		GPS:  s.hostEst.GPSLike(),
 		Baro: s.lastBaro,
 		RC:   s.lastRC,
 	}
+	return &s.hostIn
 }
 
 // safetyTarget returns the safety controller's setpoint. For static
@@ -514,11 +634,10 @@ func (s *System) selectCommand() [4]float64 {
 // the container: it consumes the sensor stream from port 14660 and
 // emits motor frames to host port 14600 at 400 Hz (Table I).
 func (s *System) buildCCEController() error {
-	var in control.Inputs
-	var seq uint32
-	// Per-stream encode scratch, reused across jobs: Container.Send
-	// copies the frame into the network pool before returning.
-	var motorPayload, motorFrame []byte
+	// Per-run input cache and stream sequence live on the System (so
+	// Reset rewinds them); the encode scratch is reused across jobs:
+	// Container.Send copies the frame into the network pool before
+	// returning.
 	task := &sched.Task{
 		Name: "px4-complex", Core: CoreContainer, Priority: sched.PrioContainer,
 		Period: 2500 * time.Microsecond, WCET: 900 * time.Microsecond,
@@ -541,7 +660,7 @@ func (s *System) buildCCEController() error {
 					}
 				case mavlink.MsgIDBaro:
 					if r, err := mavlink.DecodeBaro(frame.Payload); err == nil {
-						in.Baro = r
+						s.cceIn.Baro = r
 					}
 				case mavlink.MsgIDGPS:
 					if r, err := mavlink.DecodeGPS(frame.Payload); err == nil {
@@ -549,24 +668,24 @@ func (s *System) buildCCEController() error {
 					}
 				case mavlink.MsgIDRC:
 					if r, err := mavlink.DecodeRC(frame.Payload); err == nil {
-						in.RC = r
+						s.cceIn.RC = r
 					}
 				}
 			}
-			in.IMU = s.cceEst.Inputs(in.Baro, in.RC)
-			in.GPS = s.cceEst.GPSLike()
-			cmd := s.complexCtl.Compute(in, s.complexSetpoint(now, in.GPS.Pos, 1.0/400))
-			seq++
+			s.cceIn.IMU = s.cceEst.Inputs(s.cceIn.Baro, s.cceIn.RC)
+			s.cceIn.GPS = s.cceEst.GPSLike()
+			cmd := s.complexCtl.Compute(&s.cceIn, s.complexSetpoint(now, s.cceIn.GPS.Pos, 1.0/400))
+			s.cceSeq++
 			var payload []byte
-			motorPayload, payload = mavlink.AppendMotor(motorPayload[:0], mavlink.MotorCommand{
-				TimeUS: nowUS(now), Motors: cmd, Seq: seq, Armed: true,
+			s.cceMotorPayload, payload = mavlink.AppendMotor(s.cceMotorPayload[:0], mavlink.MotorCommand{
+				TimeUS: nowUS(now), Motors: cmd, Seq: s.cceSeq, Armed: true,
 			})
-			motorFrame = mavlink.AppendEncode(motorFrame[:0], mavlink.Frame{
-				Seq: uint8(seq), SysID: 2, CompID: 1, MsgID: mavlink.MsgIDMotor, Payload: payload,
+			s.cceMotorFrame = mavlink.AppendEncode(s.cceMotorFrame[:0], mavlink.Frame{
+				Seq: uint8(s.cceSeq), SysID: 2, CompID: 1, MsgID: mavlink.MsgIDMotor, Payload: payload,
 			})
 			// Best-effort UDP: namespace violations would be bugs, but
 			// a full fabric just drops.
-			_ = s.CCE.Send(9001, PortMotor, motorFrame)
+			_ = s.CCE.Send(9001, PortMotor, s.cceMotorFrame)
 		},
 	}
 	if err := s.CCE.StartTask(task); err != nil {

@@ -72,6 +72,15 @@ func New(cfg Config) *Filter {
 // State returns the current estimate.
 func (f *Filter) State() State { return f.st }
 
+// Reset rewinds the filter to its just-built state: identity attitude,
+// unprimed, no staleness history.
+func (f *Filter) Reset() {
+	f.st = State{Attitude: physics.IdentityQuat()}
+	f.primed = false
+	f.lastIMUUS = 0
+	f.lastFixUS = 0
+}
+
 // IMUStalenessUS returns the age of the newest IMU sample relative to
 // the given time — the signal a starved driver shows up in.
 func (f *Filter) IMUStalenessUS(nowUS uint64) uint64 {

@@ -61,9 +61,36 @@ func crcAccumulate(b byte, crc uint16) uint16 {
 	return (crc >> 8) ^ crcTable[b^byte(crc&0xFF)]
 }
 
-// crcX25 computes the checksum over data, then folds in extra.
+// crcTables extends crcTable with slicing tables: crcTables[k][b] is
+// T[b] advanced through k zero bytes, where T is the per-byte step
+// table and "advance" is A(v) = v>>8 ^ T[v&0xFF]. The CRC update is
+// GF(2)-linear — step(crc, b) = A(crc) ^ T[b] — so four input bytes
+// fold with four independent table lookups instead of a four-deep
+// serial dependency chain (standard slicing-by-4, 16-bit variant).
+var crcTables = func() (t [4][256]uint16) {
+	t[0] = crcTable
+	for k := 1; k < 4; k++ {
+		for b := range t[k] {
+			v := t[k-1][b]
+			t[k][b] = v>>8 ^ crcTable[v&0xFF]
+		}
+	}
+	return
+}()
+
+// crcX25 computes the checksum over data, then folds in extra. The
+// MAVLink frame body is covered per frame on both the encode and the
+// decode side at stream rates, so the loop is slicing-by-4; the
+// byte-at-a-time tail matches crcAccumulate exactly.
 func crcX25(data []byte, extra byte) uint16 {
 	crc := uint16(0xFFFF)
+	for len(data) >= 4 {
+		x1 := crc ^ (uint16(data[0]) | uint16(data[1])<<8)
+		x2 := uint16(data[2]) | uint16(data[3])<<8
+		crc = crcTables[3][x1&0xFF] ^ crcTables[2][x1>>8] ^
+			crcTables[1][x2&0xFF] ^ crcTables[0][x2>>8]
+		data = data[4:]
+	}
 	for _, b := range data {
 		crc = crcAccumulate(b, crc)
 	}
@@ -73,10 +100,7 @@ func crcX25(data []byte, extra byte) uint16 {
 // crcExtra returns the per-message CRC seed byte. Unknown message ids
 // get seed 0; Decode rejects them before checksum verification anyway.
 func crcExtra(msgID uint8) byte {
-	if e, ok := registry[msgID]; ok {
-		return e.crcExtra
-	}
-	return 0
+	return registry[msgID].crcExtra
 }
 
 // Encode serializes the frame. The caller owns the returned slice.
@@ -124,7 +148,7 @@ func Decode(data []byte) (Frame, int, error) {
 		MsgID:   data[5],
 		Payload: data[6 : 6+plen : 6+plen],
 	}
-	if _, ok := registry[f.MsgID]; !ok {
+	if !registry[f.MsgID].known {
 		return Frame{}, total, fmt.Errorf("%w: %d", ErrUnknownMsg, f.MsgID)
 	}
 	want := uint16(data[total-2]) | uint16(data[total-1])<<8
@@ -140,17 +164,22 @@ type registryEntry struct {
 	name        string
 	payloadSize int
 	crcExtra    byte
+	known       bool
 }
 
-var registry = map[uint8]registryEntry{}
+// registry is indexed directly by message id: the id is a uint8, so a
+// dense array turns the per-frame lookups in Decode and AppendEncode
+// (twice per frame, at the Table-I stream rates) into a bounds-free
+// load instead of a map hash.
+var registry [256]registryEntry
 
 // registerMessage declares a message type; called from init in
 // messages.go. Duplicate ids are a programming error.
 func registerMessage(id uint8, name string, payloadSize int, crcExtra byte) {
-	if _, dup := registry[id]; dup {
+	if registry[id].known {
 		panic(fmt.Sprintf("mavlink: duplicate message id %d", id))
 	}
-	registry[id] = registryEntry{name: name, payloadSize: payloadSize, crcExtra: crcExtra}
+	registry[id] = registryEntry{name: name, payloadSize: payloadSize, crcExtra: crcExtra, known: true}
 }
 
 // RegisterExternal declares a message type defined outside this
@@ -163,7 +192,7 @@ func RegisterExternal(id uint8, name string, payloadSize int, crcExtra byte) {
 
 // MessageName returns the registered name for a message id.
 func MessageName(id uint8) string {
-	if e, ok := registry[id]; ok {
+	if e := registry[id]; e.known {
 		return e.name
 	}
 	return fmt.Sprintf("unknown(%d)", id)
@@ -172,7 +201,7 @@ func MessageName(id uint8) string {
 // PayloadSize returns the registered payload size for a message id,
 // or -1 if unknown.
 func PayloadSize(id uint8) int {
-	if e, ok := registry[id]; ok {
+	if e := registry[id]; e.known {
 		return e.payloadSize
 	}
 	return -1

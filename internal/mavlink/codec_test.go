@@ -146,6 +146,37 @@ func TestCRCKnownVector(t *testing.T) {
 	}
 }
 
+// TestCRCSlicingMatchesByteAtATime pins the slicing-by-4 loop to the
+// reference byte-at-a-time recurrence for every length 0..257 and a
+// range of contents, including the lengths that exercise each tail
+// residue.
+func TestCRCSlicingMatchesByteAtATime(t *testing.T) {
+	ref := func(data []byte, extra byte) uint16 {
+		crc := uint16(0xFFFF)
+		for _, b := range data {
+			crc = crcAccumulate(b, crc)
+		}
+		return crcAccumulate(extra, crc)
+	}
+	state := uint32(1)
+	next := func() byte {
+		state = state*1664525 + 1013904223
+		return byte(state >> 24)
+	}
+	buf := make([]byte, 257)
+	for trial := 0; trial < 50; trial++ {
+		for i := range buf {
+			buf[i] = next()
+		}
+		extra := next()
+		for n := 0; n <= len(buf); n++ {
+			if got, want := crcX25(buf[:n], extra), ref(buf[:n], extra); got != want {
+				t.Fatalf("crcX25 len=%d = %#x, reference %#x", n, got, want)
+			}
+		}
+	}
+}
+
 // Property: any payload of the registered size round-trips bit-exactly.
 func TestRoundTripProperty(t *testing.T) {
 	f := func(seq, sysid uint8, raw []byte) bool {

@@ -176,9 +176,17 @@ func (q Quat) Integrate(omega Vec3, dt float64) Quat {
 		return q
 	}
 	// FromAxisAngle(omega, angle) with the norm already in hand
-	// (bit-identical, one sqrt instead of two).
+	// (bit-identical, one sqrt instead of two). The half-angle of one
+	// 100 µs step is ~1e-4 rad, deep inside the first octant, so the
+	// reduction-free sincos kernel applies on the hot path.
 	a := omega.Scale(1 / n)
-	s, c := math.Sincos(angle / 2)
+	half := angle / 2
+	var s, c float64
+	if sincosSmallOK(half) {
+		s, c = sincosSmall(half)
+	} else {
+		s, c = math.Sincos(half)
+	}
 	dq := Quat{W: c, X: a.X * s, Y: a.Y * s, Z: a.Z * s}
 	return q.Mul(dq).Normalized()
 }

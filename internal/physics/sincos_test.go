@@ -1,0 +1,68 @@
+package physics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSincosSmallMatchesStdlib pins the reduction-free kernel to the
+// installed math package bit for bit across the whole gated range:
+// edge values, denormals, the octant boundary, and a dense random
+// sweep. Any divergence — a coefficient typo, a changed association,
+// an FMA introduced on some platform for one side only — fails here
+// before it can silently shift a golden digest.
+func TestSincosSmallMatchesStdlib(t *testing.T) {
+	check := func(x float64) {
+		t.Helper()
+		if !sincosSmallOK(x) {
+			return
+		}
+		gotS, gotC := sincosSmall(x)
+		wantS, wantC := math.Sincos(x)
+		if math.Float64bits(gotS) != math.Float64bits(wantS) ||
+			math.Float64bits(gotC) != math.Float64bits(wantC) {
+			t.Fatalf("sincosSmall(%v) = (%x, %x), math.Sincos = (%x, %x)",
+				x, math.Float64bits(gotS), math.Float64bits(gotC),
+				math.Float64bits(wantS), math.Float64bits(wantC))
+		}
+	}
+	for _, x := range []float64{
+		0, math.SmallestNonzeroFloat64, 1e-300, 1e-10, 1e-4, 0.1, 0.5,
+		math.Pi/4 - 1e-16, math.Pi / 4, math.Nextafter(math.Pi/4, 0),
+	} {
+		check(x)
+	}
+	// Dense deterministic sweep over the integrator's working range
+	// and up to the octant boundary.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	for i := 0; i < 1_000_000; i++ {
+		check(next() * math.Pi / 4)
+		check(next() * 1e-3) // the hot integrator magnitudes
+	}
+}
+
+// TestSincosSmallGate verifies the gate matches the stdlib's octant
+// decision: everything it accepts must be octant 0 (where z = x
+// exactly), everything at or past π/4 must be rejected.
+func TestSincosSmallGate(t *testing.T) {
+	if sincosSmallOK(math.Pi / 2) {
+		t.Error("gate accepted π/2")
+	}
+	if sincosSmallOK(-1e-9) {
+		t.Error("gate accepted a negative argument")
+	}
+	if !sincosSmallOK(0) || !sincosSmallOK(1e-4) {
+		t.Error("gate rejected a first-octant argument")
+	}
+	// At every accepted x the stdlib's own octant computation must be
+	// zero, i.e. the stdlib would take the same branch we replicate.
+	for _, x := range []float64{0.7853, math.Nextafter(math.Pi/4, 0), math.Pi / 4} {
+		if sincosSmallOK(x) != (uint64(x*(4/math.Pi)) == 0) {
+			t.Errorf("gate disagrees with stdlib octant at %v", x)
+		}
+	}
+}

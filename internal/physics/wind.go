@@ -25,6 +25,14 @@ func NewWind(mean, gust, period float64, norm func() float64) *Wind {
 	return &Wind{MeanForce: mean, GustForce: gust, Period: period, noise: norm}
 }
 
+// Reset clears the filtered gust state and rewinds the gust clock,
+// returning the model to its just-built state (the noise source is
+// external and is reseeded by the caller).
+func (w *Wind) Reset() {
+	w.state = Vec3{}
+	w.t = 0
+}
+
 // Step advances the model by dt seconds and returns the world-frame
 // force to apply to the airframe.
 func (w *Wind) Step(dt float64) Vec3 {

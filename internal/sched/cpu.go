@@ -41,6 +41,18 @@ type CPU struct {
 	running  []*Task         // chosen task per core this tick
 	demand   []float64       // full-speed demand per core this tick
 	now      time.Duration   // time of the most recent Tick
+
+	// activeCount and dirtyCount gate the idle fast path in Tick: when
+	// no task is ready, no ready set changed, and no release is due,
+	// the tick is pure idle accounting.
+	activeCount int
+	dirtyCount  int
+
+	// snapshot is the task set recorded by Checkpoint, restored by
+	// Reset — the warm-pool campaign's way of undoing mid-run task
+	// arrivals (attack tasks, fault spinners) and removals (the killed
+	// receiver thread).
+	snapshot []*Task
 }
 
 // NewCPU builds a scheduler for the given core count and tick. The
@@ -95,8 +107,17 @@ func (c *CPU) Add(t *Task) *Task {
 			c.nextDue = t.nextRelease
 		}
 	}
-	c.dirty[t.Core] = true
+	c.markDirty(t.Core)
 	return t
+}
+
+// markDirty flags a core for re-pick, keeping the dirty-core count
+// that gates the idle fast path.
+func (c *CPU) markDirty(core int) {
+	if !c.dirty[core] {
+		c.dirty[core] = true
+		c.dirtyCount++
+	}
 }
 
 // Remove deregisters a task (e.g. the attacker killing the complex
@@ -112,8 +133,11 @@ func (c *CPU) Remove(t *Task) {
 		// that only costs one spurious scan, which recomputes it.
 		c.periodic = removeTask(c.periodic, t)
 	}
+	if t.active {
+		c.activeCount--
+	}
 	t.active = false
-	c.dirty[t.Core] = true
+	c.markDirty(t.Core)
 }
 
 func removeTask(s []*Task, t *Task) []*Task {
@@ -164,6 +188,20 @@ func (c *CPU) Tick(now time.Duration) {
 		c.guard.Tick(now)
 	}
 
+	// Idle fast path: no ready task anywhere, no ready set changed, and
+	// no release due this tick — the overwhelming majority of 10 kHz
+	// ticks in a lightly loaded flight. Pure idle accounting, nothing
+	// else. This is observably identical to the full path: with no
+	// ready task the previous full tick already resolved the bus at
+	// zero demand, every running slot is nil, and no statistics besides
+	// idle ticks can change.
+	if c.activeCount == 0 && c.dirtyCount == 0 && now < c.nextDue && len(c.busy) == 0 {
+		for i := range c.idle {
+			c.idle[i]++
+		}
+		return
+	}
+
 	// Phase 1: job releases. Busy-loop tasks are always ready; the
 	// periodic scan runs only on ticks where some release is due and
 	// recomputes the earliest upcoming release as it goes.
@@ -171,7 +209,8 @@ func (c *CPU) Tick(now time.Duration) {
 		if !t.active {
 			t.active = true
 			t.releaseTime = now
-			c.dirty[t.Core] = true
+			c.activeCount++
+			c.markDirty(t.Core)
 		}
 	}
 	if now >= c.nextDue {
@@ -186,7 +225,8 @@ func (c *CPU) Tick(now time.Duration) {
 					t.active = true
 					t.remaining = t.WCET
 					t.releaseTime = t.nextRelease
-					c.dirty[t.Core] = true
+					c.activeCount++
+					c.markDirty(t.Core)
 				}
 				t.nextRelease += t.Period
 			}
@@ -205,6 +245,7 @@ func (c *CPU) Tick(now time.Duration) {
 			continue
 		}
 		c.dirty[core] = false
+		c.dirtyCount--
 		var best *Task
 		for _, t := range c.byCore[core] {
 			if !t.active {
@@ -269,8 +310,9 @@ func (c *CPU) Tick(now time.Duration) {
 		t.remaining -= progress
 		if t.remaining <= 0 {
 			t.active = false
+			c.activeCount--
 			t.stats.Completed++
-			c.dirty[core] = true
+			c.markDirty(core)
 			latency := now + c.tick - t.releaseTime
 			t.stats.SumLatency += latency
 			if latency > t.stats.MaxLatency {
@@ -285,6 +327,56 @@ func (c *CPU) Tick(now time.Duration) {
 
 // Running returns the task currently occupying a core, or nil.
 func (c *CPU) Running(core int) *Task { return c.running[core] }
+
+// Checkpoint records the current task set so Reset can restore it.
+// Call it once when scenario construction completes, before the first
+// Tick.
+func (c *CPU) Checkpoint() {
+	c.snapshot = append(c.snapshot[:0], c.tasks...)
+}
+
+// Reset rewinds the scheduler to its Checkpoint: the recorded task set
+// (mid-run arrivals dropped, mid-run removals restored), every task's
+// scheduling state and statistics cleared to a zero-phase start, and
+// all idle accounting zeroed. Reset does not allocate at steady state:
+// the per-core slices are truncated and refilled in place.
+func (c *CPU) Reset() {
+	if c.snapshot == nil {
+		panic("sched: Reset without Checkpoint")
+	}
+	clear(c.tasks)
+	c.tasks = append(c.tasks[:0], c.snapshot...)
+	for core := range c.byCore {
+		clear(c.byCore[core])
+		c.byCore[core] = c.byCore[core][:0]
+	}
+	clear(c.busy)
+	c.busy = c.busy[:0]
+	clear(c.periodic)
+	c.periodic = c.periodic[:0]
+	c.nextDue = neverDue
+	for i, t := range c.tasks {
+		t.resetSched(i)
+		c.byCore[t.Core] = append(c.byCore[t.Core], t)
+		if t.Busy() {
+			c.busy = append(c.busy, t)
+		} else {
+			c.periodic = append(c.periodic, t)
+			c.nextDue = 0 // zero-phase: every periodic task releases at t=0
+		}
+	}
+	c.activeCount = 0
+	c.dirtyCount = 0
+	for i := range c.dirty {
+		c.dirty[i] = true
+		c.dirtyCount++
+		c.idle[i] = 0
+		c.busyT[i] = 0
+		c.running[i] = nil
+		c.demand[i] = 0
+	}
+	c.now = 0
+}
 
 // String summarizes scheduler state.
 func (c *CPU) String() string {

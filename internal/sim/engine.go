@@ -110,6 +110,13 @@ type Engine struct {
 	oneShots  oneShotHeap
 	seq       int64
 	stopped   bool
+
+	// Checkpoint state for Reset: the one-shot schedule and per-proc
+	// enabled flags as they stood when Checkpoint was called.
+	chkOneShots oneShotHeap
+	chkSeq      int64
+	chkEnabled  []bool
+	chkValid    bool
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -263,6 +270,62 @@ func (e *Engine) Step() {
 		f.fn(now)
 	}
 	e.clock.Advance()
+}
+
+// Checkpoint records the engine's schedule — the pending one-shot
+// callbacks and every process's enabled flag — so Reset can rewind to
+// it. Call it once at the end of scenario construction, after every
+// Register/At of the build phase; the clock must still be at zero.
+//
+// Checkpoint is what makes an Engine reusable across campaign runs:
+// one-shots are consumed as they fire, so without a recorded schedule
+// a second run would fly with no attack, no faults, and no monitor
+// arming.
+func (e *Engine) Checkpoint() {
+	if e.clock.Ticks() != 0 {
+		panic("sim: Checkpoint after the clock advanced")
+	}
+	e.chkOneShots = append(e.chkOneShots[:0], e.oneShots...)
+	e.chkSeq = e.seq
+	if e.chkEnabled == nil {
+		e.chkEnabled = make([]bool, 0, len(e.procs))
+	}
+	e.chkEnabled = e.chkEnabled[:0]
+	for _, ent := range e.procs {
+		e.chkEnabled = append(e.chkEnabled, ent.enabled)
+	}
+	e.chkValid = true
+}
+
+// Reset rewinds the engine to its Checkpoint: time zero, the recorded
+// one-shot schedule, every process re-phased to its zero-phase next
+// fire and restored to its checkpointed enabled state. Registered
+// processes are kept — their closures are expected to read per-run
+// state that the caller resets separately. Reset never allocates at
+// steady state (the restored heaps reuse the engine's buffers).
+func (e *Engine) Reset() {
+	if !e.chkValid {
+		panic("sim: Reset without Checkpoint")
+	}
+	e.clock = Clock{}
+	e.stopped = false
+	// Restore the one-shot schedule. The checkpoint copy is itself a
+	// valid heap (heap order is preserved by append-copy), so no re-init
+	// is needed.
+	e.oneShots = append(e.oneShots[:0], e.chkOneShots...)
+	e.seq = e.chkSeq
+	// Re-phase every process: at tick zero the zero-phase next fire is
+	// tick zero for every period.
+	e.slow = e.slow[:0]
+	for i, ent := range e.procs {
+		ent.enabled = e.chkEnabled[i]
+		ent.next = 0
+		if ent.period > 1 {
+			e.slow = append(e.slow, ent)
+		}
+	}
+	heap.Init(&e.slow)
+	e.due = e.due[:0]
 }
 
 // Run advances the simulation for the given duration or until Stop.

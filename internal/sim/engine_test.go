@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -179,4 +180,56 @@ func TestEngineTwoRatesAlign(t *testing.T) {
 	if at250[1] != 4*time.Millisecond {
 		t.Fatalf("250Hz second invocation at %v, want 4ms", at250[1])
 	}
+}
+
+// TestEngineCheckpointReset pins the rewind contract the warm-pool
+// campaign rests on: after Checkpoint, any number of runs followed by
+// Reset replays the identical schedule — periodic phases, one-shot
+// firings, and enabled flags all restored.
+func TestEngineCheckpointReset(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	record := func(name string) ProcFunc {
+		return func(now time.Duration) {
+			log = append(log, fmt.Sprintf("%s@%v", name, now))
+		}
+	}
+	e.Register("fast", Tick, 0, record("fast"))
+	h := e.Register("slow", 3*Tick, 10, record("slow"))
+	h.SetEnabled(false) // fault-step style: disabled until its window opens
+	e.At(2*Tick, func(now time.Duration) {
+		log = append(log, fmt.Sprintf("shot@%v", now))
+		h.SetEnabled(true)
+	})
+	e.Checkpoint()
+
+	run := func() []string {
+		log = nil
+		e.Run(7 * Tick)
+		return append([]string(nil), log...)
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("no events recorded")
+	}
+	e.Reset()
+	second := run()
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("replay after Reset diverged:\n first: %v\n second: %v", first, second)
+	}
+	// A third cycle catches state that survives exactly one reset.
+	e.Reset()
+	if third := run(); fmt.Sprint(first) != fmt.Sprint(third) {
+		t.Fatalf("second Reset diverged:\n first: %v\n third: %v", first, third)
+	}
+}
+
+// TestEngineResetWithoutCheckpointPanics pins the misuse guard.
+func TestEngineResetWithoutCheckpointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset without Checkpoint did not panic")
+		}
+	}()
+	NewEngine().Reset()
 }

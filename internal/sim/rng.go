@@ -28,6 +28,24 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64()*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
 }
 
+// Reseed rewinds the generator to the state of a fresh NewRNG(seed):
+// the stream restarts from scratch and any buffered Gaussian spare is
+// dropped. Subsystems hold RNGs by pointer (often through closures),
+// so reseeding in place is how a reused simulation re-derives its
+// per-run randomness without rewiring consumers.
+func (r *RNG) Reseed(seed uint64) {
+	r.state = seed
+	r.spare = 0
+	r.hasSpare = false
+}
+
+// SplitInto is Split writing the child state into an existing
+// generator — the allocation-free form used when reseeding a tree of
+// subsystem streams in place.
+func (r *RNG) SplitInto(child *RNG) {
+	child.Reseed(r.Uint64()*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+}
+
 // Uint64 returns the next 64 random bits (SplitMix64).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

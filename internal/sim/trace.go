@@ -45,6 +45,14 @@ func (t *Trace) Add(now time.Duration, source, format string, args ...any) {
 	t.events = append(t.events, ev)
 }
 
+// Reset empties the trace in place, keeping its capacity and backing
+// storage for the next run.
+func (t *Trace) Reset() {
+	clear(t.events)
+	t.events = t.events[:0]
+	t.drops = 0
+}
+
 // Events returns the retained events, oldest first. The returned slice
 // is owned by the trace; callers must not mutate it.
 func (t *Trace) Events() []Event { return t.events }

@@ -48,6 +48,14 @@ func NewFlightLogCap(n int) *FlightLog {
 // Add appends a sample.
 func (l *FlightLog) Add(s Sample) { l.samples = append(l.samples, s) }
 
+// Reset empties the log in place, keeping its capacity, and clears the
+// crash mark — the warm-pool campaign's per-run rewind.
+func (l *FlightLog) Reset() {
+	l.samples = l.samples[:0]
+	l.crashed = false
+	l.crashAt = 0
+}
+
 // MarkCrash records the vehicle crash time (first call wins).
 func (l *FlightLog) MarkCrash(at time.Duration) {
 	if !l.crashed {
