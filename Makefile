@@ -10,6 +10,7 @@ test:
 
 race:
 	$(GO) test -race -skip TestGoldenTraces . ./internal/campaign/
+	$(GO) test -race -run 'TestSnapshot' ./internal/core/
 
 # Full performance suite: emits BENCH_<timestamp>.json in the repo
 # root — the trajectory point for this commit.

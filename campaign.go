@@ -80,8 +80,9 @@ func WithBaseParams(params map[string]float64) CampaignOption {
 // completes — live campaign output (progress meters, streaming CSV)
 // off the workers' hot path. All observers run on one emitter
 // goroutine, so they need no locking among themselves; records arrive
-// in completion order, not index order, and exactly once each. The
-// CampaignResult still carries the full index-ordered record set.
+// exactly once each and in index order (point-major, then run)
+// regardless of worker or fork completion order, so a streamed CSV is
+// byte-identical to the CampaignResult's WriteRecordsCSV output.
 func WithRecordObserver(fn func(Record)) CampaignOption {
 	return func(c *Campaign) { c.observers = append(c.observers, fn) }
 }
@@ -119,21 +120,40 @@ func WithColdStart() CampaignOption {
 	return func(c *Campaign) { c.coldStart = true }
 }
 
+// WithPrefixSharing turns checkpoint-fork prefix sharing on or off
+// (default on). When on, grid points whose swept knobs only act after
+// attack/fault onset — attack parameters, fault severities, monitor
+// thresholds — are grouped: the common pre-onset prefix is flown once
+// per (group, run), snapshotted, and the variants fork from the
+// snapshot instead of re-flying it. Forked results are byte-identical
+// to full flights (pinned per registry scenario by the test suite);
+// sweeps that touch pre-onset behavior, and scenarios without an
+// onset, transparently fall back to full flights.
+//
+// Grouping changes the per-run seed derivation — every member of a
+// group flies the group leader's seed for a given run index, so
+// variants are compared like for like. Campaigns therefore reproduce
+// bit-for-bit only across runs with the same sharing setting.
+func WithPrefixSharing(enabled bool) CampaignOption {
+	return func(c *Campaign) { c.prefixShare = enabled }
+}
+
 // Campaign is a Monte-Carlo experiment campaign over one scenario:
 // N seeds × the cartesian grid of the configured sweeps, executed on
 // a worker pool and reduced to per-point aggregates. Results are
 // deterministic: a campaign is a pure function of its options,
 // independent of worker count and scheduling.
 type Campaign struct {
-	scenario  string
-	params    map[string]float64
-	sweeps    []Sweep
-	runs      int
-	parallel  int
-	baseSeed  uint64
-	duration  time.Duration
-	coldStart bool
-	observers []func(Record)
+	scenario    string
+	params      map[string]float64
+	sweeps      []Sweep
+	runs        int
+	parallel    int
+	baseSeed    uint64
+	duration    time.Duration
+	coldStart   bool
+	prefixShare bool
+	observers   []func(Record)
 }
 
 // NewCampaign builds a campaign over a registered scenario:
@@ -143,7 +163,7 @@ type Campaign struct {
 //	    containerdrone.WithSweep("attack.rate", 2000, 8000, 32000))
 //	res, err := c.Run(ctx)
 func NewCampaign(scenario string, opts ...CampaignOption) *Campaign {
-	c := &Campaign{scenario: scenario, runs: 1, baseSeed: 1}
+	c := &Campaign{scenario: scenario, runs: 1, baseSeed: 1, prefixShare: true}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -159,12 +179,13 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		sweeps[i] = campaign.Sweep{Key: sw.Key, Values: sw.Values}
 	}
 	spec := campaign.Spec{
-		Points:    campaign.Expand(c.scenario, c.params, sweeps),
-		Runs:      c.runs,
-		Parallel:  c.parallel,
-		BaseSeed:  c.baseSeed,
-		Duration:  c.duration,
-		ColdStart: c.coldStart,
+		Points:      campaign.Expand(c.scenario, c.params, sweeps),
+		Runs:        c.runs,
+		Parallel:    c.parallel,
+		BaseSeed:    c.baseSeed,
+		Duration:    c.duration,
+		ColdStart:   c.coldStart,
+		PrefixShare: c.prefixShare,
 	}
 	if len(c.observers) > 0 {
 		obs := c.observers
@@ -175,7 +196,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			}
 		}
 	}
-	records, aggs, err := campaign.RunAggregated(ctx, spec)
+	records, aggs, stats, err := campaign.RunAggregatedStats(ctx, spec)
 	if records == nil {
 		return nil, err
 	}
@@ -185,6 +206,13 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		Points:        len(spec.Points),
 		Runs:          spec.Runs,
 		BaseSeed:      spec.BaseSeed,
+		Stats: CampaignStats{
+			TicksFlown:       stats.TicksFlown,
+			TicksSaved:       stats.TicksSaved,
+			ForkGroups:       stats.ForkGroups,
+			ForkedRuns:       stats.ForkedRuns,
+			PrefixShareRatio: stats.PrefixShareRatio(),
+		},
 	}
 	for _, r := range records {
 		res.Records = append(res.Records, Record(r))
@@ -291,13 +319,31 @@ func (a Aggregate) internal() campaign.Aggregate {
 // self-contained — a CampaignResult decoded from JSON renders the
 // same table and CSVs as one produced locally.
 type CampaignResult struct {
-	SchemaVersion int         `json:"schema_version"`
-	Scenario      string      `json:"scenario"`
-	Points        int         `json:"points"`
-	Runs          int         `json:"runs"`
-	BaseSeed      uint64      `json:"base_seed"`
-	Records       []Record    `json:"records"`
-	Aggregates    []Aggregate `json:"aggregates"`
+	SchemaVersion int           `json:"schema_version"`
+	Scenario      string        `json:"scenario"`
+	Points        int           `json:"points"`
+	Runs          int           `json:"runs"`
+	BaseSeed      uint64        `json:"base_seed"`
+	Stats         CampaignStats `json:"stats"`
+	Records       []Record      `json:"records"`
+	Aggregates    []Aggregate   `json:"aggregates"`
+}
+
+// CampaignStats reports the campaign's execution economics: how many
+// engine ticks actually ran, and how many a prefix-sharing campaign
+// avoided by forking variants from shared snapshots.
+type CampaignStats struct {
+	// TicksFlown counts engine ticks actually executed across all runs.
+	TicksFlown int64 `json:"ticks_flown"`
+	// TicksSaved counts prefix ticks forked runs did not re-fly.
+	TicksSaved int64 `json:"ticks_saved"`
+	// ForkGroups is how many sweep groups qualified for prefix sharing.
+	ForkGroups int `json:"fork_groups"`
+	// ForkedRuns is how many runs were restored from a snapshot.
+	ForkedRuns int `json:"forked_runs"`
+	// PrefixShareRatio is TicksSaved / (TicksFlown + TicksSaved): the
+	// fraction of demanded simulation work that sharing eliminated.
+	PrefixShareRatio float64 `json:"prefix_share_ratio"`
 }
 
 func (r *CampaignResult) internalRecords() []campaign.Record {
@@ -321,10 +367,17 @@ func (r *CampaignResult) Table() string {
 	return campaign.Table(r.internalAggregates())
 }
 
-// Summary renders the standard campaign report: a header line and the
-// aggregate table.
+// Summary renders the standard campaign report: a header line, the
+// prefix-sharing economics when any run forked, and the aggregate
+// table.
 func (r *CampaignResult) Summary() string {
-	return fmt.Sprintf("campaign: %d points × %d runs (seed %d)\n", r.Points, r.Runs, r.BaseSeed) + r.Table()
+	head := fmt.Sprintf("campaign: %d points × %d runs (seed %d)\n", r.Points, r.Runs, r.BaseSeed)
+	if r.Stats.ForkedRuns > 0 {
+		head += fmt.Sprintf("prefix sharing: %d runs forked across %d groups, %d of %d ticks saved (%.0f%%)\n",
+			r.Stats.ForkedRuns, r.Stats.ForkGroups, r.Stats.TicksSaved,
+			r.Stats.TicksFlown+r.Stats.TicksSaved, 100*r.Stats.PrefixShareRatio)
+	}
+	return head + r.Table()
 }
 
 // WriteRecordsCSV emits one CSV row per run; downstream plotting

@@ -150,6 +150,17 @@ func run() error {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, m)
 	}
+	// Checkpoint-fork prefix sharing on an onset-heavy sweep: the same
+	// grid with forking on and off, plus the deterministic share ratio.
+	forkRuns := 8
+	if *quick {
+		forkRuns = 4
+	}
+	ms, err := benchForkSweep(forkRuns, 12*time.Second, *repeats)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, ms...)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -332,4 +343,50 @@ func benchCampaign(name, scenario string, cold bool, runs int, dur time.Duration
 		}
 	}
 	return Measurement{Name: name, Value: best, Unit: "runs/s", WallS: bestWall}, nil
+}
+
+// benchForkSweep measures checkpoint-fork prefix sharing on its home
+// turf: a gps-spoof severity sweep, where every swept knob acts after
+// the 10 s fault onset, so a 12 s flight shares ten-twelfths of its
+// ticks across the four variants. Three measurements come back: runs/s
+// with forking, runs/s for the identical grid as full flights, and the
+// deterministic prefix-share ratio (a gate value — it moves only if
+// the planner's classification or the grid changes).
+func benchForkSweep(runs int, dur time.Duration, repeats int) ([]Measurement, error) {
+	sweep := []float64{0.5, 1, 2, 4}
+	total := len(sweep) * runs
+	measure := func(fork bool) (float64, float64, float64, error) {
+		best, bestWall, ratio := 0.0, 0.0, 0.0
+		for i := 0; i < repeats; i++ {
+			c := containerdrone.NewCampaign("gps-spoof",
+				containerdrone.WithRuns(runs),
+				containerdrone.WithRunDuration(dur),
+				containerdrone.WithSweep("fault.rate", sweep...),
+				containerdrone.WithPrefixSharing(fork))
+			start := time.Now()
+			res, err := c.Run(context.Background())
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			wall := time.Since(start).Seconds()
+			if rps := float64(total) / wall; rps > best {
+				best, bestWall = rps, wall
+			}
+			ratio = res.Stats.PrefixShareRatio
+		}
+		return best, bestWall, ratio, nil
+	}
+	forked, forkedWall, ratio, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	full, fullWall, _, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	return []Measurement{
+		{Name: "campaign_runs_per_sec/fork-sweep", Value: forked, Unit: "runs/s", WallS: forkedWall},
+		{Name: "campaign_runs_per_sec/fork-sweep-full", Value: full, Unit: "runs/s", WallS: fullWall},
+		{Name: "prefix_share_ratio/fork-sweep", Value: ratio, Unit: "ratio", WallS: forkedWall},
+	}, nil
 }

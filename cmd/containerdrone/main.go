@@ -49,6 +49,7 @@ func main() {
 		runs     = flag.Int("runs", 1, "seeds per sweep point; >1 (or any -sweep) switches to campaign mode")
 		parallel = flag.Int("parallel", 0, "campaign workers (0 = GOMAXPROCS)")
 		cold     = flag.Bool("coldstart", false, "campaign: rebuild every run instead of reusing warm engines")
+		fork     = flag.Bool("fork", true, "campaign: share pre-onset prefixes across sweep variants via checkpoint forking")
 		recCSV   = flag.String("records-csv", "", "campaign: per-run records CSV, streamed live then finalized in run order")
 		aggCSV   = flag.String("agg-csv", "", "campaign: write per-point aggregate CSV to this path")
 		jsonPath = flag.String("json", "", "campaign: write full report JSON to this path")
@@ -122,7 +123,7 @@ func main() {
 			fatal(fmt.Errorf("-csv and -blackbox are single-run flags; campaigns emit -records-csv/-agg-csv/-json"))
 		}
 		runCampaign(*scenario, params, parsed, *runs, *parallel, *seed, *duration,
-			*cold, *recCSV, *aggCSV, *jsonPath)
+			*cold, *fork, *recCSV, *aggCSV, *jsonPath)
 		return
 	}
 	runSingle(*scenario, params, *seed, *duration, *csvPath, *bbPath, *trace)
@@ -148,7 +149,7 @@ func listScenarios() {
 
 func runCampaign(scenario string, params map[string]float64, sweeps []containerdrone.Sweep,
 	runs, parallel int, seed uint64, duration time.Duration,
-	coldStart bool, recCSV, aggCSV, jsonPath string) {
+	coldStart, fork bool, recCSV, aggCSV, jsonPath string) {
 	if runs < 1 {
 		runs = 1
 	}
@@ -159,6 +160,7 @@ func runCampaign(scenario string, params map[string]float64, sweeps []containerd
 		containerdrone.WithParallel(parallel),
 		containerdrone.WithBaseSeed(seed),
 		containerdrone.WithRunDuration(duration),
+		containerdrone.WithPrefixSharing(fork),
 	}
 	if coldStart {
 		opts = append(opts, containerdrone.WithColdStart())
@@ -189,10 +191,10 @@ func runCampaign(scenario string, params map[string]float64, sweeps []containerd
 		if err := recDone(); err != nil {
 			fatal(fmt.Errorf("records CSV %s is incomplete: %w", recCSV, err))
 		}
-		// The streamed rows arrived in completion order — fine for
-		// tail -f, wrong for the determinism contract (byte-identical
-		// output regardless of -parallel). Finalize the file in index
-		// order from the in-memory record set.
+		// Streamed rows already arrive in index order (the emitter
+		// re-sequences fork and worker completions), so the file is
+		// byte-identical to WriteRecordsCSV; the rewrite stands as a
+		// cheap guard against a stream interrupted mid-row.
 		writeOut(recCSV, res.WriteRecordsCSV)
 	}
 	fmt.Print(res.Summary())

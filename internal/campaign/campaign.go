@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"containerdrone/internal/core"
+	"containerdrone/internal/sim"
 )
 
 // Point is one cell of the campaign grid: a registered scenario plus
@@ -63,11 +64,32 @@ type Spec struct {
 	// themselves.
 	ColdStart bool
 
-	// Stream, when non-nil, receives every Record exactly once as runs
-	// complete, from a single emitter goroutine off the workers' hot
-	// path — live CSV/JSON emit without a post-pass. Delivery order is
-	// completion order, not index order; the returned record slice is
-	// still index-ordered and deterministic.
+	// PrefixShare enables checkpoint-fork prefix sharing: grid points
+	// whose swept knobs only act after attack/fault onset (attack
+	// parameters, fault severities, monitor thresholds) are grouped,
+	// the common pre-onset prefix is flown once per (group, run), and
+	// the variants fork from a mid-run snapshot. Grouping changes the
+	// per-run seed derivation — every member of a group runs the
+	// group leader's seed for a given run index, so forked variants
+	// are comparable like-for-like — which is why the flag is part of
+	// the spec rather than an execution hint: records differ between
+	// modes by seeds, never by correctness. Combined with ColdStart,
+	// the grouped seeds are kept but every run is a full cold flight —
+	// the equivalence baseline TestForkEquivalence compares against.
+	// Non-qualifying groups (no onset inside the flight, or a sweep
+	// touching pre-onset behavior) transparently fall back to full
+	// flights.
+	PrefixShare bool
+
+	// Stream, when non-nil, receives every Record exactly once, from a
+	// single emitter goroutine off the workers' hot path — live
+	// CSV/JSON emit without a post-pass. Records are delivered in
+	// index order (point-major, then run) regardless of worker or fork
+	// completion order, so a streamed records CSV is byte-identical to
+	// the post-hoc WriteRecordsCSV output. The emitter holds
+	// out-of-order completions in a reorder buffer bounded by the
+	// worker pool's dispatch skew (≈ workers × chunk cells), not by
+	// the campaign size.
 	Stream func(Record)
 }
 
@@ -140,18 +162,44 @@ func RunContext(ctx context.Context, spec Spec) ([]Record, error) {
 // the hot path. The merged aggregates are identical to
 // AggregateRecords over the same records.
 func RunAggregated(ctx context.Context, spec Spec) ([]Record, []Aggregate, error) {
+	records, aggs, _, err := RunAggregatedStats(ctx, spec)
+	return records, aggs, err
+}
+
+// RunAggregatedStats is RunAggregated also returning the campaign's
+// execution Stats: ticks flown, prefix ticks saved by checkpoint
+// forking, and how much of the grid qualified for sharing.
+func RunAggregatedStats(ctx context.Context, spec Spec) ([]Record, []Aggregate, Stats, error) {
+	var stats Stats
 	if spec.Runs <= 0 {
-		return nil, nil, fmt.Errorf("campaign: non-positive run count %d", spec.Runs)
+		return nil, nil, stats, fmt.Errorf("campaign: non-positive run count %d", spec.Runs)
 	}
 	if len(spec.Points) == 0 {
-		return nil, nil, fmt.Errorf("campaign: no points")
+		return nil, nil, stats, fmt.Errorf("campaign: no points")
 	}
 	// Validate every point up front: a typo in a sweep key should
-	// fail the campaign before it burns CPU on the valid cells.
-	for _, p := range spec.Points {
-		if _, err := buildPoint(p, spec, 1); err != nil {
-			return nil, nil, err
+	// fail the campaign before it burns CPU on the valid cells. In
+	// prefix-sharing mode the planner's classification pass doubles as
+	// this validation (it builds every point's Config).
+	var plan *forkPlan
+	if spec.PrefixShare {
+		p, err := planPrefixGroups(spec)
+		if err != nil {
+			return nil, nil, stats, err
 		}
+		plan = p
+		for _, g := range plan.groups {
+			if g.forkTick > 0 {
+				stats.ForkGroups++
+			}
+		}
+	} else {
+		for _, p := range spec.Points {
+			if _, err := buildPoint(p, spec, 1); err != nil {
+				return nil, nil, stats, err
+			}
+		}
+		plan = singletonPlan(len(spec.Points))
 	}
 	workers := spec.Parallel
 	if workers <= 0 {
@@ -167,47 +215,77 @@ func RunAggregated(ctx context.Context, spec Spec) ([]Record, []Aggregate, error
 	// never wait on the observer; only an observer persistently slower
 	// than the whole worker pool backpressures it (bounding memory at
 	// O(buffer), not O(total records) — a million-run campaign must
-	// not allocate its record population twice up front).
-	var streamCh chan Record
+	// not allocate its record population twice up front). The emitter
+	// re-sequences completions into index order before invoking the
+	// callback, holding early arrivals in a buffer bounded by the
+	// pool's dispatch skew.
+	var streamCh chan indexedRecord
 	var streamWG sync.WaitGroup
 	if spec.Stream != nil {
-		streamCh = make(chan Record, min(total, 8192))
+		streamCh = make(chan indexedRecord, min(total, 8192))
 		streamWG.Add(1)
 		go func() {
 			defer streamWG.Done()
-			for r := range streamCh {
-				spec.Stream(r)
+			pending := make(map[int]Record)
+			next := 0
+			for ir := range streamCh {
+				if ir.idx != next {
+					pending[ir.idx] = ir.rec
+					continue
+				}
+				spec.Stream(ir.rec)
+				next++
+				for {
+					r, ok := pending[next]
+					if !ok {
+						break
+					}
+					delete(pending, next)
+					spec.Stream(r)
+					next++
+				}
+			}
+			// Every index is sent exactly once, so nothing remains;
+			// the guard keeps a future bookkeeping bug from hanging
+			// the campaign instead of surfacing in the record set.
+			for next < total && len(pending) > 0 {
+				if r, ok := pending[next]; ok {
+					spec.Stream(r)
+					delete(pending, next)
+				}
+				next++
 			}
 		}()
 	}
 
-	// Work is dispatched as contiguous per-point run ranges rather
-	// than single cells: a worker that receives [lo, hi) of one point
-	// cold-builds at most once and resets between the rest, so warm
-	// reuse survives even when a point's run count is at or below the
-	// worker count (per-cell dispatch would hand each worker a
-	// different point every pull and silently degrade every run to a
-	// cold start). Chunks are sized so each point is covered by the
-	// fewest workers that still keep the whole pool busy, and are
-	// emitted in index order, preserving the records' determinism and
-	// the cancellation contract (dispatched cells form an index-space
-	// prefix).
-	chunkSize := spec.Runs
-	if per := (total + workers - 1) / workers; per < chunkSize {
-		chunkSize = per
-	}
-	if chunkSize < 1 {
-		chunkSize = 1
-	}
-	type chunk struct{ pi, lo, hi int } // runs [lo, hi) of point pi
+	// Work is dispatched as contiguous per-group run ranges rather
+	// than single cells: a worker that receives runs [lo, hi) of one
+	// group cold-builds each member at most once and resets between
+	// the rest, so warm reuse survives even when a group's run count
+	// is at or below the worker count (per-cell dispatch would hand
+	// each worker a different point every pull and silently degrade
+	// every run to a cold start). With prefix sharing off every point
+	// is its own singleton group, reproducing the classic per-point
+	// chunking exactly. Chunks are sized so each group is covered by
+	// the fewest workers that still keep the whole pool busy.
+	type chunk struct{ gi, lo, hi int } // runs [lo, hi) of group gi
 	var chunks []chunk
-	for pi := range spec.Points {
-		for lo := 0; lo < spec.Runs; lo += chunkSize {
-			hi := lo + chunkSize
+	perWorker := (total + workers - 1) / workers
+	for gi := range plan.groups {
+		k := len(plan.groups[gi].members)
+		chunkRuns := spec.Runs
+		if per := perWorker / k; per < chunkRuns {
+			chunkRuns = per
+		}
+		if chunkRuns < 1 {
+			chunkRuns = 1
+		}
+		for lo := 0; lo < spec.Runs; lo += chunkRuns {
+			hi := lo + chunkRuns
 			if hi > spec.Runs {
 				hi = spec.Runs
 			}
-			chunks = append(chunks, chunk{pi, lo, hi})
+			chunks = append(chunks, chunk{gi, lo, hi})
 		}
 	}
 
@@ -216,79 +294,88 @@ func RunAggregated(ctx context.Context, spec Spec) ([]Record, []Aggregate, error
 	// synchronization-free regardless of completion order.
 	records := make([]Record, total)
 	shards := make([]*Shard, workers)
+	workerStats := make([]Stats, workers)
 	jobs := make(chan chunk)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		shards[wi] = NewShard(spec.Points)
 		wg.Add(1)
-		go func(shard *Shard) {
+		go func(wi int, shard *Shard) {
 			defer wg.Done()
-			w := worker{spec: spec, pi: -1}
-			for c := range jobs {
-				for ri := c.lo; ri < c.hi; ri++ {
-					idx := c.pi*spec.Runs + ri
-					if err := ctx.Err(); err != nil {
-						// Match the undispatched-cell shape: no build,
-						// no fault label, just the error.
-						records[idx] = Record{
-							Point:    spec.Points[c.pi].Label,
-							Scenario: spec.Points[c.pi].Scenario,
-							Run:      ri,
-							Seed:     DeriveSeed(spec.BaseSeed, c.pi, ri),
-							Err:      err.Error(),
-						}
-					} else {
-						records[idx] = w.runOne(ctx, c.pi, ri)
-					}
-					shard.Add(c.pi, &records[idx])
-					if streamCh != nil {
-						streamCh <- records[idx]
-					}
+			w := worker{spec: spec, plan: plan, pi: -1, gi: -1}
+			emit := func(idx int) {
+				pi := idx / spec.Runs
+				shard.Add(pi, &records[idx])
+				if streamCh != nil {
+					streamCh <- indexedRecord{idx, records[idx]}
 				}
 			}
-		}(shards[wi])
+			for c := range jobs {
+				w.runChunk(ctx, c.gi, c.lo, c.hi, records, emit)
+			}
+			workerStats[wi] = w.stats
+		}(wi, shards[wi])
 	}
-	dispatched := total
+	dispatchedAll := true
 	for _, c := range chunks {
 		// Checking the context before the send (not only in the
 		// select, which picks randomly among ready cases) guarantees
 		// nothing is dispatched once the context is done.
 		if ctx.Err() != nil {
-			dispatched = c.pi*spec.Runs + c.lo
+			dispatchedAll = false
 			break
 		}
 		select {
 		case jobs <- c:
 		case <-ctx.Done():
-			dispatched = c.pi*spec.Runs + c.lo
+			dispatchedAll = false
 		}
-		if dispatched < total {
+		if !dispatchedAll {
 			break
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	// Fill the cells that were never dispatched so the output shape
-	// stays total-sized and index-ordered even on cancellation.
-	for idx := dispatched; idx < total; idx++ {
-		pi, ri := idx/spec.Runs, idx%spec.Runs
-		records[idx] = Record{
-			Point:    spec.Points[pi].Label,
-			Scenario: spec.Points[pi].Scenario,
-			Run:      ri,
-			Seed:     DeriveSeed(spec.BaseSeed, pi, ri),
-			Err:      ctx.Err().Error(),
-		}
-		shards[0].Add(pi, &records[idx])
-		if streamCh != nil {
-			streamCh <- records[idx]
+	if !dispatchedAll {
+		// Fill the cells that were never dispatched so the output
+		// shape stays total-sized and index-ordered even on
+		// cancellation. Group dispatch interleaves point indices, so
+		// the never-ran set is found by scanning for unwritten records
+		// (a written record always carries its point label) rather
+		// than by an index watermark.
+		for idx := range records {
+			if records[idx].Point != "" {
+				continue
+			}
+			pi, ri := idx/spec.Runs, idx%spec.Runs
+			records[idx] = Record{
+				Point:    spec.Points[pi].Label,
+				Scenario: spec.Points[pi].Scenario,
+				Run:      ri,
+				Seed:     DeriveSeed(spec.BaseSeed, plan.leaderOf[pi], ri),
+				Err:      ctx.Err().Error(),
+			}
+			shards[0].Add(pi, &records[idx])
+			if streamCh != nil {
+				streamCh <- indexedRecord{idx, records[idx]}
+			}
 		}
 	}
 	if streamCh != nil {
 		close(streamCh)
 		streamWG.Wait()
 	}
-	return records, MergeShards(shards), ctx.Err()
+	for _, ws := range workerStats {
+		stats.add(ws)
+	}
+	return records, MergeShards(shards), stats, ctx.Err()
+}
+
+// indexedRecord carries a record and its flat index to the stream
+// emitter, which re-sequences completions into index order.
+type indexedRecord struct {
+	idx int
+	rec Record
 }
 
 // buildPoint constructs the Config for one run of a point.
@@ -300,17 +387,132 @@ func buildPoint(p Point, spec Spec, seed uint64) (core.Config, error) {
 	})
 }
 
-// worker is one pool member's run state: the cached warm System for
-// the point it is currently working through, plus a reused Result
-// buffer. A warm run rewinds the cached System with Reset(seed)
-// instead of rebuilding it — rings, schedules, fault/attack plans,
-// and telemetry buffers all survive in place, so the steady state of
-// a campaign allocates nothing per run.
+// worker is one pool member's run state: the cached warm System(s)
+// for the work it is currently flying, plus a reused Result buffer
+// and a reused Snapshot. A warm run rewinds a cached System with
+// Reset(seed) instead of rebuilding it — rings, schedules,
+// fault/attack plans, and telemetry buffers all survive in place, so
+// the steady state of a campaign allocates nothing per run. Fork
+// groups cycle through K member points per run index, so they use a
+// per-point map cache (cleared on group switch) beside the classic
+// single slot.
 type worker struct {
-	spec Spec
-	pi   int // point index the cached System was built for (-1 none)
-	sys  *core.System
-	res  core.Result
+	spec  Spec
+	plan  *forkPlan
+	pi    int // point index the cached System was built for (-1 none)
+	sys   *core.System
+	res   core.Result
+	gi    int // fork group the map cache belongs to (-1 none)
+	group map[int]*core.System
+	snap  core.Snapshot
+	stats Stats
+}
+
+// runChunk executes runs [lo, hi) of fork group gi — every member
+// point at every run index in the range — writing each cell into
+// records[pi*Runs+ri] and calling emit(idx) as it completes. Groups
+// that do not qualify for prefix sharing (and every group under
+// ColdStart) take the full-flight path; qualified groups fly the
+// shared prefix once per run index and fork the members from a
+// snapshot.
+func (w *worker) runChunk(ctx context.Context, gi, lo, hi int, records []Record, emit func(int)) {
+	g := &w.plan.groups[gi]
+	if g.forkTick == 0 || w.spec.ColdStart {
+		for _, pi := range g.members {
+			for ri := lo; ri < hi; ri++ {
+				idx := pi*w.spec.Runs + ri
+				if err := ctx.Err(); err != nil {
+					records[idx] = w.errRecord(pi, ri, err)
+				} else {
+					records[idx] = w.runOne(ctx, pi, ri)
+				}
+				emit(idx)
+			}
+		}
+		return
+	}
+	leadPI := g.leader()
+	for ri := lo; ri < hi; ri++ {
+		if err := ctx.Err(); err != nil {
+			for _, pi := range g.members {
+				idx := pi*w.spec.Runs + ri
+				records[idx] = w.errRecord(pi, ri, err)
+				emit(idx)
+			}
+			continue
+		}
+		seed := DeriveSeed(w.spec.BaseSeed, leadPI, ri)
+		leader, err := w.groupSystem(gi, leadPI, seed)
+		if err != nil {
+			// Per-point builds were validated up front, so this is
+			// vanishingly rare; degrade the whole run index to full
+			// flights rather than guessing at shared state.
+			idx := leadPI*w.spec.Runs + ri
+			records[idx] = w.errRecord(leadPI, ri, err)
+			emit(idx)
+			for _, pi := range g.members[1:] {
+				idx := pi*w.spec.Runs + ri
+				records[idx] = w.runOne(ctx, pi, ri)
+				emit(idx)
+			}
+			continue
+		}
+		// Fly the shared prefix on the leader.
+		if err := leader.RunToTickContext(ctx, g.forkTick); err != nil {
+			for _, pi := range g.members {
+				idx := pi*w.spec.Runs + ri
+				records[idx] = w.errRecord(pi, ri, err)
+				emit(idx)
+			}
+			continue
+		}
+		end := sim.TicksFor(leader.Cfg.Duration)
+		if serr := leader.Snapshotable(); serr != nil {
+			// Runtime fallback: something acted before the planned
+			// onset after all (e.g. a swept monitor threshold tight
+			// enough to trip during the benign hover). The leader's
+			// prefix is already flown, so resuming it IS its full
+			// flight; the other members fly ordinary full flights at
+			// the leader's seed. Results stay byte-identical to cold
+			// runs either way.
+			idx := leadPI*w.spec.Runs + ri
+			records[idx] = w.finish(ctx, leader, leadPI, ri, seed)
+			if records[idx].Err == "" {
+				w.stats.TicksFlown += end
+			}
+			emit(idx)
+			for _, pi := range g.members[1:] {
+				idx := pi*w.spec.Runs + ri
+				records[idx] = w.runOne(ctx, pi, ri)
+				emit(idx)
+			}
+			continue
+		}
+		leader.SnapshotInto(&w.snap)
+		idx := leadPI*w.spec.Runs + ri
+		records[idx] = w.finish(ctx, leader, leadPI, ri, seed)
+		if records[idx].Err == "" {
+			w.stats.TicksFlown += end
+		}
+		emit(idx)
+		for _, pi := range g.members[1:] {
+			idx := pi*w.spec.Runs + ri
+			sys, err := w.groupSystem(gi, pi, seed)
+			if err != nil {
+				records[idx] = w.errRecord(pi, ri, err)
+				emit(idx)
+				continue
+			}
+			sys.RestoreFrom(seed, &w.snap)
+			records[idx] = w.finish(ctx, sys, pi, ri, seed)
+			if records[idx].Err == "" {
+				w.stats.TicksFlown += end - g.forkTick
+				w.stats.TicksSaved += g.forkTick
+				w.stats.ForkedRuns++
+			}
+			emit(idx)
+		}
+	}
 }
 
 // system returns a System ready to run (point pi, given seed):
@@ -335,10 +537,49 @@ func (w *worker) system(pi int, seed uint64) (*core.System, error) {
 	return sys, nil
 }
 
-// runOne executes a single (point, run) cell.
+// groupSystem is the fork path's warm cache: a System for point pi of
+// group gi, reset to seed. The map is dropped when the worker moves
+// to a different group, bounding residency at one group's width.
+func (w *worker) groupSystem(gi, pi int, seed uint64) (*core.System, error) {
+	if w.gi != gi {
+		w.gi, w.group = gi, nil
+	}
+	if sys := w.group[pi]; sys != nil {
+		sys.Reset(seed)
+		return sys, nil
+	}
+	cfg, err := buildPoint(w.spec.Points[pi], w.spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if w.group == nil {
+		w.group = make(map[int]*core.System, 8)
+	}
+	w.group[pi] = sys
+	return sys, nil
+}
+
+// errRecord is the shape of a cell that never ran: point identity,
+// its (leader-derived) seed, and the error — no build, no metrics.
+func (w *worker) errRecord(pi, ri int, err error) Record {
+	p := w.spec.Points[pi]
+	return Record{
+		Point:    p.Label,
+		Scenario: p.Scenario,
+		Run:      ri,
+		Seed:     DeriveSeed(w.spec.BaseSeed, w.plan.leaderOf[pi], ri),
+		Err:      err.Error(),
+	}
+}
+
+// runOne executes a single (point, run) cell as a full flight.
 func (w *worker) runOne(ctx context.Context, pi, ri int) Record {
 	p := w.spec.Points[pi]
-	seed := DeriveSeed(w.spec.BaseSeed, pi, ri)
+	seed := DeriveSeed(w.spec.BaseSeed, w.plan.leaderOf[pi], ri)
 	rec := Record{Point: p.Label, Scenario: p.Scenario, Run: ri, Seed: seed}
 	sys, err := w.system(pi, seed)
 	if err != nil {
@@ -354,7 +595,30 @@ func (w *worker) runOne(ctx context.Context, pi, ri int) Record {
 		rec.Err = err.Error()
 		return rec
 	}
-	res := &w.res
+	w.stats.TicksFlown += sim.TicksFor(sys.Cfg.Duration)
+	w.fill(&rec, &w.res)
+	return rec
+}
+
+// finish runs a mid-flight System — the fork leader after its prefix,
+// or a just-restored fork — to the end of its flight and builds the
+// cell's record.
+func (w *worker) finish(ctx context.Context, sys *core.System, pi, ri int, seed uint64) Record {
+	p := w.spec.Points[pi]
+	rec := Record{Point: p.Label, Scenario: p.Scenario, Run: ri, Seed: seed}
+	if sys.Cfg.Faults.Active() {
+		rec.Faults = sys.Cfg.Faults.String()
+	}
+	if err := sys.ResumeContextInto(ctx, &w.res); err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	w.fill(&rec, &w.res)
+	return rec
+}
+
+// fill maps a Result onto a Record's metric fields.
+func (w *worker) fill(rec *Record, res *core.Result) {
 	rec.Crashed = res.Crashed
 	if res.Crashed {
 		rec.CrashS = res.CrashTime.Seconds()
@@ -375,7 +639,6 @@ func (w *worker) runOne(ctx context.Context, pi, ri int) Record {
 			rec.MissRate = t.MissRate
 		}
 	}
-	return rec
 }
 
 // Sweep is one swept parameter: a key and its value grid.

@@ -382,6 +382,23 @@ func (c *Container) Reset() {
 	}
 }
 
+// AtCheckpoint reports whether the container's bookkeeping (task list
+// and cgroup process count) still matches its Checkpoint — true at any
+// point of a run before attack or fault onset. The fork campaign's
+// snapshot relies on this: a container still at its checkpoint needs no
+// snapshot state of its own, because a Reset reproduces it exactly.
+func (c *Container) AtCheckpoint() bool {
+	if !c.chkValid || len(c.tasks) != len(c.chkTasks) {
+		return false
+	}
+	for i, t := range c.tasks {
+		if c.chkTasks[i] != t {
+			return false
+		}
+	}
+	return c.group.PIDs() == c.chkPids
+}
+
 // NetHost returns the container's network identity on the bridge.
 func (c *Container) NetHost() string { return c.spec.Name }
 

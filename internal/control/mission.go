@@ -48,6 +48,35 @@ func (m *Mission) Reset() {
 	m.primed = false
 }
 
+// MissionState is a snapshot of the mission's progress; the waypoint
+// list and slew rate are configuration and stay with their owner.
+type MissionState struct {
+	idx       int
+	holdUntil time.Duration
+	holding   bool
+	current   Setpoint
+	primed    bool
+}
+
+// SnapshotInto captures the mission's progress into st.
+func (m *Mission) SnapshotInto(st *MissionState) {
+	st.idx = m.idx
+	st.holdUntil = m.holdUntil
+	st.holding = m.holding
+	st.current = m.current
+	st.primed = m.primed
+}
+
+// RestoreFrom rewinds the mission to a captured state, keeping its own
+// waypoint list.
+func (m *Mission) RestoreFrom(st *MissionState) {
+	m.idx = st.idx
+	m.holdUntil = st.holdUntil
+	m.holding = st.holding
+	m.current = st.current
+	m.primed = st.primed
+}
+
 // Target returns the active waypoint, or false when the mission is
 // complete.
 func (m *Mission) Target() (Waypoint, bool) {

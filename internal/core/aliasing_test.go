@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"containerdrone/internal/sim"
+)
+
+// TestSnapshotForkAliasing pins the Snapshot ownership contract: a
+// capture shares no memory with its source or its forks. Four systems
+// — the donor and three restored siblings — run to completion
+// concurrently from one snapshot; under -race any aliased slice, map,
+// or pointer between them (or back into the snapshot) is a data race,
+// and any logical aliasing shows up as a diverged outcome. A final
+// sequential fork from the same (now heavily exercised) snapshot
+// proves the capture itself survived its forks untouched.
+func TestSnapshotForkAliasing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aliasing stress flies five full scenarios; run without -short")
+	}
+	const seed = 11
+	const dur = 12 * time.Second
+	ctx := context.Background()
+	for _, name := range []string{"udpflood", "mav-replay"} {
+		t.Run(name, func(t *testing.T) {
+			cfg, err := Build(name, Options{Seed: seed, Duration: dur})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldRes := cold.Run()
+
+			donor, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forkTick := sim.TicksFor(2 * time.Second)
+			if err := donor.RunToTickContext(ctx, forkTick); err != nil {
+				t.Fatal(err)
+			}
+			snap := donor.Snapshot()
+
+			// Donor and three forks race to the end of the flight.
+			systems := []*System{donor}
+			for i := 0; i < 3; i++ {
+				fork, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fork.RestoreFrom(seed, snap)
+				systems = append(systems, fork)
+			}
+			results := make([]Result, len(systems))
+			errs := make([]error, len(systems))
+			var wg sync.WaitGroup
+			for i, sys := range systems {
+				wg.Add(1)
+				go func(i int, sys *System) {
+					defer wg.Done()
+					errs[i] = sys.ResumeContextInto(ctx, &results[i])
+				}(i, sys)
+			}
+			wg.Wait()
+			for i := range systems {
+				if errs[i] != nil {
+					t.Fatalf("system %d: %v", i, errs[i])
+				}
+				assertSameOutcome(t, "concurrent fork", coldRes, &results[i])
+			}
+
+			// The snapshot is read-only to its forks: one more restore
+			// after all that traffic must still reproduce the cold run.
+			late, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			late.RestoreFrom(seed, snap)
+			var lateRes Result
+			if err := late.ResumeContextInto(ctx, &lateRes); err != nil {
+				t.Fatal(err)
+			}
+			assertSameOutcome(t, "fork after concurrent siblings", coldRes, &lateRes)
+		})
+	}
+}

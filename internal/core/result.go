@@ -68,6 +68,23 @@ func (s *System) RunContextInto(ctx context.Context, r *Result) error {
 	return err
 }
 
+// RunToTickContext advances the run until the engine clock reaches the
+// absolute tick, Stop, or context cancellation — the fork campaign's
+// shared-prefix leg, after which the System can be snapshotted.
+func (s *System) RunToTickContext(ctx context.Context, tick int64) error {
+	return s.Engine.RunToTickContext(ctx, tick)
+}
+
+// ResumeContextInto advances a mid-run System (typically one just
+// restored from a Snapshot, or the prefix leader itself) to the end of
+// its configured flight and fills r, reusing r's backing slices — the
+// fork campaign's per-variant path.
+func (s *System) ResumeContextInto(ctx context.Context, r *Result) error {
+	err := s.Engine.RunToTickContext(ctx, sim.TicksFor(s.Cfg.Duration))
+	s.resultInto(r)
+	return err
+}
+
 // Result snapshots the current outcome without advancing time.
 func (s *System) Result() *Result {
 	r := &Result{}

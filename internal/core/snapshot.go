@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"containerdrone/internal/control"
+	"containerdrone/internal/estimate"
+	"containerdrone/internal/membw"
+	"containerdrone/internal/memguard"
+	"containerdrone/internal/monitor"
+	"containerdrone/internal/netsim"
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sched"
+	"containerdrone/internal/sensors"
+	"containerdrone/internal/sim"
+	"containerdrone/internal/telemetry"
+)
+
+// Snapshot is a deep mid-run capture of a System: everything a run's
+// future depends on — the engine clock and schedule position, every
+// task's scheduling state, the network fabric (queued and in-flight
+// packets, token buckets, NAT counters), the vehicle, both estimators,
+// both controllers, the mission, the monitor, the flight log and
+// trace, the memory system, and all RNG stream states.
+//
+// Ownership contract: a Snapshot shares no memory with the System it
+// was taken from or any System it is restored onto. The source may
+// keep running (and a restored fork may run to completion) without
+// invalidating the Snapshot or perturbing sibling forks — the fork
+// campaign restores K variants from one capture and the aliasing
+// regression test pins this. The zero value is ready for SnapshotInto,
+// which reuses the Snapshot's buffers across captures.
+//
+// Snapshots restore only onto Systems built from the same scenario
+// shape: identical process registrations, task sets, endpoints, and
+// mission/wind presence. Config values that only act after the capture
+// tick (attack parameters, fault magnitudes, monitor thresholds) may
+// differ — that is exactly what prefix-sharing campaigns exploit.
+type Snapshot struct {
+	engine sim.EngineState
+	cpu    sched.CPUState
+	bus    membw.BusState
+	guard  memguard.GuardState
+	net    netsim.NetworkState
+	nat    netsim.NATState
+
+	quad       physics.Quad
+	wind       physics.WindState
+	haveWind   bool
+	suite      sensors.SuiteState
+	hostEst    estimate.Filter
+	cceEst     estimate.Filter
+	safetyCtl  control.Cascade
+	complexCtl control.Cascade
+
+	mission     control.MissionState
+	haveMission bool
+	mon         monitor.State
+	log         telemetry.LogState
+	trace       sim.Trace
+
+	curSetpoint physics.Vec3
+	holdSP      physics.Vec3
+
+	lastIMU  sensors.IMUReading
+	lastGPS  sensors.GPSReading
+	lastBaro sensors.BaroReading
+	lastRC   sensors.RCReading
+
+	complexCmd   [4]float64
+	complexCmdAt time.Duration
+	safetyCmd    [4]float64
+	hostCmd      [4]float64
+
+	cceIn   control.Inputs
+	cceSeq  uint32
+	seqOut  uint32
+	garbage int64
+
+	replayFrames [][]byte
+
+	// Stream packet counters, in the fixed resolved-pointer order:
+	// IMU, Barometer, GPS, RC, Motor Output.
+	streamPackets [5]int64
+
+	netRNG    sim.RNG
+	sensorRNG sim.RNG
+	windRNG   sim.RNG
+}
+
+// Tick returns the engine clock position the snapshot was taken at.
+func (sn *Snapshot) Tick() int64 { return sn.engine.Tick() }
+
+// Snapshotable reports whether the System is currently in a state a
+// mid-run Snapshot can capture, returning a descriptive error when it
+// is not. The snapshot machinery covers exactly the pre-onset regime:
+// no attack launched, no fault window open, no dynamic schedule or
+// task-set changes since the build checkpoint. The fork campaign
+// probes this before committing a group to prefix sharing, falling
+// back to full flights when it fails.
+func (s *System) Snapshotable() error {
+	switch {
+	case !s.Engine.ScheduleAtCheckpoint():
+		return fmt.Errorf("core: one-shots were scheduled dynamically mid-run")
+	case !s.CPU.TaskSetAtCheckpoint():
+		return fmt.Errorf("core: the scheduler task set changed since the checkpoint")
+	case !s.CCE.AtCheckpoint():
+		return fmt.Errorf("core: the container's task or process bookkeeping changed since the checkpoint")
+	case s.flood != nil:
+		return fmt.Errorf("core: a UDP flood attack is live")
+	case s.splitDepth != 0 || s.baroDropDepth != 0 || s.gyroBiasDepth != 0 || s.gpsSpoofDepth != 0:
+		return fmt.Errorf("core: a sensor or network fault window is open")
+	case len(s.jitterStack) != 0:
+		return fmt.Errorf("core: a jitter fault window is open")
+	}
+	return nil
+}
+
+// SnapshotInto captures the System's full mid-run state into snap,
+// reusing snap's buffers. It must be called between engine ticks
+// (after RunToTickContext returns) and panics if the System is not
+// Snapshotable — probe that first when falling back is an option.
+//
+// Two injectors keep pre-onset state outside the System's view and are
+// still safe to snapshot: rotor-decay holds only its healed baseline
+// (re-read at Begin), and mav-replay's captured frames live in
+// replayFrames, which IS part of the snapshot.
+func (s *System) SnapshotInto(snap *Snapshot) {
+	if err := s.Snapshotable(); err != nil {
+		panic(fmt.Sprintf("core: SnapshotInto: %v", err))
+	}
+
+	s.Engine.StateInto(&snap.engine)
+	s.CPU.SnapshotInto(&snap.cpu)
+	s.Bus.SnapshotInto(&snap.bus)
+	s.Guard.SnapshotInto(&snap.guard)
+	s.Net.SnapshotInto(&snap.net)
+	s.Runtime.NAT().SnapshotInto(&snap.nat)
+
+	snap.quad = *s.Quad
+	snap.haveWind = s.wind != nil
+	if s.wind != nil {
+		s.wind.SnapshotInto(&snap.wind)
+	}
+	s.suite.SnapshotInto(&snap.suite)
+	snap.hostEst = *s.hostEst
+	snap.cceEst = *s.cceEst
+	snap.safetyCtl = *s.safetyCtl
+	snap.complexCtl = *s.complexCtl
+
+	snap.haveMission = s.mission != nil
+	if s.mission != nil {
+		s.mission.SnapshotInto(&snap.mission)
+	}
+	s.Monitor.SnapshotInto(&snap.mon)
+	s.Log.SnapshotInto(&snap.log)
+	s.Trace.CopyInto(&snap.trace)
+
+	snap.curSetpoint = s.curSetpoint
+	snap.holdSP = s.holdSP
+	snap.lastIMU = s.lastIMU
+	snap.lastGPS = s.lastGPS
+	snap.lastBaro = s.lastBaro
+	snap.lastRC = s.lastRC
+	snap.complexCmd = s.complexCmd
+	snap.complexCmdAt = s.complexCmdAt
+	snap.safetyCmd = s.safetyCmd
+	snap.hostCmd = s.hostCmd
+	snap.cceIn = s.cceIn
+	snap.cceSeq = s.cceSeq
+	snap.seqOut = s.seqOut
+	snap.garbage = s.garbage
+
+	snap.replayFrames = snap.replayFrames[:0]
+	for _, f := range s.replayFrames {
+		snap.replayFrames = append(snap.replayFrames, append([]byte(nil), f...))
+	}
+
+	snap.streamPackets = [5]int64{
+		s.imuStream.Packets, s.baroStream.Packets, s.gpsStream.Packets,
+		s.rcStream.Packets, s.motorStream.Packets,
+	}
+
+	snap.netRNG = *s.netRNG
+	snap.sensorRNG = *s.sensorRNG
+	if s.windRNG != nil {
+		snap.windRNG = *s.windRNG
+	}
+}
+
+// Snapshot captures the System's full mid-run state into a fresh
+// Snapshot. See SnapshotInto for the preconditions and the ownership
+// contract.
+func (s *System) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	s.SnapshotInto(snap)
+	return snap
+}
+
+// RestoreFrom rewinds the System onto a captured state under the given
+// seed, reusing the System's allocations: first a full Reset (which
+// re-aligns the container bookkeeping, the engine schedule, and every
+// per-run cache to the build checkpoint), then the snapshot's state is
+// overlaid subsystem by subsystem and the engine is sought to the
+// capture tick. A restored System resumed with ResumeContextInto runs
+// byte-identically to a cold run of its own Config at that seed,
+// provided the Configs agree on everything that acts before the
+// capture tick (TestForkEquivalence pins this for every registry
+// scenario).
+//
+// The System must be built from the same scenario shape as the capture
+// source; structural mismatches (task sets, endpoints, wind or mission
+// presence) panic. The Snapshot is read-only here and remains valid
+// for further restores.
+func (s *System) RestoreFrom(seed uint64, snap *Snapshot) {
+	s.Reset(seed)
+
+	s.Engine.Seek(&snap.engine)
+	s.CPU.RestoreFrom(&snap.cpu)
+	s.Bus.RestoreFrom(&snap.bus)
+	s.Guard.RestoreFrom(&snap.guard)
+	s.Net.RestoreFrom(&snap.net)
+	s.Runtime.NAT().RestoreFrom(&snap.nat)
+
+	*s.Quad = snap.quad
+	if snap.haveWind != (s.wind != nil) {
+		panic("core: RestoreFrom across wind-model presence; source and target must share a scenario")
+	}
+	if s.wind != nil {
+		s.wind.RestoreFrom(&snap.wind)
+	}
+	s.suite.RestoreFrom(&snap.suite)
+	*s.hostEst = snap.hostEst
+	*s.cceEst = snap.cceEst
+	*s.safetyCtl = snap.safetyCtl
+	*s.complexCtl = snap.complexCtl
+
+	if snap.haveMission != (s.mission != nil) {
+		panic("core: RestoreFrom across mission presence; source and target must share a scenario")
+	}
+	if s.mission != nil {
+		s.mission.RestoreFrom(&snap.mission)
+	}
+	s.Monitor.RestoreFrom(&snap.mon)
+	s.Log.RestoreFrom(&snap.log)
+	s.Trace.RestoreFrom(&snap.trace)
+
+	s.curSetpoint = snap.curSetpoint
+	s.holdSP = snap.holdSP
+	s.lastIMU = snap.lastIMU
+	s.lastGPS = snap.lastGPS
+	s.lastBaro = snap.lastBaro
+	s.lastRC = snap.lastRC
+	s.complexCmd = snap.complexCmd
+	s.complexCmdAt = snap.complexCmdAt
+	s.safetyCmd = snap.safetyCmd
+	s.hostCmd = snap.hostCmd
+	s.cceIn = snap.cceIn
+	s.cceSeq = snap.cceSeq
+	s.seqOut = snap.seqOut
+	s.garbage = snap.garbage
+
+	for _, f := range snap.replayFrames {
+		s.replayFrames = append(s.replayFrames, append([]byte(nil), f...))
+	}
+
+	s.imuStream.Packets = snap.streamPackets[0]
+	s.baroStream.Packets = snap.streamPackets[1]
+	s.gpsStream.Packets = snap.streamPackets[2]
+	s.rcStream.Packets = snap.streamPackets[3]
+	s.motorStream.Packets = snap.streamPackets[4]
+
+	*s.netRNG = snap.netRNG
+	*s.sensorRNG = snap.sensorRNG
+	if s.windRNG != nil {
+		*s.windRNG = snap.windRNG
+	}
+}

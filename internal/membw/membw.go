@@ -132,6 +132,34 @@ func (b *Bus) Reset() {
 	b.lastLambda = 1
 }
 
+// BusState is a snapshot of the bus's dynamic state: the per-core
+// performance counters, the per-tick demand, and the last resolved λ.
+// Capacity configuration stays with its owner.
+type BusState struct {
+	demand     []float64
+	counters   []uint64
+	lastLambda float64
+}
+
+// SnapshotInto captures the bus's dynamic state into st, reusing st's
+// buffers.
+func (b *Bus) SnapshotInto(st *BusState) {
+	st.demand = append(st.demand[:0], b.demand...)
+	st.counters = append(st.counters[:0], b.counters...)
+	st.lastLambda = b.lastLambda
+}
+
+// RestoreFrom rewinds the bus to a captured state, keeping its own
+// capacity configuration. The core counts must match.
+func (b *Bus) RestoreFrom(st *BusState) {
+	if len(st.demand) != len(b.demand) || len(st.counters) != len(b.counters) {
+		panic("membw: RestoreFrom with mismatched core count")
+	}
+	copy(b.demand, st.demand)
+	copy(b.counters, st.counters)
+	b.lastLambda = st.lastLambda
+}
+
 // ResetCounter zeroes one core's counter, returning the old value.
 func (b *Bus) ResetCounter(core int) uint64 {
 	old := b.counters[core]

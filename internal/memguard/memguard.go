@@ -101,6 +101,38 @@ func (g *Guard) Reset() {
 	g.nextReset = 0
 }
 
+// GuardState is a snapshot of the regulator's dynamic state: per-core
+// usage, throttles, statistics, and the next replenish time. The
+// enabled flag, period, and budgets are configuration and stay with
+// their owner.
+type GuardState struct {
+	used      []float64
+	throttled []bool
+	stats     []CoreStats
+	nextReset time.Duration
+}
+
+// SnapshotInto captures the regulator's dynamic state into st, reusing
+// st's buffers.
+func (g *Guard) SnapshotInto(st *GuardState) {
+	st.used = append(st.used[:0], g.used...)
+	st.throttled = append(st.throttled[:0], g.throttled...)
+	st.stats = append(st.stats[:0], g.stats...)
+	st.nextReset = g.nextReset
+}
+
+// RestoreFrom rewinds the regulator to a captured state, keeping its
+// own configuration. The core counts must match.
+func (g *Guard) RestoreFrom(st *GuardState) {
+	if len(st.used) != len(g.used) {
+		panic("memguard: RestoreFrom with mismatched core count")
+	}
+	copy(g.used, st.used)
+	copy(g.throttled, st.throttled)
+	copy(g.stats, st.stats)
+	g.nextReset = st.nextReset
+}
+
 // Tick advances the regulator to the given time: at each period
 // boundary budgets replenish and throttles lift.
 func (g *Guard) Tick(now time.Duration) {

@@ -139,6 +139,59 @@ func (m *Monitor) Reset() {
 	m.desState = envelopeState{}
 }
 
+// State is a snapshot of the monitor's dynamic state: output
+// selection, arming, receive timing, rule persistence, and the
+// violation history (deep-copied). Thresholds, envelope rules, and
+// callbacks are configuration — they stay with their owner, which is
+// exactly what lets a fork sweep monitor thresholds: the restored
+// monitor re-judges the post-snapshot flight with its own rules.
+type State struct {
+	output       Output
+	armed        bool
+	lastRecv     time.Duration
+	haveRecv     bool
+	attBadSince  time.Duration
+	attBad       bool
+	violations   []Violation
+	switchedAt   time.Duration
+	switchReason Rule
+	geoState     envelopeState
+	desState     envelopeState
+}
+
+// SnapshotInto captures the monitor's dynamic state into st, reusing
+// st's violation buffer. The state shares no memory with the monitor
+// afterwards.
+func (m *Monitor) SnapshotInto(st *State) {
+	st.output = m.output
+	st.armed = m.armed
+	st.lastRecv = m.lastRecv
+	st.haveRecv = m.haveRecv
+	st.attBadSince = m.attBadSince
+	st.attBad = m.attBad
+	st.violations = append(st.violations[:0], m.violations...)
+	st.switchedAt = m.switchedAt
+	st.switchReason = m.switchReason
+	st.geoState = m.geoState
+	st.desState = m.desState
+}
+
+// RestoreFrom rewinds the monitor to a captured state, keeping its own
+// thresholds, envelope rules, and callbacks.
+func (m *Monitor) RestoreFrom(st *State) {
+	m.output = st.output
+	m.armed = st.armed
+	m.lastRecv = st.lastRecv
+	m.haveRecv = st.haveRecv
+	m.attBadSince = st.attBadSince
+	m.attBad = st.attBad
+	m.violations = append(m.violations[:0], st.violations...)
+	m.switchedAt = st.switchedAt
+	m.switchReason = st.switchReason
+	m.geoState = st.geoState
+	m.desState = st.desState
+}
+
 // Arm starts rule enforcement at the given time; the receive timer
 // starts fresh so pre-arm silence does not trip the interval rule.
 func (m *Monitor) Arm(now time.Duration) {

@@ -33,6 +33,26 @@ func (w *Wind) Reset() {
 	w.t = 0
 }
 
+// WindState is a snapshot of the model's dynamic state; the noise
+// source stays with its owner (its RNG stream is captured separately).
+type WindState struct {
+	state Vec3
+	t     float64
+}
+
+// SnapshotInto captures the model's dynamic state into st.
+func (w *Wind) SnapshotInto(st *WindState) {
+	st.state = w.state
+	st.t = w.t
+}
+
+// RestoreFrom rewinds the model to a captured state, keeping its own
+// noise source.
+func (w *Wind) RestoreFrom(st *WindState) {
+	w.state = st.state
+	w.t = st.t
+}
+
 // Step advances the model by dt seconds and returns the world-frame
 // force to apply to the airframe.
 func (w *Wind) Step(dt float64) Vec3 {

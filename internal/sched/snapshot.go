@@ -1,0 +1,110 @@
+package sched
+
+import "time"
+
+// CPUState is a mid-run snapshot of the scheduler's dynamic state:
+// every task's job state and statistics (positionally, in registration
+// order), the release cache, and the idle accounting. It presumes the
+// scheduler's task set still equals its Checkpoint — the fork-campaign
+// contract is that snapshots are taken strictly before any mid-run
+// task arrival or removal (attack tasks, fault spinners, kills) —
+// and SnapshotInto enforces that.
+//
+// The per-core running slots are intentionally NOT captured:
+// RestoreFrom marks every core dirty, and the next Tick re-picks each
+// winner with the same pure (priority, seq) rule that chose the
+// original — bit-identical because the ready set is restored exactly.
+//
+// Ownership: the state shares no memory with any scheduler; the
+// capture source may keep running. The zero value is ready for
+// SnapshotInto, which reuses the state's buffers.
+type CPUState struct {
+	now     time.Duration
+	nextDue time.Duration
+	idle    []int64
+	busyT   []int64
+	tasks   []taskState
+}
+
+type taskState struct {
+	active      bool
+	remaining   time.Duration
+	releaseTime time.Duration
+	nextRelease time.Duration
+	stats       TaskStats
+	seq         int
+}
+
+// TaskSetAtCheckpoint reports whether the live task set still equals
+// the Checkpoint, positionally — the non-panicking form of the
+// SnapshotInto precondition.
+func (c *CPU) TaskSetAtCheckpoint() bool {
+	if c.snapshot == nil || len(c.tasks) != len(c.snapshot) {
+		return false
+	}
+	for i, t := range c.tasks {
+		if t != c.snapshot[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotInto captures the scheduler's dynamic state into st. It
+// panics if the live task set has diverged from the Checkpoint —
+// such a scheduler cannot be restored positionally onto a warm
+// sibling.
+func (c *CPU) SnapshotInto(st *CPUState) {
+	if c.snapshot == nil {
+		panic("sched: SnapshotInto without Checkpoint")
+	}
+	if !c.TaskSetAtCheckpoint() {
+		panic("sched: SnapshotInto after the task set changed; snapshots must precede task arrivals and removals")
+	}
+	st.now = c.now
+	st.nextDue = c.nextDue
+	st.idle = append(st.idle[:0], c.idle...)
+	st.busyT = append(st.busyT[:0], c.busyT...)
+	st.tasks = st.tasks[:0]
+	for _, t := range c.tasks {
+		st.tasks = append(st.tasks, taskState{
+			active:      t.active,
+			remaining:   t.remaining,
+			releaseTime: t.releaseTime,
+			nextRelease: t.nextRelease,
+			stats:       t.stats,
+			seq:         t.seq,
+		})
+	}
+}
+
+// RestoreFrom rewinds the scheduler to a captured state: Reset back to
+// the checkpointed task set, then overlay each task's captured job
+// state positionally onto this scheduler's own Task objects. The
+// scheduler must be built from the same scenario as the capture source
+// (same task registration order).
+func (c *CPU) RestoreFrom(st *CPUState) {
+	c.Reset()
+	if len(c.tasks) != len(st.tasks) {
+		panic("sched: RestoreFrom with mismatched task set; source and target must share a scenario")
+	}
+	c.activeCount = 0
+	for i, t := range c.tasks {
+		ts := &st.tasks[i]
+		t.active = ts.active
+		t.remaining = ts.remaining
+		t.releaseTime = ts.releaseTime
+		t.nextRelease = ts.nextRelease
+		t.stats = ts.stats
+		t.seq = ts.seq
+		if t.active {
+			c.activeCount++
+		}
+	}
+	copy(c.idle, st.idle)
+	copy(c.busyT, st.busyT)
+	c.nextDue = st.nextDue
+	c.now = st.now
+	// Reset left every core dirty with no incumbent: the next Tick
+	// re-picks each winner from the restored ready set.
+}

@@ -160,6 +160,31 @@ func (s *Suite) Reset() {
 // Faults returns the current fault state.
 func (s *Suite) Faults() Faults { return s.faults }
 
+// SuiteState is a snapshot of the suite's dynamic state: the live
+// fault injection and the barometer history. The noise model and
+// noise source stay with their owners (the RNG stream is captured
+// separately).
+type SuiteState struct {
+	faults   Faults
+	lastBaro BaroReading
+	haveBaro bool
+}
+
+// SnapshotInto captures the suite's dynamic state into st.
+func (s *Suite) SnapshotInto(st *SuiteState) {
+	st.faults = s.faults
+	st.lastBaro = s.lastBaro
+	st.haveBaro = s.haveBaro
+}
+
+// RestoreFrom rewinds the suite to a captured state, keeping its own
+// noise source.
+func (s *Suite) RestoreFrom(st *SuiteState) {
+	s.faults = st.faults
+	s.lastBaro = st.lastBaro
+	s.haveBaro = st.haveBaro
+}
+
 func (s *Suite) n(sigma float64) float64 {
 	if sigma == 0 {
 		return 0

@@ -297,6 +297,139 @@ func (e *Engine) Checkpoint() {
 	e.chkValid = true
 }
 
+// EngineState is the engine's contribution to a mid-run snapshot: the
+// clock position, the stop flag, and every process's enabled flag at
+// the moment of capture. Together with the schedule Checkpoint recorded
+// at build time it is enough to Seek an identically built engine to the
+// same point — the pending one-shot set at any tick T is exactly the
+// checkpointed schedule filtered to fire ticks >= T, and every periodic
+// process's next fire is a pure function of (T, period).
+//
+// The zero value is ready to use; StateInto reuses its buffers across
+// captures.
+type EngineState struct {
+	tick    int64
+	stopped bool
+	enabled []bool
+}
+
+// Tick returns the captured clock position.
+func (st *EngineState) Tick() int64 { return st.tick }
+
+// ScheduleAtCheckpoint reports whether the engine's pending one-shot
+// schedule is exactly the checkpointed schedule filtered to ticks not
+// yet reached — that is, no one-shots were added dynamically mid-run.
+// It is the non-panicking form of the StateInto precondition; fork
+// campaigns probe it to decide whether a mid-run snapshot is possible
+// before committing to one.
+func (e *Engine) ScheduleAtCheckpoint() bool {
+	if !e.chkValid {
+		return false
+	}
+	tick := e.clock.Ticks()
+	pending := 0
+	for _, os := range e.chkOneShots {
+		if os.tick >= tick {
+			pending++
+		}
+	}
+	return pending == len(e.oneShots)
+}
+
+// StateInto captures the engine's mid-run state into st, reusing st's
+// buffers. It requires a Checkpoint and verifies the core snapshot
+// premise — that every pending one-shot is part of the checkpointed
+// schedule (none were added dynamically mid-run) — and panics
+// otherwise, because Seek reconstructs the pending set from the
+// checkpoint alone.
+func (e *Engine) StateInto(st *EngineState) {
+	if !e.chkValid {
+		panic("sim: StateInto without Checkpoint")
+	}
+	tick := e.clock.Ticks()
+	pending := 0
+	for _, os := range e.chkOneShots {
+		if os.tick >= tick {
+			pending++
+		}
+	}
+	if pending != len(e.oneShots) {
+		panic("sim: StateInto with dynamically scheduled one-shots pending; snapshots must be taken before any run-time After/At")
+	}
+	st.tick = tick
+	st.stopped = e.stopped
+	st.enabled = st.enabled[:0]
+	for _, ent := range e.procs {
+		st.enabled = append(st.enabled, ent.enabled)
+	}
+}
+
+// Seek moves an engine built identically to the capture source to the
+// captured state: clock at st's tick, the checkpointed one-shots not
+// yet due re-armed, every process re-phased to its zero-phase next fire
+// at that tick and restored to its captured enabled flag. The effects
+// of everything that fired before the captured tick are NOT replayed —
+// the caller restores the rest of the system state separately
+// (core.System.RestoreFrom does both halves).
+//
+// Seek reuses the engine's own checkpointed one-shot closures, so they
+// keep binding the engine's own system — snapshots never transfer
+// callbacks between engines.
+func (e *Engine) Seek(st *EngineState) {
+	if !e.chkValid {
+		panic("sim: Seek without Checkpoint")
+	}
+	if len(st.enabled) != len(e.procs) {
+		panic("sim: Seek with mismatched process set; source and target must be built from the same scenario")
+	}
+	e.clock = Clock{ticks: st.tick}
+	e.stopped = st.stopped
+	// Re-arm the not-yet-due one-shots. The filtered subset of a heap is
+	// not itself heap-ordered, so re-init.
+	e.oneShots = e.oneShots[:0]
+	for _, os := range e.chkOneShots {
+		if os.tick >= st.tick {
+			e.oneShots = append(e.oneShots, os)
+		}
+	}
+	heap.Init(&e.oneShots)
+	e.seq = e.chkSeq
+	// Re-phase every process: after stepping ticks [0, T), the next fire
+	// of a period-p process is the smallest multiple of p that is >= T
+	// (phase advances even while disabled, so this holds for disabled
+	// processes too).
+	e.slow = e.slow[:0]
+	for i, ent := range e.procs {
+		ent.enabled = st.enabled[i]
+		ent.next = ((st.tick + ent.period - 1) / ent.period) * ent.period
+		if ent.period > 1 {
+			e.slow = append(e.slow, ent)
+		}
+	}
+	heap.Init(&e.slow)
+	e.due = e.due[:0]
+}
+
+// RunToTickContext advances the simulation until the clock reaches the
+// absolute tick end, Stop is called, or the context is done (same
+// cancellation contract as RunContext). It is the fork-campaign
+// primitive: fly the shared prefix to the snapshot tick, and resume a
+// restored run from there to the flight's end.
+func (e *Engine) RunToTickContext(ctx context.Context, end int64) error {
+	countdown := 0
+	for e.clock.Ticks() < end && !e.stopped {
+		if countdown == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			countdown = ctxCheckTicks
+		}
+		countdown--
+		e.Step()
+	}
+	return nil
+}
+
 // Reset rewinds the engine to its Checkpoint: time zero, the recorded
 // one-shot schedule, every process re-phased to its zero-phase next
 // fire and restored to its checkpointed enabled state. Registered

@@ -53,6 +53,21 @@ func (t *Trace) Reset() {
 	t.drops = 0
 }
 
+// CopyInto deep-copies the trace's retained events and drop count into
+// dst, reusing dst's backing storage. Used for snapshots: src and dst
+// share no memory afterwards.
+func (t *Trace) CopyInto(dst *Trace) {
+	dst.events = append(dst.events[:0], t.events...)
+	dst.drops = t.drops
+}
+
+// RestoreFrom rewinds the trace to a snapshot taken with CopyInto,
+// keeping the trace's own capacity and backing storage.
+func (t *Trace) RestoreFrom(snap *Trace) {
+	t.events = append(t.events[:0], snap.events...)
+	t.drops = snap.drops
+}
+
 // Events returns the retained events, oldest first. The returned slice
 // is owned by the trace; callers must not mutate it.
 func (t *Trace) Events() []Event { return t.events }

@@ -56,6 +56,31 @@ func (l *FlightLog) Reset() {
 	l.crashAt = 0
 }
 
+// LogState is a deep snapshot of a flight log: the samples recorded so
+// far and the crash mark. The zero value is ready for SnapshotInto,
+// which reuses its sample buffer across captures.
+type LogState struct {
+	samples []Sample
+	crashed bool
+	crashAt time.Duration
+}
+
+// SnapshotInto deep-copies the log into st; the state shares no memory
+// with the log afterwards.
+func (l *FlightLog) SnapshotInto(st *LogState) {
+	st.samples = append(st.samples[:0], l.samples...)
+	st.crashed = l.crashed
+	st.crashAt = l.crashAt
+}
+
+// RestoreFrom rewinds the log to a captured state, reusing the log's
+// backing storage.
+func (l *FlightLog) RestoreFrom(st *LogState) {
+	l.samples = append(l.samples[:0], st.samples...)
+	l.crashed = st.crashed
+	l.crashAt = st.crashAt
+}
+
 // MarkCrash records the vehicle crash time (first call wins).
 func (l *FlightLog) MarkCrash(at time.Duration) {
 	if !l.crashed {
