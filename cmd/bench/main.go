@@ -34,14 +34,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"containerdrone"
+	"containerdrone/service"
 )
 
 // Measurement is one benchmark outcome.
@@ -161,6 +166,18 @@ func run() error {
 		return err
 	}
 	rep.Benchmarks = append(rep.Benchmarks, ms...)
+
+	// Service round-trip throughput: campaignd's whole submit→simulate→
+	// aggregate path over real HTTP, in-process so CI needs no daemon.
+	svcClients, svcTotal := 16, 256
+	if *quick {
+		svcClients, svcTotal = 8, 64
+	}
+	sm, err := benchService(svcClients, svcTotal, *repeats)
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, sm)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -389,4 +406,64 @@ func benchForkSweep(runs int, dur time.Duration, repeats int) ([]Measurement, er
 		{Name: "campaign_runs_per_sec/fork-sweep-full", Value: full, Unit: "runs/s", WallS: fullWall},
 		{Name: "prefix_share_ratio/fork-sweep", Value: ratio, Unit: "ratio", WallS: forkedWall},
 	}, nil
+}
+
+// benchService measures campaignd's request throughput end to end: an
+// in-process service.Server behind a real loopback listener, hammered
+// by concurrent service.Clients in wait mode, so one request is one
+// full submit→queue→simulate→aggregate→respond round trip. The queue
+// is sized past the request count — this pins the service overhead
+// ceiling, not backpressure behavior (the service tests own that).
+func benchService(clients, total, repeats int) (Measurement, error) {
+	req := service.CampaignRequest{Scenario: "baseline", Runs: 1, DurationS: 0.5, TimeoutS: 60}
+	best, bestWall := 0.0, 0.0
+	for i := 0; i < repeats; i++ {
+		svc := service.NewServer(service.Config{QueueDepth: total + clients})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Measurement{}, err
+		}
+		httpSrv := &http.Server{Handler: svc}
+		go httpSrv.Serve(ln)
+
+		base := "http://" + ln.Addr().String()
+		var issued atomic.Int64
+		errCh := make(chan error, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cl := service.NewClient(base, fmt.Sprintf("bench-%d", c))
+				for issued.Add(1) <= int64(total) {
+					st, err := cl.SubmitWait(context.Background(), req)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if st.Status != service.StatusDone || st.Error != "" {
+						errCh <- fmt.Errorf("service job %s: status %s error %q", st.JobID, st.Status, st.Error)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start).Seconds()
+
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		svc.Shutdown(shutCtx)
+		httpSrv.Shutdown(shutCtx)
+		cancel()
+		select {
+		case err := <-errCh:
+			return Measurement{}, err
+		default:
+		}
+		if rps := float64(total) / wall; rps > best {
+			best, bestWall = rps, wall
+		}
+	}
+	return Measurement{Name: "service_requests_per_sec", Value: best, Unit: "req/s", WallS: bestWall}, nil
 }

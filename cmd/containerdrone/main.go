@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"containerdrone"
@@ -80,6 +82,12 @@ func main() {
 		return
 	}
 
+	// SIGINT/SIGTERM cancel the simulation context: the partial result
+	// still flows back, so summaries and output files flush instead of
+	// being lost. A second signal kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Fold the legacy aliases into the params map, but only when the
 	// flag was given: scenario presets win otherwise.
 	params := make(map[string]float64)
@@ -122,11 +130,11 @@ func main() {
 		if *csvPath != "" || *bbPath != "" {
 			fatal(fmt.Errorf("-csv and -blackbox are single-run flags; campaigns emit -records-csv/-agg-csv/-json"))
 		}
-		runCampaign(*scenario, params, parsed, *runs, *parallel, *seed, *duration,
+		runCampaign(ctx, *scenario, params, parsed, *runs, *parallel, *seed, *duration,
 			*cold, *fork, *recCSV, *aggCSV, *jsonPath)
 		return
 	}
-	runSingle(*scenario, params, *seed, *duration, *csvPath, *bbPath, *trace)
+	runSingle(ctx, *scenario, params, *seed, *duration, *csvPath, *bbPath, *trace)
 }
 
 func b2f(b bool) float64 {
@@ -147,7 +155,7 @@ func listScenarios() {
 	}
 }
 
-func runCampaign(scenario string, params map[string]float64, sweeps []containerdrone.Sweep,
+func runCampaign(ctx context.Context, scenario string, params map[string]float64, sweeps []containerdrone.Sweep,
 	runs, parallel int, seed uint64, duration time.Duration,
 	coldStart, fork bool, recCSV, aggCSV, jsonPath string) {
 	if runs < 1 {
@@ -183,23 +191,36 @@ func runCampaign(scenario string, params map[string]float64, sweeps []containerd
 		fmt.Printf("streaming records to %s\n", recCSV)
 	}
 	c := containerdrone.NewCampaign(scenario, opts...)
-	res, err := c.Run(context.Background())
-	if err != nil {
-		fatal(err)
+	res, runErr := c.Run(ctx)
+	if res == nil {
+		fatal(runErr)
 	}
 	if recDone != nil {
-		if err := recDone(); err != nil {
+		if err := recDone(); err != nil && runErr == nil {
 			fatal(fmt.Errorf("records CSV %s is incomplete: %w", recCSV, err))
 		}
 		// Streamed rows already arrive in index order (the emitter
 		// re-sequences fork and worker completions), so the file is
 		// byte-identical to WriteRecordsCSV; the rewrite stands as a
-		// cheap guard against a stream interrupted mid-row.
+		// cheap guard against a stream interrupted mid-row — and, on an
+		// interrupted campaign, replaces the truncated stream with the
+		// partial result's consistent view.
 		writeOut(recCSV, res.WriteRecordsCSV)
 	}
 	fmt.Print(res.Summary())
 	writeOut(aggCSV, res.WriteAggregatesCSV)
 	writeOut(jsonPath, res.WriteJSON)
+	if runErr != nil {
+		done := 0
+		for _, r := range res.Records {
+			if r.Err == "" {
+				done++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "campaign interrupted: %v — flushed partial results (%d/%d runs completed)\n",
+			runErr, done, len(res.Records))
+		os.Exit(1)
+	}
 }
 
 func writeOut(path string, write func(io.Writer) error) {
@@ -222,7 +243,7 @@ func writeOut(path string, write func(io.Writer) error) {
 	fmt.Printf("wrote %s\n", path)
 }
 
-func runSingle(scenario string, params map[string]float64, seed uint64,
+func runSingle(ctx context.Context, scenario string, params map[string]float64, seed uint64,
 	duration time.Duration, csvPath, bbPath string, trace bool) {
 	opts := []containerdrone.Option{containerdrone.WithSeed(seed), containerdrone.WithParams(params)}
 	if duration > 0 {
@@ -233,9 +254,9 @@ func runSingle(scenario string, params map[string]float64, seed uint64,
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	res, err := sim.Run(context.Background())
-	if err != nil {
-		fatal(err)
+	res, runErr := sim.Run(ctx)
+	if res == nil {
+		fatal(runErr)
 	}
 
 	fmt.Print(res.Summary())
@@ -251,6 +272,11 @@ func runSingle(scenario string, params map[string]float64, seed uint64,
 	}
 	if bbPath != "" {
 		writeOut(bbPath, res.WriteBlackbox)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "flight interrupted: %v — partial trajectory flushed (%d samples)\n",
+			runErr, len(res.Samples))
+		os.Exit(1)
 	}
 	if res.Crashed {
 		os.Exit(3)

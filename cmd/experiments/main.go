@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"containerdrone"
@@ -78,6 +80,12 @@ func main() {
 		}
 		return
 	}
+
+	// SIGINT/SIGTERM cancel the in-flight simulation; completed rows
+	// stay on stdout and the interrupted figure still flushes its
+	// partial trajectory before the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *scenario != "" {
 		anyTableOrFig := *all || *table1 || *table2
 		for i := range figFlags {
@@ -86,7 +94,7 @@ func main() {
 		if anyTableOrFig {
 			fatal(fmt.Errorf("-scenario cannot be combined with -all/-table*/-fig* (run them separately)"))
 		}
-		runScenario(*scenario, sweeps, *runs, *parallel, *seed, *duration, *csvDir)
+		runScenario(ctx, *scenario, sweeps, *runs, *parallel, *seed, *duration, *csvDir)
 		return
 	}
 	if *all {
@@ -104,32 +112,32 @@ func main() {
 		os.Exit(2)
 	}
 	if *table1 {
-		runTable1()
+		runTable1(ctx)
 	}
 	if *table2 {
 		runTable2()
 	}
 	for i, f := range figures {
 		if *figFlags[i] {
-			runFigure(f.title, f.flagName, f.scenario, *seed, 0, *csvDir)
+			runFigure(ctx, f.title, f.flagName, f.scenario, *seed, 0, *csvDir)
 		}
 	}
 	if *faults {
-		runFaultMatrix(*seed)
+		runFaultMatrix(ctx, *seed)
 	}
 }
 
 // runFaultMatrix tabulates every fault scenario the registry carries:
 // detection rule and latency with the monitor armed, outcome with and
 // without it — the fault-injection extension of the paper's Figs 4–7.
-func runFaultMatrix(seed uint64) {
+func runFaultMatrix(ctx context.Context, seed uint64) {
 	fmt.Println("FAULT MATRIX — fault scenarios beyond the paper's threat model")
 	fmt.Printf("  %-14s %-20s %-9s %-22s %s\n",
 		"fault", "detected by", "latency", "monitored outcome", "unmonitored outcome")
 	// Fault kinds double as the monitored scenario names by
 	// construction, so a new kind appears here without a code change.
 	for _, kind := range containerdrone.FaultKinds() {
-		mon := runQuiet(kind, seed)
+		mon := runQuiet(ctx, kind, seed)
 		detected, latency := "-", "-"
 		if mon.Switched {
 			detected = mon.SwitchRule
@@ -141,7 +149,7 @@ func runFaultMatrix(seed uint64) {
 		}
 		unmonitored := "(no unmonitored variant)"
 		if scenarioExists(kind + "-unmonitored") {
-			unmonitored = outcome(runQuiet(kind+"-unmonitored", seed))
+			unmonitored = outcome(runQuiet(ctx, kind+"-unmonitored", seed))
 		}
 		fmt.Printf("  %-14s %-20s %-9s %-22s %s\n",
 			kind, detected, latency, outcome(mon), unmonitored)
@@ -165,12 +173,14 @@ func outcome(r *containerdrone.Result) string {
 	return fmt.Sprintf("max dev %.2fm", r.Metrics.MaxDeviationM)
 }
 
-func runQuiet(scenario string, seed uint64) *containerdrone.Result {
+func runQuiet(ctx context.Context, scenario string, seed uint64) *containerdrone.Result {
 	sim, err := containerdrone.New(scenario, containerdrone.WithSeed(seed))
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(context.Background())
+	// An interrupted matrix row would tabulate misleading numbers, so
+	// cancellation exits here; rows already printed stay flushed.
+	res, err := sim.Run(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -179,7 +189,7 @@ func runQuiet(scenario string, seed uint64) *containerdrone.Result {
 
 // runScenario runs one registered scenario: a single reported flight,
 // or a campaign when -runs/-sweep ask for one.
-func runScenario(name string, sweepSpecs []string, runs, parallel int,
+func runScenario(ctx context.Context, name string, sweepSpecs []string, runs, parallel int,
 	seed uint64, duration time.Duration, csvDir string) {
 	var parsed []containerdrone.Sweep
 	for _, s := range sweepSpecs {
@@ -203,11 +213,15 @@ func runScenario(name string, sweepSpecs []string, runs, parallel int,
 			containerdrone.WithBaseSeed(seed),
 			containerdrone.WithRunDuration(duration),
 		)
-		res, err := c.Run(context.Background())
-		if err != nil {
+		res, err := c.Run(ctx)
+		if res == nil {
 			fatal(err)
 		}
 		fmt.Print(res.Summary())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign interrupted: %v — partial aggregates above\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	title := name
@@ -216,16 +230,16 @@ func runScenario(name string, sweepSpecs []string, runs, parallel int,
 			title = s.Desc
 		}
 	}
-	runFigure(title, name, name, seed, duration, csvDir)
+	runFigure(ctx, title, name, name, seed, duration, csvDir)
 }
 
-func runTable1() {
+func runTable1(ctx context.Context) {
 	fmt.Println("TABLE I — data transfer between the control environments (10 s measurement)")
 	sim, err := containerdrone.New("baseline", containerdrone.WithDuration(10*time.Second))
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(context.Background())
+	res, err := sim.Run(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -257,7 +271,7 @@ func runTable2() {
 	fmt.Println()
 }
 
-func runFigure(title, name, scenario string, seed uint64, duration time.Duration, csvDir string) {
+func runFigure(ctx context.Context, title, name, scenario string, seed uint64, duration time.Duration, csvDir string) {
 	fmt.Println(title)
 	opts := []containerdrone.Option{containerdrone.WithSeed(seed)}
 	if duration > 0 {
@@ -267,9 +281,9 @@ func runFigure(title, name, scenario string, seed uint64, duration time.Duration
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(context.Background())
-	if err != nil {
-		fatal(err)
+	res, runErr := sim.Run(ctx)
+	if res == nil {
+		fatal(runErr)
 	}
 	fmt.Print(indent(res.Summary()))
 	// Per-axis plots in the layout of the paper's figures: estimated
@@ -325,6 +339,11 @@ func runFigure(title, name, scenario string, seed uint64, duration time.Duration
 		fmt.Printf("    trajectory → %s\n", path)
 	}
 	fmt.Println()
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "interrupted: %v — partial flight flushed (%d samples)\n",
+			runErr, len(res.Samples))
+		os.Exit(1)
+	}
 }
 
 func indent(s string) string {

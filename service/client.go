@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"containerdrone"
+)
+
+// Client talks to a campaignd server. The zero HTTPClient uses
+// http.DefaultClient; Tenant, when set, rides on every request as the
+// X-Tenant header.
+type Client struct {
+	BaseURL    string
+	Tenant     string
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for a server base URL ("http://host:port").
+func NewClient(baseURL, tenant string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Tenant: tenant}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx service answer, decoded from the uniform
+// ErrorResponse body. RetryAfter is non-zero on 429/503 backpressure
+// answers — callers should wait that long before retrying.
+type APIError struct {
+	StatusCode int
+	Reason     string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: %d %s: %s", e.StatusCode, e.Reason, e.Message)
+}
+
+// Retryable reports whether the rejection is backpressure (quota,
+// in-flight cap, queue full, draining) rather than a permanent error.
+func (e *APIError) Retryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
+}
+
+// apiError decodes an error response, folding the Retry-After header
+// in.
+func apiError(resp *http.Response) error {
+	var body ErrorResponse
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = json.Unmarshal(raw, &body)
+	e := &APIError{
+		StatusCode: resp.StatusCode,
+		Reason:     body.Reason,
+		Message:    body.Error,
+		RetryAfter: time.Duration(body.RetryAfterS * float64(time.Second)),
+	}
+	if e.Message == "" {
+		e.Message = strings.TrimSpace(string(raw))
+	}
+	if e.RetryAfter == 0 {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				e.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return e
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a campaign and returns the accepted job handle.
+// Backpressure rejections come back as *APIError with RetryAfter set.
+func (c *Client) Submit(ctx context.Context, req CampaignRequest) (SubmitResponse, error) {
+	req.SchemaVersion = SchemaVersion
+	var out SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns", req, &out)
+	return out, err
+}
+
+// SubmitWait submits and blocks until the job reaches a terminal
+// state, returning its final status (including the full result).
+func (c *Client) SubmitWait(ctx context.Context, req CampaignRequest) (JobStatus, error) {
+	req.SchemaVersion = SchemaVersion
+	var out JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns?wait=1", req, &out)
+	return out, err
+}
+
+// Status fetches a job's current JobStatus.
+func (c *Client) Status(ctx context.Context, jobID string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil, &out)
+	return out, err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, jobID string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+jobID, nil, &out)
+	return out, err
+}
+
+// Wait blocks until the job is terminal by following its record
+// stream (no polling), returning the final status.
+func (c *Client) Wait(ctx context.Context, jobID string) (JobStatus, error) {
+	return c.StreamRecords(ctx, jobID, nil)
+}
+
+// StreamRecords follows a job's SSE record stream, invoking fn (when
+// non-nil) for every record in campaign index order — late callers
+// replay the full history first — and returns the terminal JobStatus
+// delivered by the stream's closing "done" event.
+func (c *Client) StreamRecords(ctx context.Context, jobID string, fn func(containerdrone.Record)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+jobID+"/records", nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, apiError(resp)
+	}
+	var status JobStatus
+	gotDone := false
+	err = readEvents(resp.Body, func(event string, data []byte) error {
+		switch event {
+		case "record":
+			if fn != nil {
+				var rec containerdrone.Record
+				if err := json.Unmarshal(data, &rec); err != nil {
+					return err
+				}
+				fn(rec)
+			}
+		case "done":
+			if err := json.Unmarshal(data, &status); err != nil {
+				return err
+			}
+			gotDone = true
+		}
+		return nil
+	})
+	if err != nil {
+		return status, err
+	}
+	if !gotDone {
+		return status, fmt.Errorf("service: record stream for %s ended without a done event", jobID)
+	}
+	return status, nil
+}
+
+// Healthz probes the health endpoint; nil means the server is up and
+// not draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
+// readEvents parses an SSE stream, invoking emit per event. Only the
+// single-data-line frames the server writes are supported.
+func readEvents(r io.Reader, emit func(event string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	// A done event carries a full CampaignResult; give the scanner
+	// room for large single-line payloads.
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := emit(event, []byte(strings.TrimPrefix(line, "data: "))); err != nil {
+				return err
+			}
+		case line == "":
+			event = ""
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,59 @@
+// Package service turns the containerdrone SDK into a long-running,
+// multi-tenant campaign server: campaignd. Clients POST versioned
+// JSON CampaignRequests; the server validates them, enqueues them onto
+// a bounded job queue feeding a fleet of persistent workers (each job
+// runs on the SDK's warm-pool campaign engine, so steady-state service
+// traffic allocates next to nothing per run and prefix-sharing forks
+// apply transparently), and streams per-run records back over
+// Server-Sent Events plus final aggregates over plain JSON.
+//
+// The server survives heavy concurrent traffic by design rather than
+// by luck:
+//
+//   - Per-tenant token-bucket quotas (rate + burst) and max-in-flight
+//     caps. A tenant over quota gets 429 with a Retry-After hint; one
+//     tenant's burst cannot starve another's steady trickle.
+//   - Queue backpressure: the job queue is bounded, and a full queue
+//     rejects with 429 + Retry-After instead of buffering unboundedly.
+//   - Per-request deadlines: every job runs under a context deadline
+//     (request-supplied, clamped to a server maximum) propagated
+//     through Sim.Run, so a runaway request returns a partial result
+//     instead of pinning a worker forever.
+//   - Graceful drain: Shutdown stops accepting work (503), lets every
+//     accepted job run to completion, then stops the listener — zero
+//     accepted jobs are dropped on SIGTERM.
+//   - Observability: /metrics reports queue depth, in-flight count,
+//     per-tenant accept/reject counters, runs/s, and p50/p99 job
+//     latency; /healthz flips to 503 the moment drain begins so load
+//     balancers stop routing before the listener closes.
+//
+// # Endpoints
+//
+//	POST /v1/campaigns            submit a CampaignRequest; 202 + SubmitResponse
+//	POST /v1/campaigns?wait=1     submit and block until the job finishes; 200 + JobStatus
+//	GET  /v1/jobs/{id}            JobStatus (full CampaignResult once done)
+//	GET  /v1/jobs/{id}/records    SSE: one "record" event per completed run,
+//	                              then one "done" event carrying the JobStatus
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET  /healthz                 200 "ok" serving, 503 "draining" during drain
+//	GET  /metrics                 MetricsSnapshot JSON
+//
+// # Schema versioning policy
+//
+// Every request and response type carries a schema_version field,
+// stamped with SchemaVersion on the way out and checked on the way
+// in: a payload with a different version is rejected loudly (400 at
+// the server, ErrSchemaVersion at the client) instead of being
+// half-read. Decoders reject unknown fields for the same reason — a
+// misspelled knob must fail the request, not silently fly a default.
+//
+// The version bumps only on a breaking change: a field removed or
+// renamed, a type changed, or semantics altered for an existing
+// field. Adding an optional field is NOT a bump — older senders keep
+// working because absent fields take zero values, and older readers
+// that reject unknown fields are expected to be upgraded before the
+// servers that send to them (upgrade order: readers first). When a
+// bump does happen, the server answers old-version payloads with a
+// 400 naming both versions, so mixed fleets fail observably at the
+// boundary rather than corrupting results.
+package service
