@@ -57,7 +57,8 @@ golden-update:
 fuzz:
 	$(GO) test ./internal/mavlink -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime 30s
 	$(GO) test ./internal/mavlink -run '^$$' -fuzz FuzzDecodeMessages -fuzztime 15s
-	$(GO) test ./internal/netsim -run '^$$' -fuzz FuzzRecv -fuzztime 30s
+	$(GO) test ./internal/netsim -run '^$$' -fuzz 'FuzzRecv$$' -fuzztime 30s
+	$(GO) test ./internal/netsim -run '^$$' -fuzz 'FuzzRecvMultiEndpoint$$' -fuzztime 30s
 
 fmt:
 	gofmt -l .

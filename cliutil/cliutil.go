@@ -1,0 +1,24 @@
+// Package cliutil carries the small pieces shared by the repo's
+// command-line binaries. It sits outside internal/ because cmd/ is
+// held to the public-SDK import boundary (see the CI check); nothing
+// here is part of the simulation SDK proper.
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled on the first SIGINT or
+// SIGTERM — the graceful-shutdown root every CLI hangs its work off.
+// One signal cancels the context so in-flight runs return partial
+// results and summaries, output files, and drains flush instead of
+// being lost; a second signal falls through to Go's default handler
+// and kills the process immediately. The returned stop func cancels
+// the context and releases the signal registration (restoring default
+// delivery) and should be deferred by the caller.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

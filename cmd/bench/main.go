@@ -147,6 +147,7 @@ func run() error {
 		{"campaign_runs_per_sec", "baseline", false},
 		{"campaign_runs_per_sec/udpflood", "udpflood", false},
 		{"campaign_runs_per_sec/gps-spoof", "gps-spoof", false},
+		{"campaign_runs_per_sec/swarm", "swarm-peer-flood", false},
 		{"campaign_runs_per_sec/coldstart", "baseline", true},
 	} {
 		m, err := benchCampaign(cs.name, cs.scenario, cs.cold, campaignRuns, campaignDur, *repeats)

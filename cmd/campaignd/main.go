@@ -27,10 +27,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
+	"containerdrone/cliutil"
 	"containerdrone/service"
 )
 
@@ -63,7 +62,7 @@ func main() {
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 
 	errCh := make(chan error, 1)

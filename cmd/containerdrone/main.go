@@ -24,13 +24,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"containerdrone"
+	"containerdrone/cliutil"
 )
 
 // stringList is a repeatable string flag: each occurrence appends.
@@ -85,7 +84,7 @@ func main() {
 	// SIGINT/SIGTERM cancel the simulation context: the partial result
 	// still flows back, so summaries and output files flush instead of
 	// being lost. A second signal kills immediately.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 
 	// Fold the legacy aliases into the params map, but only when the

@@ -19,13 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
 	"containerdrone"
+	"containerdrone/cliutil"
 )
 
 // stringList is a repeatable string flag: each occurrence appends.
@@ -60,6 +59,7 @@ func main() {
 		csvDir = flag.String("csv-dir", "", "write per-figure trajectory CSVs into this directory")
 
 		faults   = flag.Bool("faults", false, "fault matrix: run every fault scenario (monitored and unmonitored) and tabulate detection/outcome")
+		swarm    = flag.Bool("swarm", false, "swarm matrix: run every multi-drone scenario and tabulate per-member detection/outcome")
 		scenario = flag.String("scenario", "", "run one registered scenario (see -list)")
 		seed     = flag.Uint64("seed", 1, "simulation seed / campaign base seed")
 		duration = flag.Duration("duration", 0, "flight length override (default: scenario preset)")
@@ -84,7 +84,7 @@ func main() {
 	// SIGINT/SIGTERM cancel the in-flight simulation; completed rows
 	// stay on stdout and the interrupted figure still flushes its
 	// partial trajectory before the process exits non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
 	if *scenario != "" {
 		anyTableOrFig := *all || *table1 || *table2
@@ -98,7 +98,7 @@ func main() {
 		return
 	}
 	if *all {
-		*table1, *table2, *faults = true, true, true
+		*table1, *table2, *faults, *swarm = true, true, true, true
 		for i := range figFlags {
 			*figFlags[i] = true
 		}
@@ -107,7 +107,7 @@ func main() {
 	for i := range figFlags {
 		anyFig = anyFig || *figFlags[i]
 	}
-	if !(*table1 || *table2 || anyFig || *faults) {
+	if !(*table1 || *table2 || anyFig || *faults || *swarm) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -124,6 +124,9 @@ func main() {
 	}
 	if *faults {
 		runFaultMatrix(ctx, *seed)
+	}
+	if *swarm {
+		runSwarmMatrix(ctx, *seed)
 	}
 }
 
@@ -153,6 +156,53 @@ func runFaultMatrix(ctx context.Context, seed uint64) {
 		}
 		fmt.Printf("  %-14s %-20s %-9s %-22s %s\n",
 			kind, detected, latency, outcome(mon), unmonitored)
+	}
+	fmt.Println()
+}
+
+// runSwarmMatrix tabulates the multi-drone scenarios: which member an
+// attack or fault strikes, which member's monitor catches it, and how
+// the rest of the formation fares — the fleet extension of the fault
+// matrix. Per-member columns come from Result.Members, so the table
+// shows where in the fleet an event landed, not just that it landed.
+func runSwarmMatrix(ctx context.Context, seed uint64) {
+	fmt.Println("SWARM MATRIX — 3-drone formations on one shared fabric")
+	fmt.Printf("  %-30s %-10s %-20s %-9s %s\n",
+		"scenario", "detected", "by rule", "latency", "per-member outcome")
+	for _, name := range []string{
+		"swarm-baseline", "swarm-mission", "fleet-split",
+		"swarm-peer-flood", "swarm-cross-replay",
+		"swarm-cross-replay-unmonitored", "swarm-compromised",
+	} {
+		res := runQuiet(ctx, name, seed)
+		detected, rule, latency := "-", "-", "-"
+		for _, m := range res.Members {
+			if !m.Switched {
+				continue
+			}
+			detected, rule = fmt.Sprintf("member %d", m.Member), m.SwitchRule
+			var start float64
+			if res.Attack.Active() {
+				start = res.Attack.StartS
+			} else if len(res.Faults) > 0 {
+				start = res.Faults[0].StartS
+			}
+			latency = fmt.Sprintf("%.0fms", (m.SwitchS-start)*1e3)
+			break
+		}
+		var members []string
+		for _, m := range res.Members {
+			state := "ok"
+			switch {
+			case m.Crashed:
+				state = fmt.Sprintf("CRASH@%.1fs", m.CrashS)
+			case m.Switched:
+				state = "switched"
+			}
+			members = append(members, fmt.Sprintf("%d:%s", m.Member, state))
+		}
+		fmt.Printf("  %-30s %-10s %-20s %-9s %s\n",
+			name, detected, rule, latency, strings.Join(members, " "))
 	}
 	fmt.Println()
 }

@@ -128,6 +128,15 @@ type Plan struct {
 	// Rate parameterizes the attack: accesses/s for Bandwidth,
 	// packets/s for Flood; ignored otherwise.
 	Rate float64
+	// Member selects whose container the attack code runs in (fleet
+	// member index, 0 = the leader — the only member of a single-drone
+	// scenario).
+	Member int
+	// Target selects the member a Flood aims at (its HCE motor port).
+	// Target == Member models the paper's in-drone flood; a different
+	// Target models a compromised swarm member attacking a peer across
+	// the shared fabric. Ignored by the other kinds.
+	Target int
 }
 
 // Active reports whether the plan schedules a real attack (any kind

@@ -173,8 +173,10 @@ func prefixFingerprint(cfg core.Config) string {
 	fmt.Fprintf(&b, "%+v", norm)
 	for i, sp := range cfg.Faults.Specs {
 		if sp.Kind == fault.KindMAVReplay {
+			// FromMember matters pre-onset too: it selects which
+			// member's receiver captures frames during the prefix.
 			d := sp.WithDefaults()
-			fmt.Fprintf(&b, "|fault%d:%v:capture=%v:rate=%v", i, sp.Kind, d.Magnitude, d.Rate)
+			fmt.Fprintf(&b, "|fault%d:%v:capture=%v:rate=%v:from=%d", i, sp.Kind, d.Magnitude, d.Rate, sp.FromMember)
 		} else {
 			fmt.Fprintf(&b, "|fault%d:%v", i, sp.Kind)
 		}

@@ -39,6 +39,15 @@ const (
 	NumCores      = 4
 )
 
+// MaxDrones bounds the fleet size a System will host. Eight members
+// is far past the scenario set's needs and keeps a mistyped sweep
+// ("drones=100") from building 100 full stacks.
+const MaxDrones = 8
+
+// DefaultFleetSpacing is the line-formation spacing between adjacent
+// members, in meters, when FleetSpacing is zero.
+const DefaultFleetSpacing = 2.0
+
 // Config fully describes one scenario run.
 type Config struct {
 	// Seed drives all randomness; equal seeds give identical runs.
@@ -47,6 +56,17 @@ type Config struct {
 	Duration time.Duration
 	// Setpoint is the position-hold target (experiments hover at it).
 	Setpoint physics.Vec3
+
+	// Drones is the fleet size: that many full drone stacks share one
+	// network fabric and one ground control station. 0 and 1 both mean
+	// the classic single-vehicle scenario (no GCS traffic at all).
+	// Member 0 is the leader: it flies Mission/Setpoint, while members
+	// i > 0 hold a line formation FleetSpacing*i meters behind it,
+	// coordinated over the fabric (see fleet.go).
+	Drones int
+	// FleetSpacing is the formation spacing in meters; zero selects
+	// DefaultFleetSpacing. Ignored for a single drone.
+	FleetSpacing float64
 
 	// Mission, when non-empty, replaces the static setpoint with a
 	// waypoint sequence flown by the complex controller — the
@@ -113,6 +133,22 @@ type Config struct {
 
 	// TelemetryRate is the flight-log sampling rate in Hz.
 	TelemetryRate float64
+}
+
+// DroneCount returns the effective fleet size (at least 1).
+func (c Config) DroneCount() int {
+	if c.Drones < 1 {
+		return 1
+	}
+	return c.Drones
+}
+
+// Spacing returns the effective formation spacing in meters.
+func (c Config) Spacing() float64 {
+	if c.FleetSpacing > 0 {
+		return c.FleetSpacing
+	}
+	return DefaultFleetSpacing
 }
 
 // DefaultConfig returns the baseline scenario: full ContainerDrone

@@ -21,7 +21,8 @@ const faultStepPeriod = 10 * time.Millisecond
 var replaySource = netsim.Addr{Host: "mitm", Port: 45000}
 
 // scheduleFaults arms every fault in the configured plan. Each spec
-// becomes one fault.Injector closing over the surface it corrupts;
+// becomes one fault.Injector closing over the member it strikes
+// (Spec.Member, leader by default) and the surface it corrupts;
 // fault.Arm sequences Begin/Step/End on the engine.
 func (s *System) scheduleFaults() {
 	for i, sp := range s.Cfg.Faults.Specs {
@@ -36,43 +37,46 @@ func (s *System) scheduleFaults() {
 		}
 		fault.Arm(s.Engine, name, s.Cfg.Duration, sp, inj, stepPeriod)
 	}
-	if s.Cfg.Faults.Has(fault.KindMAVReplay) {
-		// Capture legitimate motor frames ahead of the replay window.
-		// The cap is the largest capture magnitude across replay specs.
-		maxCap := 0
-		for _, sp := range s.Cfg.Faults.Specs {
-			if sp.Kind == fault.KindMAVReplay {
-				if n := int(sp.WithDefaults().Magnitude); n > maxCap {
-					maxCap = n
-				}
-			}
+	// Capture legitimate motor frames ahead of each replay window, on
+	// the member the adversary taps (Spec.FromMember). Each tapped
+	// member's cap is the largest capture magnitude across the replay
+	// specs that tap it.
+	for _, sp := range s.Cfg.Faults.Specs {
+		if sp.Kind != fault.KindMAVReplay {
+			continue
 		}
-		s.replayMax = maxCap
-		s.replayFrames = make([][]byte, 0, maxCap)
+		src := s.drones[sp.FromMember]
+		if n := int(sp.WithDefaults().Magnitude); n > src.replayMax {
+			src.replayMax = n
+			src.replayFrames = make([][]byte, 0, n)
+		}
 	}
 }
 
 // buildInjector maps one fault spec to its injector and Step cadence
 // (zero for window-only faults).
 func (s *System) buildInjector(sp fault.Spec) (fault.Injector, time.Duration) {
+	d := s.drones[sp.Member]
 	switch sp.Kind {
 	case fault.KindGPSSpoof:
-		return s.gpsSpoofInjector(sp), faultStepPeriod
+		return s.gpsSpoofInjector(d, sp), faultStepPeriod
 	case fault.KindIMUBias:
-		return s.imuBiasInjector(sp), 0
+		return s.imuBiasInjector(d, sp), 0
 	case fault.KindBaroDrop:
-		return s.baroDropInjector(), 0
+		return s.baroDropInjector(d), 0
 	case fault.KindNetSplit:
-		return s.netSplitInjector(), 0
+		return s.netSplitInjector(d), 0
 	case fault.KindMAVReplay:
 		period := time.Duration(float64(time.Second) / sp.Rate)
-		return s.mavReplayInjector(sp), period
+		return s.mavReplayInjector(d, sp), period
 	case fault.KindJitter:
-		return s.jitterInjector(sp), 0
+		return s.jitterInjector(d, sp), 0
 	case fault.KindPrioInv:
-		return s.prioInvInjector(sp), 0
+		return s.prioInvInjector(d, sp), 0
 	case fault.KindRotorDecay:
-		return s.rotorDecayInjector(sp), faultStepPeriod
+		return s.rotorDecayInjector(d, sp), faultStepPeriod
+	case fault.KindFleetSplit:
+		return s.fleetSplitInjector(d), 0
 	default:
 		return nil, 0
 	}
@@ -87,36 +91,36 @@ func (s *System) buildInjector(sp fault.Spec) (fault.Injector, time.Duration) {
 //
 // The injector tracks its own contribution and adds/removes it from
 // the shared offset, so overlapping spoof windows compose additively.
-func (s *System) gpsSpoofInjector(sp fault.Spec) fault.Injector {
+func (s *System) gpsSpoofInjector(d *Drone, sp fault.Spec) fault.Injector {
 	var start time.Duration
 	var applied physics.Vec3
 	retarget := func(to physics.Vec3) {
-		f := s.suite.Faults()
+		f := d.suite.Faults()
 		f.GPSOffset = f.GPSOffset.Sub(applied).Add(to)
-		s.suite.SetFaults(f)
+		d.suite.SetFaults(f)
 		applied = to
 	}
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
 			start = now
 			applied = physics.Vec3{} // fresh window (and fresh warm-pool run)
-			s.gpsSpoofDepth++
-			s.Trace.Add(now, "fault", "gps-spoof begins: drift %.2f m/s", sp.Rate)
+			d.gpsSpoofDepth++
+			s.Trace.Add(now, d.compFault, "gps-spoof begins: drift %.2f m/s", sp.Rate)
 		},
 		StepF: func(now time.Duration) {
 			retarget(physics.Vec3{X: sp.Magnitude + sp.Rate*(now-start).Seconds()})
 		},
 		EndF: func(now time.Duration) {
 			retarget(physics.Vec3{})
-			s.gpsSpoofDepth--
-			if s.gpsSpoofDepth == 0 {
+			d.gpsSpoofDepth--
+			if d.gpsSpoofDepth == 0 {
 				// Snap the accumulated contributions to exactly zero:
 				// float add/subtract of overlapping windows leaves dust.
-				f := s.suite.Faults()
+				f := d.suite.Faults()
 				f.GPSOffset = physics.Vec3{}
-				s.suite.SetFaults(f)
+				d.suite.SetFaults(f)
 			}
-			s.Trace.Add(now, "fault", "gps-spoof ends")
+			s.Trace.Add(now, d.compFault, "gps-spoof ends")
 		},
 	}
 }
@@ -126,26 +130,26 @@ func (s *System) gpsSpoofInjector(sp fault.Spec) fault.Injector {
 // phantom rotation, and the real attitude diverges until the
 // accelerometer correction balances the bias. Contributions are
 // additive, so overlapping bias windows compose.
-func (s *System) imuBiasInjector(sp fault.Spec) fault.Injector {
+func (s *System) imuBiasInjector(d *Drone, sp fault.Spec) fault.Injector {
 	bias := physics.Vec3{X: sp.Magnitude}
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
-			s.gyroBiasDepth++
-			f := s.suite.Faults()
+			d.gyroBiasDepth++
+			f := d.suite.Faults()
 			f.GyroBias = f.GyroBias.Add(bias)
-			s.suite.SetFaults(f)
-			s.Trace.Add(now, "fault", "imu-bias begins: %.3f rad/s", sp.Magnitude)
+			d.suite.SetFaults(f)
+			s.Trace.Add(now, d.compFault, "imu-bias begins: %.3f rad/s", sp.Magnitude)
 		},
 		EndF: func(now time.Duration) {
-			s.gyroBiasDepth--
-			f := s.suite.Faults()
+			d.gyroBiasDepth--
+			f := d.suite.Faults()
 			f.GyroBias = f.GyroBias.Sub(bias)
-			if s.gyroBiasDepth == 0 {
+			if d.gyroBiasDepth == 0 {
 				// Snap to exactly zero (see gpsSpoofInjector).
 				f.GyroBias = physics.Vec3{}
 			}
-			s.suite.SetFaults(f)
-			s.Trace.Add(now, "fault", "imu-bias ends")
+			d.suite.SetFaults(f)
+			s.Trace.Add(now, d.compFault, "imu-bias ends")
 		},
 	}
 }
@@ -153,45 +157,68 @@ func (s *System) imuBiasInjector(sp fault.Spec) fault.Injector {
 // baroDropInjector wedges the barometer driver: SampleBaro returns
 // the last healthy reading, timestamp and all, until the window ends.
 // Depth-counted so overlapping windows heal only when the last closes.
-func (s *System) baroDropInjector() fault.Injector {
+func (s *System) baroDropInjector(d *Drone) fault.Injector {
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
-			s.baroDropDepth++
-			f := s.suite.Faults()
+			d.baroDropDepth++
+			f := d.suite.Faults()
 			f.BaroFrozen = true
-			s.suite.SetFaults(f)
-			s.Trace.Add(now, "fault", "baro-drop begins")
+			d.suite.SetFaults(f)
+			s.Trace.Add(now, d.compFault, "baro-drop begins")
 		},
 		EndF: func(now time.Duration) {
-			s.baroDropDepth--
-			if s.baroDropDepth == 0 {
-				f := s.suite.Faults()
+			d.baroDropDepth--
+			if d.baroDropDepth == 0 {
+				f := d.suite.Faults()
 				f.BaroFrozen = false
-				s.suite.SetFaults(f)
+				d.suite.SetFaults(f)
 			}
-			s.Trace.Add(now, "fault", "baro-drop ends")
+			s.Trace.Add(now, d.compFault, "baro-drop ends")
 		},
 	}
 }
 
-// netSplitInjector partitions the HCE↔CCE bridge in both directions:
-// sensor frames stop reaching the container and motor frames stop
-// reaching the host — docker0 going down mid-flight. The
+// netSplitInjector partitions the member's HCE↔CCE bridge in both
+// directions: sensor frames stop reaching the container and motor
+// frames stop reaching the host — docker0 going down mid-flight. The
 // receiving-interval rule is the designed detector. Depth-counted so
 // overlapping windows heal only when the last closes.
-func (s *System) netSplitInjector() fault.Injector {
+func (s *System) netSplitInjector(d *Drone) fault.Injector {
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
-			s.splitDepth++
-			s.Net.SetPartition(hceHost, s.CCE.NetHost(), true)
-			s.Trace.Add(now, "fault", "netsplit begins: %s <-> %s partitioned", hceHost, s.CCE.NetHost())
+			d.splitDepth++
+			s.Net.SetPartition(d.hostName, d.CCE.NetHost(), true)
+			s.Trace.Add(now, d.compFault, "netsplit begins: %s <-> %s partitioned", d.hostName, d.CCE.NetHost())
 		},
 		EndF: func(now time.Duration) {
-			s.splitDepth--
-			if s.splitDepth == 0 {
-				s.Net.SetPartition(hceHost, s.CCE.NetHost(), false)
+			d.splitDepth--
+			if d.splitDepth == 0 {
+				s.Net.SetPartition(d.hostName, d.CCE.NetHost(), false)
 			}
-			s.Trace.Add(now, "fault", "netsplit heals")
+			s.Trace.Add(now, d.compFault, "netsplit heals")
+		},
+	}
+}
+
+// fleetSplitInjector partitions a member's host from the ground
+// control station: the member stops hearing formation updates (and the
+// GCS stops hearing the member). Splitting the leader starves every
+// follower of fresh slots — they hold the last formation they heard —
+// while splitting a follower strands just that member. Depth-counted
+// like netsplit. Build-time validation guarantees a fleet exists.
+func (s *System) fleetSplitInjector(d *Drone) fault.Injector {
+	return fault.FuncInjector{
+		BeginF: func(now time.Duration) {
+			d.fleetSplitDepth++
+			s.Net.SetPartition(d.hostName, gcsHost, true)
+			s.Trace.Add(now, d.compFault, "fleet-split begins: member %d <-> %s partitioned", d.idx, gcsHost)
+		},
+		EndF: func(now time.Duration) {
+			d.fleetSplitDepth--
+			if d.fleetSplitDepth == 0 {
+				s.Net.SetPartition(d.hostName, gcsHost, false)
+			}
+			s.Trace.Add(now, d.compFault, "fleet-split heals")
 		},
 	}
 }
@@ -200,29 +227,39 @@ func (s *System) netSplitInjector() fault.Injector {
 // tap: frames are cryptographically valid MAVLink (correct CRC, known
 // msgid), so the receiver accepts them and the interval rule stays
 // satisfied — but the commands are stale, steering the vehicle with
-// the past. Only the attitude/envelope rules can notice.
-func (s *System) mavReplayInjector(sp fault.Spec) fault.Injector {
+// the past. Only the attitude/envelope rules can notice. In a fleet,
+// the tap may sit on one member's bridge (Spec.FromMember) and the
+// injection strike another (Spec.Member): frames from drone A are
+// valid MAVLink at drone B too, since Table-I streams carry no member
+// identity — the cross-drone replay the shared medium invites.
+func (s *System) mavReplayInjector(d *Drone, sp fault.Spec) fault.Injector {
+	src := s.drones[sp.FromMember]
 	var route *netsim.Route
 	var idx int
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
-			route = s.Net.Route(replaySource, netsim.Addr{Host: hceHost, Port: PortMotor})
+			route = s.Net.Route(replaySource, netsim.Addr{Host: d.hostName, Port: PortMotor})
 			idx = 0 // restart the capture cursor (fresh window, fresh warm-pool run)
-			s.Trace.Add(now, "fault", "mav-replay begins: %d captured frames at %.0f/s",
-				len(s.replayFrames), sp.Rate)
+			if src != d {
+				s.Trace.Add(now, d.compFault, "mav-replay begins: %d frames captured at member %d, re-injected at member %d, %.0f/s",
+					len(src.replayFrames), src.idx, d.idx, sp.Rate)
+			} else {
+				s.Trace.Add(now, d.compFault, "mav-replay begins: %d captured frames at %.0f/s",
+					len(src.replayFrames), sp.Rate)
+			}
 		},
 		StepF: func(now time.Duration) {
-			if len(s.replayFrames) == 0 {
+			if len(src.replayFrames) == 0 {
 				return
 			}
-			route.Send(s.replayFrames[idx])
+			route.Send(src.replayFrames[idx])
 			idx++
-			if idx == len(s.replayFrames) {
+			if idx == len(src.replayFrames) {
 				idx = 0
 			}
 		},
 		EndF: func(now time.Duration) {
-			s.Trace.Add(now, "fault", "mav-replay ends")
+			s.Trace.Add(now, d.compFault, "mav-replay ends")
 		},
 	}
 }
@@ -230,13 +267,15 @@ func (s *System) mavReplayInjector(sp fault.Spec) fault.Injector {
 // jitterInjector degrades the bridge with gaussian extra latency and
 // independent loss. Large jitter relative to the 2.5 ms motor period
 // also reorders frames, since delivery follows per-packet deadlines.
+// The link model is fabric-global, so in a fleet every member feels
+// the weather; the member selector only attributes the trace line.
 // The healthy link is captured once when the first jitter window
 // opens; while windows overlap the link runs the most recently
 // opened window still active (a closing window reapplies the next
 // one down the stack), and the last End heals to the captured
 // baseline — composed jitter faults cannot leave a degraded link
 // behind nor keep a closed window's severity.
-func (s *System) jitterInjector(sp fault.Spec) fault.Injector {
+func (s *System) jitterInjector(d *Drone, sp fault.Spec) fault.Injector {
 	degraded := &netsim.LinkParams{
 		Jitter: time.Duration(sp.Magnitude * float64(time.Second)),
 		Loss:   sp.Rate,
@@ -249,7 +288,7 @@ func (s *System) jitterInjector(sp fault.Spec) fault.Injector {
 			degraded.Latency = s.baseLink.Latency
 			s.jitterStack = append(s.jitterStack, degraded)
 			s.Net.SetLink(*degraded)
-			s.Trace.Add(now, "fault", "jitter begins: σ=%.0fms loss=%.0f%%",
+			s.Trace.Add(now, d.compFault, "jitter begins: σ=%.0fms loss=%.0f%%",
 				sp.Magnitude*1e3, sp.Rate*100)
 		},
 		EndF: func(now time.Duration) {
@@ -264,31 +303,32 @@ func (s *System) jitterInjector(sp fault.Spec) fault.Injector {
 			} else {
 				s.Net.SetLink(s.baseLink)
 			}
-			s.Trace.Add(now, "fault", "jitter ends")
+			s.Trace.Add(now, d.compFault, "jitter ends")
 		},
 	}
 }
 
-// prioInvInjector starves the safety core: a busy spinner above
-// driver priority occupies the core carrying the safety controller,
-// the receiver, and the monitor itself. While it runs nothing on that
-// core executes — including detection; the interval rule can only
-// fire after the burst ends and the monitor task runs again.
-func (s *System) prioInvInjector(sp fault.Spec) fault.Injector {
+// prioInvInjector starves the member's safety core: a busy spinner
+// above driver priority occupies the core carrying the safety
+// controller, the receiver, and the monitor itself. While it runs
+// nothing on that core executes — including detection; the interval
+// rule can only fire after the burst ends and the monitor task runs
+// again.
+func (s *System) prioInvInjector(d *Drone, sp fault.Spec) fault.Injector {
 	var task *sched.Task
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
 			task = fault.PrioInversion(CoreSafety, int(sp.Magnitude))
-			s.CPU.Add(task)
-			s.Trace.Add(now, "fault", "prio-inv begins: FIFO %d spinner on core %d",
+			d.CPU.Add(task)
+			s.Trace.Add(now, d.compFault, "prio-inv begins: FIFO %d spinner on core %d",
 				task.Priority, task.Core)
 		},
 		EndF: func(now time.Duration) {
 			if task != nil {
-				s.CPU.Remove(task)
+				d.CPU.Remove(task)
 				task = nil
 			}
-			s.Trace.Add(now, "fault", "prio-inv ends")
+			s.Trace.Add(now, d.compFault, "prio-inv ends")
 		},
 	}
 }
@@ -297,12 +337,12 @@ func (s *System) prioInvInjector(sp fault.Spec) fault.Injector {
 // per second until Magnitude of it is gone. The asymmetric thrust
 // deficit torques the airframe continuously; damage is permanent — a
 // closing window stops the decay but does not restore the rotor.
-func (s *System) rotorDecayInjector(sp fault.Spec) fault.Injector {
+func (s *System) rotorDecayInjector(d *Drone, sp fault.Spec) fault.Injector {
 	var start time.Duration
 	return fault.FuncInjector{
 		BeginF: func(now time.Duration) {
 			start = now
-			s.Trace.Add(now, "fault", "rotor-decay begins: rotor 0, %.0f%% loss at %.0f%%/s",
+			s.Trace.Add(now, d.compFault, "rotor-decay begins: rotor 0, %.0f%% loss at %.0f%%/s",
 				sp.Magnitude*100, sp.Rate*100)
 		},
 		StepF: func(now time.Duration) {
@@ -310,10 +350,10 @@ func (s *System) rotorDecayInjector(sp fault.Spec) fault.Injector {
 			if loss > sp.Magnitude {
 				loss = sp.Magnitude
 			}
-			s.Quad.SetRotorEfficiency(0, 1-loss)
+			d.Quad.SetRotorEfficiency(0, 1-loss)
 		},
 		EndF: func(now time.Duration) {
-			s.Trace.Add(now, "fault", "rotor-decay ends (damage persists)")
+			s.Trace.Add(now, d.compFault, "rotor-decay ends (damage persists)")
 		},
 	}
 }

@@ -65,7 +65,7 @@ func TestMAVReplayCapturesAndDetects(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := sys.Run()
-	if len(sys.replayFrames) == 0 {
+	if len(sys.Member(0).replayFrames) == 0 {
 		t.Fatal("replay fault captured no motor frames")
 	}
 	if !res.Switched || res.SwitchRule != monitor.RuleAttitude {
@@ -144,7 +144,7 @@ func TestOverlappingSameKindFaultsCompose(t *testing.T) {
 		if sys.Net.Link().Jitter == 0 {
 			t.Error("first jitter End restored the link while the second window is open")
 		}
-		f := sys.suite.Faults()
+		f := sys.Member(0).suite.Faults()
 		if f.GyroBias.X < 0.015 || f.GyroBias.X > 0.025 {
 			t.Errorf("mid-overlap gyro bias = %v, want the second spec's 0.02", f.GyroBias.X)
 		}
@@ -163,7 +163,7 @@ func TestOverlappingSameKindFaultsCompose(t *testing.T) {
 	if link := sys.Net.Link(); link.Jitter != 0 || link.Loss != 0 {
 		t.Errorf("link not healed after both jitter windows: %+v", link)
 	}
-	f := sys.suite.Faults()
+	f := sys.Member(0).suite.Faults()
 	if f.GyroBias != (physics.Vec3{}) || f.GPSOffset != (physics.Vec3{}) || f.BaroFrozen {
 		t.Errorf("sensor faults not healed after all windows: %+v", f)
 	}

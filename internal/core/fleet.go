@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"containerdrone/internal/mavlink"
+	"containerdrone/internal/netsim"
+	"containerdrone/internal/physics"
+	"containerdrone/internal/sched"
+	"containerdrone/internal/sim"
+)
+
+// The fleet coordinator: a ground-control station on the shared
+// fabric that keeps N drones in formation. The leader (member 0)
+// flies the mission and uplinks its current setpoint at 20 Hz; the
+// GCS re-broadcasts each follower's formation slot (leader setpoint +
+// member offset) on a per-member downlink. Followers track the last
+// slot they heard — so a partition between a member and the GCS
+// (fault.KindFleetSplit) leaves that member flying a stale target,
+// exactly the degradation mode a real swarm shows when its C2 link
+// drops.
+const (
+	gcsHost = "gcs"
+	// gcsUplinkPort receives FLEET_STATE from every member.
+	gcsUplinkPort = 14550
+	// fleetDownlinkPort is bound on each follower host for
+	// FLEET_SETPOINT broadcasts.
+	fleetDownlinkPort = 14555
+)
+
+// Fleet MAVLink messages, registered alongside the Table-I streams.
+// (The gcs package's external link owns 77/78; these in-sim messages
+// claim 80/81.)
+const (
+	msgIDFleetState    uint8 = 80
+	msgIDFleetSetpoint uint8 = 81
+
+	fleetStatePayloadSize    = 1 + 24 // member, setpoint xyz (float64)
+	fleetSetpointPayloadSize = 24     // slot xyz (float64)
+)
+
+func init() {
+	mavlink.RegisterExternal(msgIDFleetState, "FLEET_STATE", fleetStatePayloadSize, 113)
+	mavlink.RegisterExternal(msgIDFleetSetpoint, "FLEET_SETPOINT", fleetSetpointPayloadSize, 71)
+}
+
+func putVec3(p []byte, v physics.Vec3) {
+	binary.LittleEndian.PutUint64(p[0:], math.Float64bits(v.X))
+	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(v.Y))
+	binary.LittleEndian.PutUint64(p[16:], math.Float64bits(v.Z))
+}
+
+func getVec3(p []byte) physics.Vec3 {
+	return physics.Vec3{
+		X: math.Float64frombits(binary.LittleEndian.Uint64(p[0:])),
+		Y: math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+		Z: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+	}
+}
+
+// buildFleet wires the coordinator: the GCS endpoint and per-member
+// routes on the fabric, one uplink task per member, one downlink-drain
+// task per follower, and the GCS engine proc. Registered after every
+// member's stacks so a single-drone System's wiring is untouched; the
+// proc runs at priority 8 — after network delivery (0) and fault
+// injection (5), before any member's scheduler (10).
+func (s *System) buildFleet() {
+	s.gcsEP = s.Net.Bind(netsim.Addr{Host: gcsHost, Port: gcsUplinkPort}, 64*len(s.drones))
+	s.downRoutes = make([]*netsim.Route, len(s.drones))
+	for _, d := range s.drones {
+		d.upRoute = s.Net.Route(
+			netsim.Addr{Host: d.hostName, Port: 9100},
+			netsim.Addr{Host: gcsHost, Port: gcsUplinkPort})
+		if d.idx > 0 {
+			d.fleetEP = s.Net.Bind(netsim.Addr{Host: d.hostName, Port: fleetDownlinkPort}, 64)
+			s.downRoutes[d.idx] = s.Net.Route(
+				netsim.Addr{Host: gcsHost, Port: 9200},
+				netsim.Addr{Host: d.hostName, Port: fleetDownlinkPort})
+		}
+		s.buildFleetTasks(d)
+	}
+	s.Engine.Register("fleet", 50*time.Millisecond, 8, sim.ProcFunc(func(now time.Duration) {
+		s.fleetStep(now)
+	}))
+}
+
+// buildFleetTasks adds the member's C2 threads: every member uplinks
+// FLEET_STATE at 20 Hz; followers additionally drain their downlink.
+// Both live on the driver core below the flight-critical drivers —
+// losing C2 must never preempt flight control.
+func (s *System) buildFleetTasks(d *Drone) {
+	d.CPU.Add(&sched.Task{
+		Name: "fleet-uplink", Core: CoreDriver, Priority: 40,
+		Period: 50 * time.Millisecond, WCET: 80 * time.Microsecond,
+		AccessRate: 2e6, MemBound: 0.3,
+		Work: func(now time.Duration) {
+			sp := d.curSetpoint
+			if d.idx > 0 {
+				sp = d.fleetSP
+			}
+			if cap(d.sendPayload) < fleetStatePayloadSize {
+				d.sendPayload = make([]byte, fleetStatePayloadSize)
+			}
+			d.sendPayload = d.sendPayload[:fleetStatePayloadSize]
+			d.sendPayload[0] = byte(d.idx)
+			putVec3(d.sendPayload[1:], sp)
+			d.sendFrame = mavlink.AppendEncode(d.sendFrame[:0], mavlink.Frame{
+				Seq: uint8(d.seqOut), SysID: uint8(d.idx + 1), CompID: 2,
+				MsgID: msgIDFleetState, Payload: d.sendPayload,
+			})
+			d.seqOut++
+			d.upRoute.Send(d.sendFrame)
+		},
+	})
+	if d.idx > 0 {
+		d.CPU.Add(&sched.Task{
+			Name: "fleet-recv", Core: CoreDriver, Priority: 40,
+			Period: 20 * time.Millisecond, WCET: 60 * time.Microsecond,
+			AccessRate: 2e6, MemBound: 0.3,
+			Work: func(now time.Duration) {
+				for {
+					pkt, ok := d.fleetEP.Recv()
+					if !ok {
+						return
+					}
+					frame, _, err := mavlink.Decode(pkt.Payload)
+					if err != nil || frame.MsgID != msgIDFleetSetpoint {
+						continue
+					}
+					d.fleetSP = getVec3(frame.Payload)
+				}
+			},
+		})
+	}
+}
+
+// fleetStep is the GCS: drain the uplink, track the leader's current
+// setpoint, and broadcast each follower's formation slot.
+func (s *System) fleetStep(now time.Duration) {
+	for {
+		pkt, ok := s.gcsEP.Recv()
+		if !ok {
+			break
+		}
+		frame, _, err := mavlink.Decode(pkt.Payload)
+		if err != nil || frame.MsgID != msgIDFleetState || len(frame.Payload) != fleetStatePayloadSize {
+			continue
+		}
+		if int(frame.Payload[0]) == 0 {
+			s.leaderSP = getVec3(frame.Payload[1:])
+		}
+	}
+	for _, d := range s.drones[1:] {
+		slot := s.leaderSP.Add(d.offset)
+		if cap(s.gcsPayload) < fleetSetpointPayloadSize {
+			s.gcsPayload = make([]byte, fleetSetpointPayloadSize)
+		}
+		s.gcsPayload = s.gcsPayload[:fleetSetpointPayloadSize]
+		putVec3(s.gcsPayload, slot)
+		s.fleetSeq++
+		s.gcsFrame = mavlink.AppendEncode(s.gcsFrame[:0], mavlink.Frame{
+			Seq: uint8(s.fleetSeq), SysID: 255, CompID: 1,
+			MsgID: msgIDFleetSetpoint, Payload: s.gcsPayload,
+		})
+		s.downRoutes[d.idx].Send(s.gcsFrame)
+	}
+}

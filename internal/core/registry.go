@@ -194,6 +194,25 @@ var paramSetters = map[string]struct {
 	"wind":           {"wind gusts on/off (1/0)", func(c *Config, v float64) { c.Wind = v != 0 }},
 	"telemetry.rate": {"flight-log sampling rate (Hz)", func(c *Config, v float64) { c.TelemetryRate = v }},
 	"manual-until":   {"manual-mode handoff time (s)", func(c *Config, v float64) { c.ManualUntil = seconds(v) }},
+
+	"drones":        {"fleet size (1 = single drone)", func(c *Config, v float64) { c.Drones = int(v) }},
+	"fleet.spacing": {"formation spacing between members (m)", func(c *Config, v float64) { c.FleetSpacing = v }},
+
+	"attack.member": {"fleet member hosting the attack code", func(c *Config, v float64) { c.Attack.Member = int(v) }},
+	"attack.target": {"fleet member a flood aims at", func(c *Config, v float64) { c.Attack.Target = int(v) }},
+
+	// Member setters apply to every spec in the plan, like the other
+	// fault.* keys.
+	"fault.member": {"fleet member the fault strikes", func(c *Config, v float64) {
+		for i := range c.Faults.Specs {
+			c.Faults.Specs[i].Member = int(v)
+		}
+	}},
+	"fault.from-member": {"fleet member a mav-replay captures from", func(c *Config, v float64) {
+		for i := range c.Faults.Specs {
+			c.Faults.Specs[i].FromMember = int(v)
+		}
+	}},
 }
 
 func seconds(v float64) time.Duration {
@@ -416,6 +435,94 @@ func init() {
 	Register("rotor-decay-unmonitored",
 		"rotor decay with the monitor disabled — the undefended outcome of rotor-decay",
 		func(Options) Config { return faultConfig(fault.KindRotorDecay, 10*time.Second, 0, false) })
+}
+
+// swarmConfig is the shared base of the swarm scenarios: a 3-drone
+// fleet hovering in line formation with the extended envelope rules
+// armed (swarm faults stress position, which the paper's two rules
+// alone cannot see).
+func swarmConfig(dur time.Duration) Config {
+	cfg := DefaultConfig()
+	cfg.Drones = 3
+	cfg.Duration = dur
+	cfg.Envelope = monitor.DefaultEnvelopeRules()
+	return cfg
+}
+
+// The swarm scenario set: N drones on one shared fabric, coordinated
+// by a GCS (see core/fleet.go). These exercise the threat surface a
+// single-vehicle scenario cannot: one compromised member attacking a
+// peer, C2 partitions starving the formation, and cross-drone replay
+// on the shared medium. Sweep drones / fleet.spacing / attack.member
+// / fault.member to vary fleet shape and which member is hit.
+func init() {
+	Register("swarm-baseline",
+		"attack-free 3-drone formation hover — the fleet regression baseline",
+		func(Options) Config { return swarmConfig(20 * time.Second) })
+
+	Register("swarm-mission",
+		"3-drone fleet: the leader flies the square patrol, followers hold formation via the GCS",
+		func(Options) Config {
+			cfg := swarmConfig(40 * time.Second)
+			cfg.Rules.MaxAttitudeError = 25 * math.Pi / 180
+			cfg.Mission = squareMission()
+			return cfg
+		})
+
+	Register("fleet-split",
+		"3-drone patrol: the leader is partitioned from the GCS 12–22s — followers fly their last-heard slot, then resync",
+		func(Options) Config {
+			cfg := swarmConfig(40 * time.Second)
+			cfg.Rules.MaxAttitudeError = 25 * math.Pi / 180
+			cfg.Mission = squareMission()
+			cfg.Faults = fault.Plan{Specs: []fault.Spec{
+				{Kind: fault.KindFleetSplit, Start: 12 * time.Second, Duration: 10 * time.Second},
+			}}
+			return cfg
+		})
+
+	Register("swarm-peer-flood",
+		"compromised member 2 floods the leader's motor port across the fabric from 8s — the leader's attitude rule must catch it",
+		func(Options) Config {
+			cfg := swarmConfig(20 * time.Second)
+			cfg.Attack = attack.Plan{
+				Kind: attack.KindFlood, Start: 8 * time.Second, Rate: 20000,
+				Member: 2, Target: 0,
+			}
+			return cfg
+		})
+
+	Register("swarm-cross-replay",
+		"on-path adversary captures member 1's motor frames and replays them at member 2 from 12s",
+		func(Options) Config {
+			cfg := swarmConfig(25 * time.Second)
+			cfg.Faults = fault.Plan{Specs: []fault.Spec{
+				{Kind: fault.KindMAVReplay, Start: 12 * time.Second, Member: 2, FromMember: 1},
+			}}
+			return cfg
+		})
+
+	Register("swarm-cross-replay-unmonitored",
+		"cross-drone replay with the monitor disabled — the undefended outcome of swarm-cross-replay",
+		func(Options) Config {
+			cfg := swarmConfig(25 * time.Second)
+			cfg.MonitorEnabled = false
+			cfg.Faults = fault.Plan{Specs: []fault.Spec{
+				{Kind: fault.KindMAVReplay, Start: 12 * time.Second, Member: 2, FromMember: 1},
+			}}
+			return cfg
+		})
+
+	Register("swarm-compromised",
+		"member 1's own container floods its own HCE from 8s — the compromised-member sweep base (vary attack.member)",
+		func(Options) Config {
+			cfg := swarmConfig(20 * time.Second)
+			cfg.Attack = attack.Plan{
+				Kind: attack.KindFlood, Start: 8 * time.Second, Rate: 20000,
+				Member: 1, Target: 1,
+			}
+			return cfg
+		})
 }
 
 // memDoSConfig is the deployment of the memory experiments: complex

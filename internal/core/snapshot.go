@@ -17,33 +17,15 @@ import (
 	"containerdrone/internal/telemetry"
 )
 
-// Snapshot is a deep mid-run capture of a System: everything a run's
-// future depends on — the engine clock and schedule position, every
-// task's scheduling state, the network fabric (queued and in-flight
-// packets, token buckets, NAT counters), the vehicle, both estimators,
-// both controllers, the mission, the monitor, the flight log and
-// trace, the memory system, and all RNG stream states.
-//
-// Ownership contract: a Snapshot shares no memory with the System it
-// was taken from or any System it is restored onto. The source may
-// keep running (and a restored fork may run to completion) without
-// invalidating the Snapshot or perturbing sibling forks — the fork
-// campaign restores K variants from one capture and the aliasing
-// regression test pins this. The zero value is ready for SnapshotInto,
-// which reuses the Snapshot's buffers across captures.
-//
-// Snapshots restore only onto Systems built from the same scenario
-// shape: identical process registrations, task sets, endpoints, and
-// mission/wind presence. Config values that only act after the capture
-// tick (attack parameters, fault magnitudes, monitor thresholds) may
-// differ — that is exactly what prefix-sharing campaigns exploit.
-type Snapshot struct {
-	engine sim.EngineState
-	cpu    sched.CPUState
-	bus    membw.BusState
-	guard  memguard.GuardState
-	net    netsim.NetworkState
-	nat    netsim.NATState
+// memberSnap is one fleet member's share of a Snapshot: the member's
+// computer (scheduler, memory system, NAT), vehicle, sensors,
+// estimators, controllers, mission, monitor, flight log, and per-run
+// caches.
+type memberSnap struct {
+	cpu   sched.CPUState
+	bus   membw.BusState
+	guard memguard.GuardState
+	nat   netsim.NATState
 
 	quad       physics.Quad
 	wind       physics.WindState
@@ -58,10 +40,10 @@ type Snapshot struct {
 	haveMission bool
 	mon         monitor.State
 	log         telemetry.LogState
-	trace       sim.Trace
 
 	curSetpoint physics.Vec3
 	holdSP      physics.Vec3
+	fleetSP     physics.Vec3
 
 	lastIMU  sensors.IMUReading
 	lastGPS  sensors.GPSReading
@@ -84,9 +66,43 @@ type Snapshot struct {
 	// IMU, Barometer, GPS, RC, Motor Output.
 	streamPackets [5]int64
 
-	netRNG    sim.RNG
 	sensorRNG sim.RNG
 	windRNG   sim.RNG
+}
+
+// Snapshot is a deep mid-run capture of a System: everything a run's
+// future depends on — the engine clock and schedule position, the
+// shared network fabric (queued and in-flight packets, token buckets),
+// the trace, the fleet coordinator, and per member every task's
+// scheduling state, the vehicle, both estimators, both controllers,
+// the mission, the monitor, the flight log, the memory system, and
+// all RNG stream states.
+//
+// Ownership contract: a Snapshot shares no memory with the System it
+// was taken from or any System it is restored onto. The source may
+// keep running (and a restored fork may run to completion) without
+// invalidating the Snapshot or perturbing sibling forks — the fork
+// campaign restores K variants from one capture and the aliasing
+// regression test pins this. The zero value is ready for SnapshotInto,
+// which reuses the Snapshot's buffers across captures.
+//
+// Snapshots restore only onto Systems built from the same scenario
+// shape: identical fleet size, process registrations, task sets,
+// endpoints, and mission/wind presence. Config values that only act
+// after the capture tick (attack parameters, fault magnitudes, monitor
+// thresholds) may differ — that is exactly what prefix-sharing
+// campaigns exploit.
+type Snapshot struct {
+	engine sim.EngineState
+	net    netsim.NetworkState
+	trace  sim.Trace
+
+	netRNG sim.RNG
+
+	leaderSP physics.Vec3
+	fleetSeq uint32
+
+	members []memberSnap
 }
 
 // Tick returns the engine clock position the snapshot was taken at.
@@ -96,23 +112,27 @@ func (sn *Snapshot) Tick() int64 { return sn.engine.Tick() }
 // mid-run Snapshot can capture, returning a descriptive error when it
 // is not. The snapshot machinery covers exactly the pre-onset regime:
 // no attack launched, no fault window open, no dynamic schedule or
-// task-set changes since the build checkpoint. The fork campaign
-// probes this before committing a group to prefix sharing, falling
-// back to full flights when it fails.
+// task-set changes since the build checkpoint, on any member. The fork
+// campaign probes this before committing a group to prefix sharing,
+// falling back to full flights when it fails.
 func (s *System) Snapshotable() error {
-	switch {
-	case !s.Engine.ScheduleAtCheckpoint():
+	if !s.Engine.ScheduleAtCheckpoint() {
 		return fmt.Errorf("core: one-shots were scheduled dynamically mid-run")
-	case !s.CPU.TaskSetAtCheckpoint():
-		return fmt.Errorf("core: the scheduler task set changed since the checkpoint")
-	case !s.CCE.AtCheckpoint():
-		return fmt.Errorf("core: the container's task or process bookkeeping changed since the checkpoint")
-	case s.flood != nil:
-		return fmt.Errorf("core: a UDP flood attack is live")
-	case s.splitDepth != 0 || s.baroDropDepth != 0 || s.gyroBiasDepth != 0 || s.gpsSpoofDepth != 0:
-		return fmt.Errorf("core: a sensor or network fault window is open")
-	case len(s.jitterStack) != 0:
+	}
+	if len(s.jitterStack) != 0 {
 		return fmt.Errorf("core: a jitter fault window is open")
+	}
+	for _, d := range s.drones {
+		switch {
+		case !d.CPU.TaskSetAtCheckpoint():
+			return fmt.Errorf("core: member %d's scheduler task set changed since the checkpoint", d.idx)
+		case !d.CCE.AtCheckpoint():
+			return fmt.Errorf("core: member %d's container task or process bookkeeping changed since the checkpoint", d.idx)
+		case d.flood != nil:
+			return fmt.Errorf("core: a UDP flood attack is live on member %d", d.idx)
+		case d.splitDepth != 0 || d.baroDropDepth != 0 || d.gyroBiasDepth != 0 || d.gpsSpoofDepth != 0 || d.fleetSplitDepth != 0:
+			return fmt.Errorf("core: a sensor or network fault window is open on member %d", d.idx)
+		}
 	}
 	return nil
 }
@@ -124,68 +144,82 @@ func (s *System) Snapshotable() error {
 //
 // Two injectors keep pre-onset state outside the System's view and are
 // still safe to snapshot: rotor-decay holds only its healed baseline
-// (re-read at Begin), and mav-replay's captured frames live in
-// replayFrames, which IS part of the snapshot.
+// (re-read at Begin), and mav-replay's captured frames live in the
+// tapped member's replayFrames, which IS part of the snapshot.
 func (s *System) SnapshotInto(snap *Snapshot) {
 	if err := s.Snapshotable(); err != nil {
 		panic(fmt.Sprintf("core: SnapshotInto: %v", err))
 	}
 
 	s.Engine.StateInto(&snap.engine)
-	s.CPU.SnapshotInto(&snap.cpu)
-	s.Bus.SnapshotInto(&snap.bus)
-	s.Guard.SnapshotInto(&snap.guard)
 	s.Net.SnapshotInto(&snap.net)
-	s.Runtime.NAT().SnapshotInto(&snap.nat)
-
-	snap.quad = *s.Quad
-	snap.haveWind = s.wind != nil
-	if s.wind != nil {
-		s.wind.SnapshotInto(&snap.wind)
-	}
-	s.suite.SnapshotInto(&snap.suite)
-	snap.hostEst = *s.hostEst
-	snap.cceEst = *s.cceEst
-	snap.safetyCtl = *s.safetyCtl
-	snap.complexCtl = *s.complexCtl
-
-	snap.haveMission = s.mission != nil
-	if s.mission != nil {
-		s.mission.SnapshotInto(&snap.mission)
-	}
-	s.Monitor.SnapshotInto(&snap.mon)
-	s.Log.SnapshotInto(&snap.log)
 	s.Trace.CopyInto(&snap.trace)
-
-	snap.curSetpoint = s.curSetpoint
-	snap.holdSP = s.holdSP
-	snap.lastIMU = s.lastIMU
-	snap.lastGPS = s.lastGPS
-	snap.lastBaro = s.lastBaro
-	snap.lastRC = s.lastRC
-	snap.complexCmd = s.complexCmd
-	snap.complexCmdAt = s.complexCmdAt
-	snap.safetyCmd = s.safetyCmd
-	snap.hostCmd = s.hostCmd
-	snap.cceIn = s.cceIn
-	snap.cceSeq = s.cceSeq
-	snap.seqOut = s.seqOut
-	snap.garbage = s.garbage
-
-	snap.replayFrames = snap.replayFrames[:0]
-	for _, f := range s.replayFrames {
-		snap.replayFrames = append(snap.replayFrames, append([]byte(nil), f...))
-	}
-
-	snap.streamPackets = [5]int64{
-		s.imuStream.Packets, s.baroStream.Packets, s.gpsStream.Packets,
-		s.rcStream.Packets, s.motorStream.Packets,
-	}
-
 	snap.netRNG = *s.netRNG
-	snap.sensorRNG = *s.sensorRNG
-	if s.windRNG != nil {
-		snap.windRNG = *s.windRNG
+	snap.leaderSP = s.leaderSP
+	snap.fleetSeq = s.fleetSeq
+
+	for len(snap.members) < len(s.drones) {
+		snap.members = append(snap.members, memberSnap{})
+	}
+	snap.members = snap.members[:len(s.drones)]
+	for i, d := range s.drones {
+		d.snapshotInto(&snap.members[i])
+	}
+}
+
+func (d *Drone) snapshotInto(ms *memberSnap) {
+	d.CPU.SnapshotInto(&ms.cpu)
+	d.Bus.SnapshotInto(&ms.bus)
+	d.Guard.SnapshotInto(&ms.guard)
+	d.Runtime.NAT().SnapshotInto(&ms.nat)
+
+	ms.quad = *d.Quad
+	ms.haveWind = d.wind != nil
+	if d.wind != nil {
+		d.wind.SnapshotInto(&ms.wind)
+	}
+	d.suite.SnapshotInto(&ms.suite)
+	ms.hostEst = *d.hostEst
+	ms.cceEst = *d.cceEst
+	ms.safetyCtl = *d.safetyCtl
+	ms.complexCtl = *d.complexCtl
+
+	ms.haveMission = d.mission != nil
+	if d.mission != nil {
+		d.mission.SnapshotInto(&ms.mission)
+	}
+	d.Monitor.SnapshotInto(&ms.mon)
+	d.Log.SnapshotInto(&ms.log)
+
+	ms.curSetpoint = d.curSetpoint
+	ms.holdSP = d.holdSP
+	ms.fleetSP = d.fleetSP
+	ms.lastIMU = d.lastIMU
+	ms.lastGPS = d.lastGPS
+	ms.lastBaro = d.lastBaro
+	ms.lastRC = d.lastRC
+	ms.complexCmd = d.complexCmd
+	ms.complexCmdAt = d.complexCmdAt
+	ms.safetyCmd = d.safetyCmd
+	ms.hostCmd = d.hostCmd
+	ms.cceIn = d.cceIn
+	ms.cceSeq = d.cceSeq
+	ms.seqOut = d.seqOut
+	ms.garbage = d.garbage
+
+	ms.replayFrames = ms.replayFrames[:0]
+	for _, f := range d.replayFrames {
+		ms.replayFrames = append(ms.replayFrames, append([]byte(nil), f...))
+	}
+
+	ms.streamPackets = [5]int64{
+		d.imuStream.Packets, d.baroStream.Packets, d.gpsStream.Packets,
+		d.rcStream.Packets, d.motorStream.Packets,
+	}
+
+	ms.sensorRNG = *d.sensorRNG
+	if d.windRNG != nil {
+		ms.windRNG = *d.windRNG
 	}
 }
 
@@ -200,80 +234,94 @@ func (s *System) Snapshot() *Snapshot {
 
 // RestoreFrom rewinds the System onto a captured state under the given
 // seed, reusing the System's allocations: first a full Reset (which
-// re-aligns the container bookkeeping, the engine schedule, and every
-// per-run cache to the build checkpoint), then the snapshot's state is
-// overlaid subsystem by subsystem and the engine is sought to the
-// capture tick. A restored System resumed with ResumeContextInto runs
-// byte-identically to a cold run of its own Config at that seed,
-// provided the Configs agree on everything that acts before the
-// capture tick (TestForkEquivalence pins this for every registry
-// scenario).
+// re-aligns every member's container bookkeeping, the engine schedule,
+// and every per-run cache to the build checkpoint), then the
+// snapshot's state is overlaid subsystem by subsystem and the engine
+// is sought to the capture tick. A restored System resumed with
+// ResumeContextInto runs byte-identically to a cold run of its own
+// Config at that seed, provided the Configs agree on everything that
+// acts before the capture tick (TestForkEquivalence pins this for
+// every registry scenario).
 //
 // The System must be built from the same scenario shape as the capture
-// source; structural mismatches (task sets, endpoints, wind or mission
-// presence) panic. The Snapshot is read-only here and remains valid
-// for further restores.
+// source; structural mismatches (fleet size, task sets, endpoints,
+// wind or mission presence) panic. The Snapshot is read-only here and
+// remains valid for further restores.
 func (s *System) RestoreFrom(seed uint64, snap *Snapshot) {
+	if len(snap.members) != len(s.drones) {
+		panic(fmt.Sprintf("core: RestoreFrom across fleet sizes (%d members captured, %d built); source and target must share a scenario",
+			len(snap.members), len(s.drones)))
+	}
 	s.Reset(seed)
 
 	s.Engine.Seek(&snap.engine)
-	s.CPU.RestoreFrom(&snap.cpu)
-	s.Bus.RestoreFrom(&snap.bus)
-	s.Guard.RestoreFrom(&snap.guard)
 	s.Net.RestoreFrom(&snap.net)
-	s.Runtime.NAT().RestoreFrom(&snap.nat)
+	s.Trace.RestoreFrom(&snap.trace)
+	*s.netRNG = snap.netRNG
+	s.leaderSP = snap.leaderSP
+	s.fleetSeq = snap.fleetSeq
 
-	*s.Quad = snap.quad
-	if snap.haveWind != (s.wind != nil) {
+	for i, d := range s.drones {
+		d.restoreFrom(&snap.members[i])
+	}
+}
+
+func (d *Drone) restoreFrom(ms *memberSnap) {
+	d.CPU.RestoreFrom(&ms.cpu)
+	d.Bus.RestoreFrom(&ms.bus)
+	d.Guard.RestoreFrom(&ms.guard)
+	d.Runtime.NAT().RestoreFrom(&ms.nat)
+
+	*d.Quad = ms.quad
+	if ms.haveWind != (d.wind != nil) {
 		panic("core: RestoreFrom across wind-model presence; source and target must share a scenario")
 	}
-	if s.wind != nil {
-		s.wind.RestoreFrom(&snap.wind)
+	if d.wind != nil {
+		d.wind.RestoreFrom(&ms.wind)
 	}
-	s.suite.RestoreFrom(&snap.suite)
-	*s.hostEst = snap.hostEst
-	*s.cceEst = snap.cceEst
-	*s.safetyCtl = snap.safetyCtl
-	*s.complexCtl = snap.complexCtl
+	d.suite.RestoreFrom(&ms.suite)
+	*d.hostEst = ms.hostEst
+	*d.cceEst = ms.cceEst
+	*d.safetyCtl = ms.safetyCtl
+	*d.complexCtl = ms.complexCtl
 
-	if snap.haveMission != (s.mission != nil) {
+	if ms.haveMission != (d.mission != nil) {
 		panic("core: RestoreFrom across mission presence; source and target must share a scenario")
 	}
-	if s.mission != nil {
-		s.mission.RestoreFrom(&snap.mission)
+	if d.mission != nil {
+		d.mission.RestoreFrom(&ms.mission)
 	}
-	s.Monitor.RestoreFrom(&snap.mon)
-	s.Log.RestoreFrom(&snap.log)
-	s.Trace.RestoreFrom(&snap.trace)
+	d.Monitor.RestoreFrom(&ms.mon)
+	d.Log.RestoreFrom(&ms.log)
 
-	s.curSetpoint = snap.curSetpoint
-	s.holdSP = snap.holdSP
-	s.lastIMU = snap.lastIMU
-	s.lastGPS = snap.lastGPS
-	s.lastBaro = snap.lastBaro
-	s.lastRC = snap.lastRC
-	s.complexCmd = snap.complexCmd
-	s.complexCmdAt = snap.complexCmdAt
-	s.safetyCmd = snap.safetyCmd
-	s.hostCmd = snap.hostCmd
-	s.cceIn = snap.cceIn
-	s.cceSeq = snap.cceSeq
-	s.seqOut = snap.seqOut
-	s.garbage = snap.garbage
+	d.curSetpoint = ms.curSetpoint
+	d.holdSP = ms.holdSP
+	d.fleetSP = ms.fleetSP
+	d.lastIMU = ms.lastIMU
+	d.lastGPS = ms.lastGPS
+	d.lastBaro = ms.lastBaro
+	d.lastRC = ms.lastRC
+	d.complexCmd = ms.complexCmd
+	d.complexCmdAt = ms.complexCmdAt
+	d.safetyCmd = ms.safetyCmd
+	d.hostCmd = ms.hostCmd
+	d.cceIn = ms.cceIn
+	d.cceSeq = ms.cceSeq
+	d.seqOut = ms.seqOut
+	d.garbage = ms.garbage
 
-	for _, f := range snap.replayFrames {
-		s.replayFrames = append(s.replayFrames, append([]byte(nil), f...))
+	for _, f := range ms.replayFrames {
+		d.replayFrames = append(d.replayFrames, append([]byte(nil), f...))
 	}
 
-	s.imuStream.Packets = snap.streamPackets[0]
-	s.baroStream.Packets = snap.streamPackets[1]
-	s.gpsStream.Packets = snap.streamPackets[2]
-	s.rcStream.Packets = snap.streamPackets[3]
-	s.motorStream.Packets = snap.streamPackets[4]
+	d.imuStream.Packets = ms.streamPackets[0]
+	d.baroStream.Packets = ms.streamPackets[1]
+	d.gpsStream.Packets = ms.streamPackets[2]
+	d.rcStream.Packets = ms.streamPackets[3]
+	d.motorStream.Packets = ms.streamPackets[4]
 
-	*s.netRNG = snap.netRNG
-	*s.sensorRNG = snap.sensorRNG
-	if s.windRNG != nil {
-		*s.windRNG = snap.windRNG
+	*d.sensorRNG = ms.sensorRNG
+	if d.windRNG != nil {
+		*d.windRNG = ms.windRNG
 	}
 }

@@ -5,18 +5,14 @@ import (
 	"time"
 
 	"containerdrone/internal/attack"
-	"containerdrone/internal/cgroup"
 	"containerdrone/internal/container"
-	"containerdrone/internal/control"
-	"containerdrone/internal/estimate"
-	"containerdrone/internal/mavlink"
+	"containerdrone/internal/fault"
 	"containerdrone/internal/membw"
 	"containerdrone/internal/memguard"
 	"containerdrone/internal/monitor"
 	"containerdrone/internal/netsim"
 	"containerdrone/internal/physics"
 	"containerdrone/internal/sched"
-	"containerdrone/internal/sensors"
 	"containerdrone/internal/sim"
 	"containerdrone/internal/telemetry"
 )
@@ -24,7 +20,8 @@ import (
 // physDT is the physics integration step (one engine tick).
 const physDT = 0.0001
 
-// hceHost is the host's identity on the simulated bridge.
+// hceHost is the leader host's identity on the simulated bridge (and
+// the only host of a single-drone System).
 const hceHost = "hce"
 
 // StreamStat counts one Table-I stream.
@@ -40,7 +37,9 @@ type StreamStat struct {
 // public SDK can stream a run live (ticks, violations, Simplex
 // switches, crashes) without the deterministic kernel knowing about
 // its consumers. Hooks are invoked synchronously from the engine
-// loop, on the run's goroutine.
+// loop, on the run's goroutine. In a swarm, OnSample fires for the
+// leader's telemetry only; OnViolation/OnSwitch/OnCrash fire for every
+// member.
 type Hooks struct {
 	// OnSample fires at the telemetry rate with each recorded sample.
 	OnSample func(now time.Duration, s telemetry.Sample)
@@ -53,11 +52,22 @@ type Hooks struct {
 	OnCrash func(at time.Duration)
 }
 
-// System is one fully wired scenario instance.
+// System is one fully wired scenario instance hosting one or more
+// drones on a single shared network fabric.
+//
+// Each member drone owns its full stack — quad-core FIFO scheduler,
+// DRAM bus, MemGuard, container runtime and CCE, airframe, sensors,
+// estimators, controllers, security monitor, flight log — while the
+// System owns exactly what is physically shared: the simulation
+// engine, the radio/bridge fabric, the event trace, and (for fleets)
+// the ground-control station coordinating the formation. The exported
+// CPU/Bus/Guard/Runtime/CCE/Quad/Monitor/Log fields alias member 0
+// (the leader), so single-drone callers read the System exactly as
+// before the fleet refactor.
 //
 // A System is single-threaded — the deterministic kernel forbids
 // intra-run concurrency — but distinct Systems share no mutable
-// state: every substrate (engine, CPU, bus, network, RNG streams,
+// state: every substrate (engine, CPUs, buses, network, RNG streams,
 // logs) is owned by the instance, and the only package-level data in
 // the dependency graph (MAVLink message registry, scenario registry,
 // physics geometry tables) is written at init time only. Concurrent
@@ -65,113 +75,62 @@ type Hooks struct {
 // the campaign runner's worker pool relies on this, and the campaign
 // tests enforce it under the race detector.
 type System struct {
-	Cfg     Config
-	Engine  *sim.Engine
+	Cfg    Config
+	Engine *sim.Engine
+	Net    *netsim.Network
+	Trace  *sim.Trace
+	Hooks  Hooks
+
+	// Member-0 (leader) aliases; see the type comment.
 	CPU     *sched.CPU
 	Bus     *membw.Bus
 	Guard   *memguard.Guard
-	Net     *netsim.Network
 	Runtime *container.Runtime
 	CCE     *container.Container
 	Quad    *physics.Quad
 	Monitor *monitor.Monitor
 	Log     *telemetry.FlightLog
-	Trace   *sim.Trace
-	Hooks   Hooks
 
-	safetyCtl  *control.Cascade
-	complexCtl *control.Cascade
-	wind       *physics.Wind
-	rcScript   *sensors.RCScript
-	suite      *sensors.Suite
+	drones []*Drone
 
-	// Each control environment runs its own state estimator, exactly
-	// as each PX4 instance runs its own EKF: the HCE filter feeds the
-	// safety controller and the monitor; the CCE filter is owned by
-	// the complex controller and fed from the MAVLink stream.
-	hostEst *estimate.Filter
-	cceEst  *estimate.Filter
-
-	// Mission state (nil when flying a static setpoint).
-	mission     *control.Mission
-	curSetpoint physics.Vec3 // what the complex controller is tracking
-	holdSP      physics.Vec3 // the safety controller's hold target
-
-	// host-side sensor caches written by the driver tasks
-	lastIMU  sensors.IMUReading
-	lastGPS  sensors.GPSReading
-	lastBaro sensors.BaroReading
-	lastRC   sensors.RCReading
-
-	// actuator command paths
-	complexCmd   [4]float64
-	complexCmdAt time.Duration
-	safetyCmd    [4]float64
-	hostCmd      [4]float64
-
-	hceMotorEP  *netsim.Endpoint
-	cceSensorEP *netsim.Endpoint
-
-	complexTask *sched.Task
-	recvTask    *sched.Task
-	flood       *attack.Flood
-
-	// MAVLink replay capture: when the fault plan includes mav-replay,
-	// the receiving thread copies the first replayMax valid motor
-	// frames it sees — the adversary's tap on the bridge.
-	replayFrames [][]byte
-	replayMax    int
-
-	// Shared-surface fault accounting, so same-kind fault windows can
-	// overlap without one injector's End healing a surface another
-	// injector still degrades (see fault.go).
-	splitDepth    int
-	baroDropDepth int
-	gyroBiasDepth int
-	gpsSpoofDepth int
 	// jitterStack holds the link parameters of every open jitter
 	// window, in Begin order; the link runs the newest open window's
-	// parameters and heals to baseLink when the stack empties.
+	// parameters and heals to baseLink when the stack empties. The
+	// link model is fabric-global, so jitter state lives here, not on
+	// a member.
 	jitterStack []*netsim.LinkParams
 	baseLink    netsim.LinkParams
 
-	streams map[string]*StreamStat
-	// Per-stream stat pointers, resolved once at wiring time so the
-	// per-frame hot paths never hash the streams map.
-	imuStream, baroStream, gpsStream, rcStream, motorStream *StreamStat
+	// netRNG drives the shared fabric; per-member streams live on the
+	// drones. Held so Reset(seed) can re-derive the whole tree in the
+	// exact Split order New used.
+	netRNG *sim.RNG
 
-	seqOut  uint32
-	garbage int64 // undecodable packets seen by the receiver
+	// Fleet coordinator state (wired only when the fleet has >1
+	// member); see fleet.go.
+	gcsEP      *netsim.Endpoint
+	downRoutes []*netsim.Route
+	leaderSP   physics.Vec3
+	fleetSeq   uint32
+	gcsPayload []byte
+	gcsFrame   []byte
 
-	// Steady-state encode scratch. The kernel is single-threaded and
-	// netsim.Send copies payloads into its pool, so one payload buffer
-	// and one frame buffer serve every host-side sensor stream without
-	// allocating per frame.
-	sendPayload []byte
-	sendFrame   []byte
-
-	// hostIn is the host-side controller-input scratch; see hostInputs.
-	hostIn control.Inputs
-
-	// CCE controller per-run state and scratch (fields rather than
-	// closure locals so Reset can rewind them between warm-pool runs).
-	cceIn           control.Inputs
-	cceSeq          uint32
-	cceMotorPayload []byte
-	cceMotorFrame   []byte
-
-	// The per-subsystem RNG streams, held so Reset(seed) can re-derive
-	// them in place in exactly the Split order New used.
-	netRNG, sensorRNG, windRNG *sim.RNG
-
-	// trim is the hover throttle vector every run starts from.
-	trim [4]float64
+	// violScratch backs the aggregated top-level Violations slice of
+	// swarm results, reused across warm-pool runs.
+	violScratch []monitor.Violation
 
 	// chkLink is the bridge's link parameters at checkpoint time,
 	// restored on Reset (a persistent jitter fault may leave the link
 	// degraded at run end).
 	chkLink netsim.LinkParams
 }
+
+// Members returns the fleet, leader first. The slice is owned by the
+// System; do not mutate.
+func (s *System) Members() []*Drone { return s.drones }
+
+// Member returns the i-th fleet member (0 = leader).
+func (s *System) Member(i int) *Drone { return s.drones[i] }
 
 // New builds and wires a system from the config.
 func New(cfg Config) (*System, error) {
@@ -181,158 +140,71 @@ func New(cfg Config) (*System, error) {
 	if cfg.BusCapacity <= 0 {
 		return nil, fmt.Errorf("core: non-positive bus capacity %v", cfg.BusCapacity)
 	}
+	if cfg.Drones < 0 || cfg.Drones > MaxDrones {
+		return nil, fmt.Errorf("core: drone count %d outside [1, %d]", cfg.Drones, MaxDrones)
+	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
-	// Presize the flight log for the whole run (+1 for the t=0 sample)
-	// so steady-state Add never reallocates.
-	logCap := 0
-	if cfg.TelemetryRate > 0 {
-		logCap = int(cfg.Duration.Seconds()*cfg.TelemetryRate) + 1
+	if err := cfg.validateMembers(); err != nil {
+		return nil, err
 	}
+	n := cfg.DroneCount()
 	s := &System{
-		Cfg:     cfg,
-		Engine:  sim.NewEngine(),
-		Log:     telemetry.NewFlightLogCap(logCap),
-		Trace:   sim.NewTrace(4096),
-		streams: make(map[string]*StreamStat),
+		Cfg:    cfg,
+		Engine: sim.NewEngine(),
+		Trace:  sim.NewTrace(4096),
 	}
 	rng := sim.NewRNG(cfg.Seed)
 
-	// --- physical substrates -------------------------------------
-	s.Bus = membw.NewBus(NumCores, cfg.BusCapacity, sim.Tick)
-	s.Guard = memguard.New(NumCores)
-	s.Guard.SetEnabled(cfg.MemGuardEnabled)
-	if cfg.MemGuardBudget > 0 {
-		s.Guard.SetBudget(CoreContainer, cfg.MemGuardBudget*memguard.DefaultPeriod.Seconds())
-	}
-	s.CPU = sched.NewCPU(NumCores, sim.Tick, s.Bus, s.Guard)
-
+	// The fabric is the one physically shared substrate, so its RNG
+	// stream splits off first — before any member's — keeping the
+	// single-drone derivation order byte-identical to the pre-fleet
+	// kernel.
 	s.netRNG = rng.Split()
 	s.Net = netsim.New(s.netRNG.Norm, s.netRNG.Float64)
-	if cfg.IPTablesRate > 0 {
-		s.Net.Limit(netsim.Addr{Host: hceHost, Port: PortMotor}, cfg.IPTablesRate, cfg.IPTablesBurst)
-	}
+	s.Engine.Register("net", sim.Tick, 0, sim.ProcFunc(func(now time.Duration) {
+		s.Net.Step(now)
+	}))
 
-	root := cgroup.NewRoot()
-	rt, err := container.NewRuntime(container.Config{
-		CPU: s.CPU, Net: s.Net, Root: root, HostName: hceHost,
-		DaemonCore: CoreDriver, DaemonUtil: 0.002,
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.Runtime = rt
-	cce, err := rt.Create(container.Spec{
-		Name:             "cce",
-		Image:            container.Image{Name: "resin/rpi-raspbian", Tag: "jessie", SizeMB: 120},
-		CPUSet:           cgroup.NewCPUSet(CoreContainer),
-		RTPrioCap:        sched.PrioContainer,
-		MemoryLimitBytes: 256 << 20,
-		Ports: []container.PortMapping{
-			{HostPort: PortMotor, ContainerPort: PortMotor},
-			{HostPort: PortSensors, ContainerPort: PortSensors},
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.CCE = cce
-	if err := cce.Start(); err != nil {
-		return nil, err
-	}
-
-	// --- vehicle, sensors, controllers ---------------------------
-	s.Quad = physics.NewQuad(physics.DefaultParams())
-	s.Quad.State.Pos = cfg.Setpoint
-	hov := s.Quad.HoverThrottle()
-	s.trim = [4]float64{hov, hov, hov, hov}
-	s.Quad.SetMotors(s.trim)
-	s.Quad.SettleRotors()
-	s.complexCmd, s.safetyCmd, s.hostCmd = s.trim, s.trim, s.trim
-
-	s.curSetpoint = cfg.Setpoint
-	s.holdSP = cfg.Setpoint
-	if len(cfg.Mission) > 0 {
-		s.mission = control.NewMission(cfg.Mission...)
-	}
-
-	s.sensorRNG = rng.Split()
-	s.suite = sensors.NewSuite(cfg.Noise, s.sensorRNG.Norm)
-	s.rcScript = sensors.NewRCScript()
-	if cfg.ManualUntil > 0 {
-		s.rcScript.
-			Add(0, sensors.RCReading{Mode: sensors.ModeManual, Throttle: 0.5}).
-			Add(uint64(cfg.ManualUntil/time.Microsecond),
-				sensors.RCReading{Mode: sensors.ModePosition, Throttle: 0.5})
-	}
-	if cfg.Wind {
-		s.windRNG = rng.Split()
-		s.wind = physics.NewWind(0.25, 0.6, 2.0, s.windRNG.Norm)
-	}
-
-	af := control.AirframeFrom(s.Quad.Params)
-	s.safetyCtl = control.NewCascade(control.SafetyGains(), af, 250)
-	s.complexCtl = control.NewCascade(control.ComplexGains(), af, 400)
-	s.hostEst = estimate.New(estimate.DefaultConfig())
-	s.cceEst = estimate.New(estimate.DefaultConfig())
-
-	s.Monitor = monitor.New(cfg.Rules)
-	s.Monitor.SetEnvelope(cfg.Envelope)
-	s.Monitor.OnSwitch = func(now time.Duration, rule monitor.Rule) {
-		s.Trace.Add(now, "monitor", "rule %s violated: switching to safety controller, killing receiver", rule)
-		if s.recvTask != nil {
-			s.CPU.Remove(s.recvTask)
-		}
-		if s.Hooks.OnSwitch != nil {
-			s.Hooks.OnSwitch(now, rule)
-		}
-	}
-	s.Monitor.OnViolation = func(v monitor.Violation) {
-		if s.Hooks.OnViolation != nil {
-			s.Hooks.OnViolation(v)
-		}
-	}
-
-	s.hceMotorEP = s.Net.Bind(netsim.Addr{Host: hceHost, Port: PortMotor}, 256)
-	if ep, err := cce.Bind(PortSensors, 256); err == nil {
-		s.cceSensorEP = ep
-	} else {
-		return nil, err
-	}
-
-	s.imuStream = s.registerStream("IMU", PortSensors, mavlink.IMUPayloadSize+mavlink.Overhead)
-	s.baroStream = s.registerStream("Barometer", PortSensors, mavlink.BaroPayloadSize+mavlink.Overhead)
-	s.gpsStream = s.registerStream("GPS", PortSensors, mavlink.GPSPayloadSize+mavlink.Overhead)
-	s.rcStream = s.registerStream("RC", PortSensors, mavlink.RCPayloadSize+mavlink.Overhead)
-	s.motorStream = s.registerStream("Motor Output", PortMotor, mavlink.MotorPayloadSize+mavlink.Overhead)
-
-	s.buildHCETasks()
-	if cfg.ComplexInContainer {
-		if err := s.buildCCEController(); err != nil {
+	s.drones = make([]*Drone, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := newDrone(s, i, rng)
+		if err != nil {
 			return nil, err
 		}
-	} else {
-		s.buildHostComplexController()
+		s.drones = append(s.drones, d)
 	}
-	s.buildEngineProcs()
+	d0 := s.drones[0]
+	s.CPU, s.Bus, s.Guard = d0.CPU, d0.Bus, d0.Guard
+	s.Runtime, s.CCE = d0.Runtime, d0.CCE
+	s.Quad, s.Monitor, s.Log = d0.Quad, d0.Monitor, d0.Log
+	s.leaderSP = cfg.Setpoint
+
+	if n > 1 {
+		s.buildFleet()
+	}
 	s.scheduleAttack()
 	s.scheduleFaults()
 
 	if cfg.MonitorEnabled {
 		s.Engine.At(cfg.ArmDelay, func(now time.Duration) {
-			s.Monitor.Arm(now)
+			for _, d := range s.drones {
+				d.Monitor.Arm(now)
+			}
 			s.Trace.Add(now, "monitor", "armed")
 		})
 	}
 
 	// Checkpoint the fully wired scenario so Reset can rewind to this
 	// exact state: the engine's one-shot schedule (attack launches,
-	// fault windows, monitor arming), the scheduler's task set, the
-	// container's bookkeeping, and the healthy link parameters.
+	// fault windows, monitor arming), every scheduler's task set, the
+	// containers' bookkeeping, and the healthy link parameters.
 	s.Engine.Checkpoint()
-	s.CPU.Checkpoint()
-	s.CCE.Checkpoint()
+	for _, d := range s.drones {
+		d.CPU.Checkpoint()
+		d.CCE.Checkpoint()
+	}
 	s.chkLink = s.Net.Link()
 	return s, nil
 }
@@ -344,7 +216,7 @@ func New(cfg Config) (*System, error) {
 // and seed (TestResetEquivalence pins this for every registry
 // scenario); at steady state Reset itself does not allocate.
 //
-// Results produced before the Reset share buffers (flight log, trace,
+// Results produced before the Reset share buffers (flight logs, trace,
 // violations) with the System: consume or serialize them first.
 //
 // Reset must not be called mid-run — only after a completed (or
@@ -352,464 +224,113 @@ func New(cfg Config) (*System, error) {
 func (s *System) Reset(seed uint64) {
 	s.Cfg.Seed = seed
 
-	// Substrates: engine schedule, scheduler, memory system, fabric.
+	// Shared substrates: engine schedule and the fabric.
 	s.Engine.Reset()
-	s.CPU.Reset()
-	s.Bus.Reset()
-	s.Guard.Reset()
 	s.Net.Reset()
 	s.Net.SetLink(s.chkLink)
-	s.Runtime.NAT().ResetCounters()
-	s.CCE.Reset()
 
 	// Re-derive the RNG tree exactly as New does: one root generator,
-	// children split in wiring order (network, sensors, wind).
+	// the fabric stream first, then each member's streams (sensors,
+	// wind) in member order.
 	var rng sim.RNG
 	rng.Reseed(seed)
 	rng.SplitInto(s.netRNG)
-	rng.SplitInto(s.sensorRNG)
-	if s.windRNG != nil {
-		rng.SplitInto(s.windRNG)
+	for _, d := range s.drones {
+		rng.SplitInto(d.sensorRNG)
+		if d.windRNG != nil {
+			rng.SplitInto(d.windRNG)
+		}
 	}
 
-	// Vehicle back to the start of the flight envelope.
-	s.Quad.Reset()
-	s.Quad.State.Pos = s.Cfg.Setpoint
-	s.Quad.SetMotors(s.trim)
-	s.Quad.SettleRotors()
-	s.complexCmd, s.safetyCmd, s.hostCmd = s.trim, s.trim, s.trim
-	if s.wind != nil {
-		s.wind.Reset()
+	for _, d := range s.drones {
+		d.reset()
 	}
 
-	// Sensors, estimators, controllers, monitor, mission.
-	s.suite.Reset()
-	s.hostEst.Reset()
-	s.cceEst.Reset()
-	s.safetyCtl.Reset()
-	s.complexCtl.Reset()
-	s.Monitor.Reset()
-	if s.mission != nil {
-		s.mission.Reset()
-	}
-	s.curSetpoint = s.Cfg.Setpoint
-	s.holdSP = s.Cfg.Setpoint
-
-	// Recording and per-run caches.
-	s.Log.Reset()
 	s.Trace.Reset()
-	s.lastIMU = sensors.IMUReading{}
-	s.lastGPS = sensors.GPSReading{}
-	s.lastBaro = sensors.BaroReading{}
-	s.lastRC = sensors.RCReading{}
-	s.complexCmdAt = 0
-	s.seqOut = 0
-	s.garbage = 0
-	s.cceIn = control.Inputs{}
-	s.cceSeq = 0
-	s.flood = nil
-	for _, st := range s.streams {
-		st.Packets = 0
-	}
-
-	// Fault-layer shared-surface accounting.
-	clear(s.replayFrames)
-	s.replayFrames = s.replayFrames[:0]
-	s.splitDepth = 0
-	s.baroDropDepth = 0
-	s.gyroBiasDepth = 0
-	s.gpsSpoofDepth = 0
 	clear(s.jitterStack)
 	s.jitterStack = s.jitterStack[:0]
-}
 
-func (s *System) registerStream(name string, port, size int) *StreamStat {
-	st := &StreamStat{Name: name, Port: port, FrameSize: size}
-	s.streams[name] = st
-	return st
-}
-
-// sendToCCE encodes and ships one sensor frame into the container.
-// The frame is built in the System's scratch buffer; HostSend copies
-// it into the network's pool, so nothing here allocates at steady
-// state.
-func (s *System) sendToCCE(stream *StreamStat, msgID uint8, payload []byte) {
-	if !s.Cfg.ComplexInContainer {
-		return
-	}
-	s.sendFrame = mavlink.AppendEncode(s.sendFrame[:0], mavlink.Frame{
-		Seq: uint8(s.seqOut), SysID: 1, CompID: 1, MsgID: msgID, Payload: payload,
-	})
-	s.seqOut++
-	if err := s.Runtime.HostSend(s.CCE, 9000, PortSensors, s.sendFrame); err == nil {
-		stream.Packets++
-	}
+	s.leaderSP = s.Cfg.Setpoint
+	s.fleetSeq = 0
 }
 
 // nowUS converts engine time to the microsecond timestamps sensors use.
 func nowUS(now time.Duration) uint64 { return uint64(now / time.Microsecond) }
 
-// buildHCETasks registers the host control environment's task set:
-// kernel drivers at FIFO 90, receiver and monitor as middle-priority
-// I/O threads, safety controller at FIFO 20, plus baseline system load
-// (the paper's "about 40 priority" Linux interrupt work).
-func (s *System) buildHCETasks() {
-	// Baseline OS load (matches the native row of Table II).
-	AddSystemBaseline(s.CPU)
-
-	// IMU driver: samples inertial state, caches it, feeds the CCE.
-	s.CPU.Add(&sched.Task{
-		Name: "drv-imu", Core: CoreDriver, Priority: sched.PrioDriver,
-		Period: 4 * time.Millisecond, WCET: 300 * time.Microsecond,
-		AccessRate: 15e6, MemBound: 0.6,
-		Work: func(now time.Duration) {
-			s.lastIMU = s.suite.SampleIMU(s.Quad, nowUS(now))
-			s.hostEst.FeedIMU(s.lastIMU)
-			var p []byte
-			s.sendPayload, p = mavlink.AppendIMU(s.sendPayload[:0], s.lastIMU)
-			s.sendToCCE(s.imuStream, mavlink.MsgIDIMU, p)
-		},
-	})
-	// Barometer driver.
-	s.CPU.Add(&sched.Task{
-		Name: "drv-baro", Core: CoreDriver, Priority: sched.PrioDriver,
-		Period: 20 * time.Millisecond, WCET: 120 * time.Microsecond,
-		AccessRate: 5e6, MemBound: 0.5,
-		Work: func(now time.Duration) {
-			s.lastBaro = s.suite.SampleBaro(s.Quad, nowUS(now))
-			var p []byte
-			s.sendPayload, p = mavlink.AppendBaro(s.sendPayload[:0], s.lastBaro)
-			s.sendToCCE(s.baroStream, mavlink.MsgIDBaro, p)
-		},
-	})
-	// GPS/Vicon driver.
-	s.CPU.Add(&sched.Task{
-		Name: "drv-gps", Core: CoreDriver, Priority: sched.PrioDriver,
-		Period: 100 * time.Millisecond, WCET: 150 * time.Microsecond,
-		AccessRate: 5e6, MemBound: 0.5,
-		Work: func(now time.Duration) {
-			s.lastGPS = s.suite.SampleGPS(s.Quad, nowUS(now))
-			s.hostEst.FeedFix(s.lastGPS)
-			var p []byte
-			s.sendPayload, p = mavlink.AppendGPS(s.sendPayload[:0], s.lastGPS)
-			s.sendToCCE(s.gpsStream, mavlink.MsgIDGPS, p)
-		},
-	})
-	// RC driver.
-	s.CPU.Add(&sched.Task{
-		Name: "drv-rc", Core: CoreDriver, Priority: sched.PrioDriver,
-		Period: 20 * time.Millisecond, WCET: 100 * time.Microsecond,
-		AccessRate: 4e6, MemBound: 0.5,
-		Work: func(now time.Duration) {
-			s.lastRC = s.rcScript.Sample(nowUS(now))
-			var p []byte
-			s.sendPayload, p = mavlink.AppendRC(s.sendPayload[:0], s.lastRC)
-			s.sendToCCE(s.rcStream, mavlink.MsgIDRC, p)
-		},
-	})
-	// PWM output: applies the selected actuator command to the ESCs.
-	s.CPU.Add(&sched.Task{
-		Name: "drv-pwm", Core: CoreDriver, Priority: sched.PrioDriver,
-		Period: 2500 * time.Microsecond, WCET: 150 * time.Microsecond,
-		AccessRate: 8e6, MemBound: 0.5,
-		Work: func(now time.Duration) { s.Quad.SetMotors(s.selectCommand()) },
-	})
-	// Safety controller: hot standby on every sensor update.
-	s.CPU.Add(&sched.Task{
-		Name: "safety-ctl", Core: CoreSafety, Priority: sched.PrioSafety,
-		Period: 4 * time.Millisecond, WCET: 500 * time.Microsecond,
-		AccessRate: 10e6, MemBound: 0.6,
-		Work: func(now time.Duration) {
-			s.safetyCmd = s.safetyCtl.Compute(s.hostInputs(), control.Setpoint{Pos: s.safetyTarget()})
-		},
-	})
-	if s.Cfg.ComplexInContainer {
-		// HCE receiving thread: drains the motor port, decodes, and
-		// forwards valid commands to the PWM path.
-		s.recvTask = s.CPU.Add(&sched.Task{
-			Name: "hce-recv", Core: CoreSafety, Priority: 50,
-			Period: 2500 * time.Microsecond, WCET: 150 * time.Microsecond,
-			AccessRate: 6e6, MemBound: 0.4,
-			Work: s.drainMotorPort,
-		})
-		// Security monitor task.
-		s.CPU.Add(&sched.Task{
-			Name: "sec-monitor", Core: CoreSafety, Priority: 60,
-			Period: 10 * time.Millisecond, WCET: 60 * time.Microsecond,
-			AccessRate: 2e6, MemBound: 0.3,
-			Work: func(now time.Duration) {
-				refRoll, refPitch, _ := s.safetyCtl.AttitudeSetpoint()
-				est := s.hostEst.State()
-				roll, pitch, _ := est.Attitude.Euler()
-				s.Monitor.Check(now, monitor.AttitudeError(refRoll, refPitch, roll, pitch))
-				posErr := est.Pos.Sub(s.safetyTarget()).Norm()
-				s.Monitor.CheckEnvelope(now, posErr, est.Vel.Z)
-			},
-		})
-	}
-}
-
-// drainMotorPort is the receiving thread's job: up to 16 datagrams per
-// 2.5 ms period — the bounded service rate the UDP flood overwhelms.
-func (s *System) drainMotorPort(now time.Duration) {
-	for i := 0; i < 16; i++ {
-		pkt, ok := s.hceMotorEP.Recv()
-		if !ok {
-			return
-		}
-		frame, _, err := mavlink.Decode(pkt.Payload)
-		if err != nil || frame.MsgID != mavlink.MsgIDMotor {
-			s.garbage++
-			continue
-		}
-		cmd, err := mavlink.DecodeMotor(frame.Payload)
-		if err != nil {
-			s.garbage++
-			continue
-		}
-		if len(s.replayFrames) < s.replayMax {
-			// Copy: pkt.Payload is a pooled buffer, invalid after the
-			// next receive call on this endpoint.
-			s.replayFrames = append(s.replayFrames, append([]byte(nil), pkt.Payload...))
-		}
-		s.complexCmd = cmd.Motors
-		s.complexCmdAt = now
-		s.motorStream.Packets++
-		s.Monitor.NoteComplexOutput(now)
-	}
-}
-
-// hostInputs assembles controller inputs from the host estimator's
-// fused state plus the raw barometer/RC channels, into a reused
-// scratch field (fully overwritten on every call, so it needs no
-// per-run reset).
-func (s *System) hostInputs() *control.Inputs {
-	s.hostIn = control.Inputs{
-		IMU:  s.hostEst.Inputs(s.lastBaro, s.lastRC),
-		GPS:  s.hostEst.GPSLike(),
-		Baro: s.lastBaro,
-		RC:   s.lastRC,
-	}
-	return &s.hostIn
-}
-
-// safetyTarget returns the safety controller's setpoint. For static
-// flights it is the configured setpoint; during a mission it shadows
-// the vehicle until a Simplex switch and then freezes, so failover
-// means "hold position here", not "fly the rest of the mission".
-func (s *System) safetyTarget() physics.Vec3 {
-	if s.mission == nil {
-		return s.Cfg.Setpoint
-	}
-	if s.Monitor.Output() == monitor.OutputComplex {
-		s.holdSP = s.hostEst.State().Pos
-	}
-	return s.holdSP
-}
-
-// complexSetpoint advances the mission (if any) and returns the
-// setpoint the complex controller tracks this cycle.
-func (s *System) complexSetpoint(now time.Duration, pos physics.Vec3, dt float64) control.Setpoint {
-	if s.mission == nil {
-		return control.Setpoint{Pos: s.Cfg.Setpoint}
-	}
-	sp := s.mission.Update(now, pos, dt)
-	s.curSetpoint = sp.Pos
-	return sp
-}
-
-// selectCommand is the Simplex decision point: the PWM driver applies
-// the complex controller's output until the monitor switches.
-func (s *System) selectCommand() [4]float64 {
-	if !s.Cfg.ComplexInContainer {
-		return s.hostCmd
-	}
-	if s.Monitor.Output() == monitor.OutputSafety {
-		return s.safetyCmd
-	}
-	return s.complexCmd
-}
-
-// buildCCEController starts the PX4-style complex controller inside
-// the container: it consumes the sensor stream from port 14660 and
-// emits motor frames to host port 14600 at 400 Hz (Table I).
-func (s *System) buildCCEController() error {
-	// Per-run input cache and stream sequence live on the System (so
-	// Reset rewinds them); the encode scratch is reused across jobs:
-	// Container.Send copies the frame into the network pool before
-	// returning.
-	task := &sched.Task{
-		Name: "px4-complex", Core: CoreContainer, Priority: sched.PrioContainer,
-		Period: 2500 * time.Microsecond, WCET: 900 * time.Microsecond,
-		AccessRate: 25e6, MemBound: 0.6,
-		Work: func(now time.Duration) {
-			// Drain the sensor port into the input cache.
-			for {
-				pkt, ok := s.cceSensorEP.Recv()
-				if !ok {
-					break
-				}
-				frame, _, err := mavlink.Decode(pkt.Payload)
-				if err != nil {
-					continue
-				}
-				switch frame.MsgID {
-				case mavlink.MsgIDIMU:
-					if r, err := mavlink.DecodeIMU(frame.Payload); err == nil {
-						s.cceEst.FeedIMU(r)
-					}
-				case mavlink.MsgIDBaro:
-					if r, err := mavlink.DecodeBaro(frame.Payload); err == nil {
-						s.cceIn.Baro = r
-					}
-				case mavlink.MsgIDGPS:
-					if r, err := mavlink.DecodeGPS(frame.Payload); err == nil {
-						s.cceEst.FeedFix(r)
-					}
-				case mavlink.MsgIDRC:
-					if r, err := mavlink.DecodeRC(frame.Payload); err == nil {
-						s.cceIn.RC = r
-					}
-				}
-			}
-			s.cceIn.IMU = s.cceEst.Inputs(s.cceIn.Baro, s.cceIn.RC)
-			s.cceIn.GPS = s.cceEst.GPSLike()
-			cmd := s.complexCtl.Compute(&s.cceIn, s.complexSetpoint(now, s.cceIn.GPS.Pos, 1.0/400))
-			s.cceSeq++
-			var payload []byte
-			s.cceMotorPayload, payload = mavlink.AppendMotor(s.cceMotorPayload[:0], mavlink.MotorCommand{
-				TimeUS: nowUS(now), Motors: cmd, Seq: s.cceSeq, Armed: true,
-			})
-			s.cceMotorFrame = mavlink.AppendEncode(s.cceMotorFrame[:0], mavlink.Frame{
-				Seq: uint8(s.cceSeq), SysID: 2, CompID: 1, MsgID: mavlink.MsgIDMotor, Payload: payload,
-			})
-			// Best-effort UDP: namespace violations would be bugs, but
-			// a full fabric just drops.
-			_ = s.CCE.Send(9001, PortMotor, s.cceMotorFrame)
-		},
-	}
-	if err := s.CCE.StartTask(task); err != nil {
-		return err
-	}
-	s.complexTask = task
-	return nil
-}
-
-// buildHostComplexController runs the complex controller on the host
-// (the memory-DoS experiment's deployment).
-func (s *System) buildHostComplexController() {
-	s.CPU.Add(&sched.Task{
-		Name: "px4-host", Core: CoreHost, Priority: 30,
-		Period: 4 * time.Millisecond, WCET: 1200 * time.Microsecond,
-		AccessRate: 30e6, MemBound: 0.8,
-		Work: func(now time.Duration) {
-			in := s.hostInputs()
-			s.hostCmd = s.complexCtl.Compute(in, s.complexSetpoint(now, in.GPS.Pos, 1.0/250))
-		},
-	})
-}
-
-// buildEngineProcs registers the per-tick infrastructure: network
-// delivery, scheduler, wind, physics, telemetry.
-func (s *System) buildEngineProcs() {
-	s.Engine.Register("net", sim.Tick, 0, sim.ProcFunc(func(now time.Duration) {
-		s.Net.Step(now)
-	}))
-	s.Engine.Register("sched", sim.Tick, 10, sim.ProcFunc(func(now time.Duration) {
-		s.CPU.Tick(now)
-	}))
-	if s.wind != nil {
-		s.Engine.Register("wind", 10*time.Millisecond, 19, sim.ProcFunc(func(now time.Duration) {
-			s.Quad.SetDisturbance(s.wind.Step(0.01), physics.Vec3{})
-		}))
-	}
-	s.Engine.Register("physics", sim.Tick, 20, sim.ProcFunc(func(now time.Duration) {
-		s.Quad.Step(physDT)
-		if crashed, at := s.Quad.Crashed(); crashed {
-			if already, _ := s.Log.Crashed(); !already {
-				crashAt := time.Duration(at * float64(time.Second))
-				s.Log.MarkCrash(crashAt)
-				s.Trace.Add(now, "physics", "vehicle crashed")
-				if s.Hooks.OnCrash != nil {
-					s.Hooks.OnCrash(crashAt)
-				}
-			}
-		}
-	}))
-	period := time.Duration(float64(time.Second) / s.Cfg.TelemetryRate)
-	s.Engine.Register("telemetry", period, 30, sim.ProcFunc(func(now time.Duration) {
-		roll, pitch, yaw := s.Quad.State.RollPitchYaw()
-		src := "complex"
-		if !s.Cfg.ComplexInContainer {
-			src = "host"
-		} else if s.Monitor.Output() == monitor.OutputSafety {
-			src = "safety"
-		}
-		sp := s.curSetpoint
-		if s.mission != nil && s.Monitor.Output() == monitor.OutputSafety {
-			sp = s.holdSP
-		}
-		sample := telemetry.Sample{
-			Time: now, Setpoint: sp, Position: s.Quad.State.Pos,
-			Roll: roll, Pitch: pitch, Yaw: yaw, Source: src,
-		}
-		s.Log.Add(sample)
-		if s.Hooks.OnSample != nil {
-			s.Hooks.OnSample(now, sample)
-		}
-	}))
-}
-
-// scheduleAttack arms the configured attack plan.
+// scheduleAttack arms the configured attack plan on the compromised
+// member's container (Plan.Member; 0 — the leader — by default). A
+// flood may additionally aim at another member's motor port via
+// Plan.Target, modeling one compromised swarm member attacking a peer
+// across the shared fabric.
 func (s *System) scheduleAttack() {
 	plan := s.Cfg.Attack
-	switch plan.Kind {
-	case attack.KindNone:
+	if plan.Kind == attack.KindNone {
 		return
+	}
+	a := s.drones[plan.Member]
+	victim := s.drones[plan.Target]
+	switch plan.Kind {
 	case attack.KindBandwidth:
 		s.Engine.At(plan.Start, func(now time.Duration) {
 			t := attack.Bandwidth(CoreContainer, plan.Rate)
-			if err := s.CCE.StartTask(t); err != nil {
-				s.Trace.Add(now, "attack", "bandwidth launch failed: %v", err)
+			if err := a.CCE.StartTask(t); err != nil {
+				s.Trace.Add(now, a.compAttack, "bandwidth launch failed: %v", err)
 				return
 			}
-			s.Trace.Add(now, "attack", "bandwidth attack launched (%.0f acc/s)", t.AccessRate)
+			s.Trace.Add(now, a.compAttack, "bandwidth attack launched (%.0f acc/s)", t.AccessRate)
 		})
 	case attack.KindFlood:
 		s.Engine.At(plan.Start, func(now time.Duration) {
-			s.flood = attack.NewFlood(func(p []byte) {
-				_ = s.CCE.Send(40000, PortMotor, p)
-			}, plan.Rate, 64)
-			if err := s.CCE.StartTask(s.flood.Task(CoreContainer)); err != nil {
-				s.Trace.Add(now, "attack", "flood launch failed: %v", err)
+			send := func(p []byte) {
+				_ = a.CCE.Send(40000, PortMotor, p)
+			}
+			if victim != a {
+				// Peer flood: the compromised member sprays a sibling's
+				// motor port across the shared fabric. The task still
+				// burns the attacker's container core; only the
+				// destination differs.
+				route := s.Net.Route(
+					netsim.Addr{Host: a.hostName, Port: 40000},
+					netsim.Addr{Host: victim.hostName, Port: PortMotor})
+				send = func(p []byte) { route.Send(p) }
+			}
+			a.flood = attack.NewFlood(send, plan.Rate, 64)
+			if err := a.CCE.StartTask(a.flood.Task(CoreContainer)); err != nil {
+				s.Trace.Add(now, a.compAttack, "flood launch failed: %v", err)
 				return
 			}
-			s.Trace.Add(now, "attack", "UDP flood launched (%.0f pkt/s)", s.flood.PacketsPerSecond)
+			if victim != a {
+				s.Trace.Add(now, a.compAttack, "UDP flood launched against member %d (%.0f pkt/s)",
+					victim.idx, a.flood.PacketsPerSecond)
+			} else {
+				s.Trace.Add(now, a.compAttack, "UDP flood launched (%.0f pkt/s)", a.flood.PacketsPerSecond)
+			}
 		})
 	case attack.KindKill:
 		s.Engine.At(plan.Start, func(now time.Duration) {
-			if s.complexTask != nil {
-				s.CCE.StopTask(s.complexTask)
-				s.Trace.Add(now, "attack", "complex controller killed")
+			if a.complexTask != nil {
+				a.CCE.StopTask(a.complexTask)
+				s.Trace.Add(now, a.compAttack, "complex controller killed")
 			}
 		})
 	case attack.KindCPUHog:
 		s.Engine.At(plan.Start, func(now time.Duration) {
 			t := attack.CPUHog(CoreContainer, sched.PrioContainer)
-			if err := s.CCE.StartTask(t); err != nil {
-				s.Trace.Add(now, "attack", "cpu hog launch failed: %v", err)
+			if err := a.CCE.StartTask(t); err != nil {
+				s.Trace.Add(now, a.compAttack, "cpu hog launch failed: %v", err)
 				return
 			}
-			s.Trace.Add(now, "attack", "CPU hog launched")
+			s.Trace.Add(now, a.compAttack, "CPU hog launched")
 		})
 	}
 }
 
 // Schedulability runs fixed-priority response-time analysis over the
-// system's current task set — the paper's §VII future work ("provide
+// leader's current task set — the paper's §VII future work ("provide
 // hard real-time proof and schedulability analysis"). Call it on a
 // freshly built System to audit the flight-critical task set before
-// any attack task is admitted.
+// any attack task is admitted. Fleet members carry identical task
+// sets, so the leader's analysis speaks for all of them.
 func (s *System) Schedulability() []sched.AnalysisResult {
 	return sched.Analyze(s.CPU)
 }
@@ -831,4 +352,36 @@ func AddSystemBaseline(cpu *sched.CPU) {
 			AccessRate: 1e6, MemBound: 0.3,
 		})
 	}
+}
+
+// validateMembers rejects member selectors outside the fleet and
+// fleet-only faults on a single drone, so a bad sweep fails at build
+// time instead of silently targeting the leader.
+func (c Config) validateMembers() error {
+	n := c.DroneCount()
+	if c.Attack.Kind != attack.KindNone {
+		if c.Attack.Member < 0 || c.Attack.Member >= n {
+			return fmt.Errorf("core: attack member %d outside fleet of %d", c.Attack.Member, n)
+		}
+		if c.Attack.Target < 0 || c.Attack.Target >= n {
+			return fmt.Errorf("core: attack target member %d outside fleet of %d", c.Attack.Target, n)
+		}
+	}
+	for _, sp := range c.Faults.Specs {
+		if sp.Kind == fault.KindNone {
+			continue
+		}
+		if sp.Member < 0 || sp.Member >= n {
+			return fmt.Errorf("core: %s fault member %d outside fleet of %d", sp.Kind, sp.Member, n)
+		}
+		if sp.Kind == fault.KindMAVReplay {
+			if sp.FromMember < 0 || sp.FromMember >= n {
+				return fmt.Errorf("core: mav-replay capture member %d outside fleet of %d", sp.FromMember, n)
+			}
+		}
+		if sp.Kind == fault.KindFleetSplit && n < 2 {
+			return fmt.Errorf("core: fleet-split needs a fleet (drones >= 2), got %d", n)
+		}
+	}
+	return nil
 }

@@ -28,6 +28,12 @@ type Config struct {
 	// MaxCoast is the longest IMU gap integrated as-is; beyond it the
 	// filter declares itself unhealthy until the next fix.
 	MaxCoastUS uint64
+	// Home is the position the filter starts (and resets) at, before
+	// any fix arrives. A vehicle launched from a surveyed pad — a
+	// fleet member holding its formation slot — knows where it is;
+	// leaving Home zero reproduces the cold-start filter that dead
+	// reckons from the origin until the first fix.
+	Home physics.Vec3
 }
 
 // DefaultConfig returns gains matching a Navio2-grade IMU with Vicon
@@ -66,6 +72,7 @@ type Filter struct {
 func New(cfg Config) *Filter {
 	f := &Filter{cfg: cfg}
 	f.st.Attitude = physics.IdentityQuat()
+	f.st.Pos = cfg.Home
 	return f
 }
 
@@ -75,7 +82,7 @@ func (f *Filter) State() State { return f.st }
 // Reset rewinds the filter to its just-built state: identity attitude,
 // unprimed, no staleness history.
 func (f *Filter) Reset() {
-	f.st = State{Attitude: physics.IdentityQuat()}
+	f.st = State{Attitude: physics.IdentityQuat(), Pos: f.cfg.Home}
 	f.primed = false
 	f.lastIMUUS = 0
 	f.lastFixUS = 0

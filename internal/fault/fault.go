@@ -44,6 +44,11 @@ const (
 	KindJitter
 	KindPrioInv
 	KindRotorDecay
+	// KindFleetSplit partitions one fleet member from the ground
+	// control station coordinating the formation, so the member flies
+	// its last-heard formation slot until the link heals. Requires a
+	// multi-drone scenario.
+	KindFleetSplit
 )
 
 // String names the fault kind.
@@ -67,6 +72,8 @@ func (k Kind) String() string {
 		return "prio-inv"
 	case KindRotorDecay:
 		return "rotor-decay"
+	case KindFleetSplit:
+		return "fleet-split"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -77,6 +84,7 @@ func Kinds() []Kind {
 	return []Kind{
 		KindGPSSpoof, KindIMUBias, KindBaroDrop, KindNetSplit,
 		KindMAVReplay, KindJitter, KindPrioInv, KindRotorDecay,
+		KindFleetSplit,
 	}
 }
 
@@ -116,6 +124,16 @@ type Spec struct {
 	//   mav-replay:  replay injection rate, frames/s
 	//   rotor-decay: efficiency loss per second, 1/s
 	Rate float64
+	// Member selects which fleet member the fault strikes (index into
+	// the fleet, 0 = the leader — the only member of a single-drone
+	// scenario). Jitter degrades the shared fabric regardless.
+	Member int
+	// FromMember selects, for mav-replay only, the member whose motor
+	// frames the on-path adversary captures; the replay is then
+	// injected at Member. Equal values reproduce the single-drone
+	// replay; different values model a cross-drone replay on the
+	// shared medium.
+	FromMember int
 }
 
 // Kind-specific defaults, applied by WithDefaults when the Spec field
@@ -188,6 +206,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Magnitude < 0 || s.Rate < 0 {
 		return fmt.Errorf("fault: %s magnitude %v / rate %v must not be negative", s.Kind, s.Magnitude, s.Rate)
+	}
+	if s.Member < 0 || s.FromMember < 0 {
+		return fmt.Errorf("fault: %s member %d / from-member %d must not be negative", s.Kind, s.Member, s.FromMember)
 	}
 	if s.Kind == KindJitter && s.Rate > 1 {
 		return fmt.Errorf("fault: jitter loss probability %v exceeds 1", s.Rate)

@@ -64,6 +64,64 @@ func TestDrainPayloadAliasing(t *testing.T) {
 	}
 }
 
+// TestCrossEndpointPayloadAliasing pins the contract's fleet-critical
+// half: the payload pool is Network-owned and shared by every member
+// endpoint on the fabric, but a buffer lent to member A must survive
+// arbitrary receive traffic on members B and C — lent-buffer recycling
+// is per-endpoint, not per-pool. The swarm scenarios put N drones'
+// receive paths on one Network; if another member's drain could
+// recycle A's lent payload, every cross-member frame would be a
+// use-after-free in disguise.
+func TestCrossEndpointPayloadAliasing(t *testing.T) {
+	n := New(nil, nil)
+	src := Addr{Host: "gcs", Port: 9}
+	a := Addr{Host: "hce", Port: 100}
+	b := Addr{Host: "hce1", Port: 101}
+	c := Addr{Host: "hce2", Port: 102}
+	epA, epB, epC := n.Bind(a, 8), n.Bind(b, 8), n.Bind(c, 8)
+	now := time.Duration(0)
+	deliver := func(dst Addr, payload string) {
+		if !n.Send(src, dst, []byte(payload)) {
+			t.Fatalf("send %q failed", payload)
+		}
+		now += time.Millisecond
+		n.Step(now)
+	}
+
+	deliver(a, "member-A-frame")
+	pktA, ok := epA.Recv()
+	if !ok {
+		t.Fatal("no packet at member A")
+	}
+
+	// Heavy churn on the sibling endpoints: each receive call recycles
+	// that endpoint's own lent buffers through the shared pool.
+	for i := 0; i < 16; i++ {
+		deliver(b, "member-B-noise!")
+		deliver(c, "member-C-noise!")
+		if pkt, ok := epB.Recv(); !ok || !bytes.Equal(pkt.Payload, []byte("member-B-noise!")) {
+			t.Fatalf("member B recv = %q, %v", pkt.Payload, ok)
+		}
+		if pkt, ok := epC.Recv(); !ok || !bytes.Equal(pkt.Payload, []byte("member-C-noise!")) {
+			t.Fatalf("member C recv = %q, %v", pkt.Payload, ok)
+		}
+	}
+	if !bytes.Equal(pktA.Payload, []byte("member-A-frame")) {
+		t.Fatalf("member A's lent payload clobbered by sibling traffic: %q", pktA.Payload)
+	}
+
+	// A's OWN next receive call is still the recycling point.
+	deliver(a, "member-A-later")
+	if pkt, ok := epA.Recv(); !ok || !bytes.Equal(pkt.Payload, []byte("member-A-later")) {
+		t.Fatalf("member A second recv = %q, %v", pkt.Payload, ok)
+	}
+	deliver(a, "member-A-again")
+	epA.Recv()
+	if bytes.Equal(pktA.Payload, []byte("member-A-frame")) {
+		t.Error("payload survived two receive calls on its own endpoint; pooling contract no longer holds — update the godoc")
+	}
+}
+
 // TestSetPartition covers the fault layer's network-split switch:
 // blocking is bidirectional, queryable via Partitioned, counted in
 // DroppedSplit, and fully healed by the off switch.

@@ -128,3 +128,152 @@ func FuzzRecv(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRecvMultiEndpoint is the fleet reading of FuzzRecv: three member
+// endpoints — the swarm scenarios' hce/hce1/hce2 — bound on ONE shared
+// fabric, driven by an arbitrary interleaving of sends, steps, and
+// receives. The payload pool is Network-owned and shared by every
+// endpoint, so the property under attack is cross-member isolation:
+// a buffer lent to member A must never be recycled into member B's
+// traffic while A still holds it, and each member's FIFO order must
+// survive interleaved delivery. Each op byte's high bits pick the
+// member, low bits the op, so the corpus drives asymmetric loads
+// (one member flooded while another drains) the single-endpoint
+// fuzzer cannot express.
+func FuzzRecvMultiEndpoint(f *testing.F) {
+	motor := mavlink.Encode(mavlink.Frame{
+		MsgID: mavlink.MsgIDMotor,
+		Payload: mavlink.EncodeMotor(mavlink.MotorCommand{
+			TimeUS: 12_500_000, Motors: [4]float64{0.52, 0.51, 0.52, 0.51}, Seq: 42, Armed: true,
+		}),
+	})
+	// Round-robin across members; flood member 0 while 1 and 2 drain;
+	// deliver to all then drain in reverse member order.
+	f.Add([]byte{0x00, 0x10, 0x20, 0x03, 0x02, 0x12, 0x22}, motor)
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x13, 0x23, 0x12, 0x22}, motor)
+	f.Add([]byte{0x00, 0x10, 0x20, 0x03, 0x23, 0x13, 0x03}, []byte{0xA5, 0x5A})
+	f.Add(bytes.Repeat([]byte{0x00, 0x13, 0x20, 0x02}, 24), motor)
+	f.Fuzz(func(t *testing.T, script, payload []byte) {
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		const (
+			members  = 3
+			queueCap = 4
+		)
+		n := New(nil, nil)
+		src := Addr{Host: "gcs", Port: 9}
+		var eps [members]*Endpoint
+		var dst [members]Addr
+		for m := 0; m < members; m++ {
+			host := "hce"
+			if m > 0 {
+				host += string(rune('0' + m))
+			}
+			dst[m] = Addr{Host: host, Port: 100 + m}
+			eps[m] = n.Bind(dst[m], queueCap)
+		}
+
+		// Per-member reference model, plus the last payload each member
+		// was handed: it must stay intact until that member's next
+		// receive call, no matter what the other members do in between.
+		var inflight, queued [members][][]byte
+		var held, heldWant [members][]byte
+		var seq byte
+		now := time.Duration(0)
+
+		mkPayload := func(m int) []byte {
+			end := 1 + int(seq)%len(payload)
+			p := append([]byte(nil), payload[:end]...)
+			p = append(p, seq, byte(m))
+			seq++
+			return p
+		}
+		checkHeld := func(m int) {
+			if held[m] != nil && !bytes.Equal(held[m], heldWant[m]) {
+				t.Fatalf("member %d's lent payload clobbered by other members' traffic: %x, want %x",
+					m, held[m], heldWant[m])
+			}
+		}
+		checkPacket := func(m int, pkt Packet, op string) {
+			if len(queued[m]) == 0 {
+				t.Fatalf("%s on member %d returned a packet but model queue is empty", op, m)
+			}
+			if !bytes.Equal(pkt.Payload, queued[m][0]) {
+				t.Fatalf("%s on member %d payload = %x, want %x (FIFO head)", op, m, pkt.Payload, queued[m][0])
+			}
+			queued[m] = queued[m][1:]
+			held[m], heldWant[m] = pkt.Payload, append(heldWant[m][:0], pkt.Payload...)
+		}
+
+		for _, op := range script {
+			m := int(op>>4) % members
+			switch op % 4 {
+			case 0: // send to member m
+				p := mkPayload(m)
+				if n.Send(src, dst[m], p) {
+					inflight[m] = append(inflight[m], p)
+				} else {
+					t.Fatal("send into a bound, unlimited endpoint failed")
+				}
+			case 1: // step: zero-latency fabric delivers to every member
+				now += time.Millisecond
+				n.Step(now)
+				for k := 0; k < members; k++ {
+					for _, p := range inflight[k] {
+						if len(queued[k]) < queueCap {
+							queued[k] = append(queued[k], p)
+						}
+					}
+					inflight[k] = inflight[k][:0]
+				}
+			case 2: // recv one at member m
+				pkt, ok := eps[m].Recv()
+				if ok != (len(queued[m]) > 0) {
+					t.Fatalf("member %d Recv ok=%v with %d queued", m, ok, len(queued[m]))
+				}
+				if ok {
+					checkPacket(m, pkt, "Recv")
+				} else {
+					held[m] = nil
+				}
+			case 3: // drain member m
+				pkts := eps[m].Drain()
+				if len(pkts) != len(queued[m]) {
+					t.Fatalf("member %d Drain returned %d packets, model holds %d", m, len(pkts), len(queued[m]))
+				}
+				held[m] = nil // an empty drain still recycles the lent buffers
+				for _, pkt := range pkts {
+					checkPacket(m, pkt, "Drain")
+				}
+			}
+			for k := 0; k < members; k++ {
+				checkHeld(k)
+				if eps[k].Pending() != len(queued[k]) {
+					t.Fatalf("member %d Pending() = %d, model holds %d", k, eps[k].Pending(), len(queued[k]))
+				}
+			}
+		}
+
+		// Deliver and drain every member; totals must reconcile.
+		now += time.Millisecond
+		n.Step(now)
+		for m := 0; m < members; m++ {
+			for _, p := range inflight[m] {
+				if len(queued[m]) < queueCap {
+					queued[m] = append(queued[m], p)
+				}
+			}
+			for _, pkt := range eps[m].Drain() {
+				checkPacket(m, pkt, "final Drain")
+			}
+			if len(queued[m]) != 0 {
+				t.Fatalf("member %d: %d modeled packets never delivered", m, len(queued[m]))
+			}
+			st := eps[m].Stats()
+			if st.Received != st.Delivered {
+				t.Fatalf("member %d stats: received %d != delivered %d after full drain", m, st.Received, st.Delivered)
+			}
+		}
+	})
+}

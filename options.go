@@ -64,6 +64,21 @@ func WithFaults(faults ...Fault) Option {
 	return func(s *simSetup) { s.cfg.Faults = faults }
 }
 
+// WithDrones hosts a fleet of n drones on one shared network fabric:
+// member 0 leads (flying the scenario's mission or setpoint), members
+// 1..n-1 hold formation slots behind it, and a fleet coordinator at
+// the GCS rebroadcasts the leader's setpoint to the followers.
+// Attacks and faults target members via their Member selectors.
+func WithDrones(n int) Option {
+	return func(s *simSetup) { s.cfg.Drones = n }
+}
+
+// WithFleetSpacing sets the formation slot spacing in meters for
+// fleet runs (see WithDrones).
+func WithFleetSpacing(meters float64) Option {
+	return func(s *simSetup) { s.cfg.FleetSpacingM = meters }
+}
+
 // WithMission replaces the scenario's setpoint or preset mission with
 // a waypoint sequence flown by the complex controller.
 func WithMission(waypoints ...Waypoint) Option {

@@ -18,7 +18,14 @@ import (
 // type (Config, Result, CampaignResult). Decoders reject payloads
 // from a different major schema so remote workers and collectors fail
 // loudly instead of misreading fields.
-const SchemaVersion = 1
+//
+// v2 added swarm support: Config.Drones/FleetSpacingM, the attack
+// Member/Target and fault Member/FromMember selectors, and per-member
+// outcomes in Result.Members. v1 payloads decode as v2 (every added
+// field defaults to the single-drone reading), but the stamp is bumped
+// because v2 payloads can carry fleet semantics a v1 consumer would
+// silently drop.
+const SchemaVersion = 2
 
 // Vec3 is a 3D vector in the simulation's NED-less world frame
 // (X east, Y north, Z up), meters.
@@ -52,6 +59,13 @@ type Attack struct {
 	// Rate parameterizes the attack: accesses/s for bandwidth,
 	// packets/s for udp-flood; ignored otherwise.
 	Rate float64 `json:"rate,omitempty"`
+	// Member selects which fleet member's container the attack code
+	// runs in (0 = the leader; ignored for single-drone runs).
+	Member int `json:"member,omitempty"`
+	// Target selects the member a udp-flood is aimed at. Equal to
+	// Member it reproduces the classic in-drone flood; different, the
+	// flood crosses the shared fabric to the victim's motor port.
+	Target int `json:"target,omitempty"`
 }
 
 // Active reports whether the attack is anything other than "none".
@@ -87,6 +101,13 @@ type Fault struct {
 	// Rate is the kind-specific intensity (drift m/s, loss
 	// probability, replay frames/s, decay 1/s).
 	Rate float64 `json:"rate,omitempty"`
+	// Member selects the fleet member the fault strikes (0 = the
+	// leader; ignored for single-drone runs).
+	Member int `json:"member,omitempty"`
+	// FromMember, for mav-replay only, selects the member whose
+	// command frames are captured; the replay is injected at Member.
+	// Different members give a cross-drone replay.
+	FromMember int `json:"from_member,omitempty"`
 }
 
 // FaultKinds lists the fault kind strings accepted by Fault.Kind.
@@ -101,11 +122,13 @@ func FaultKinds() []string {
 
 func fromFaultSpec(s fault.Spec) Fault {
 	return Fault{
-		Kind:      s.Kind.String(),
-		StartS:    s.Start.Seconds(),
-		DurationS: s.Duration.Seconds(),
-		Magnitude: s.Magnitude,
-		Rate:      s.Rate,
+		Kind:       s.Kind.String(),
+		StartS:     s.Start.Seconds(),
+		DurationS:  s.Duration.Seconds(),
+		Magnitude:  s.Magnitude,
+		Rate:       s.Rate,
+		Member:     s.Member,
+		FromMember: s.FromMember,
 	}
 }
 
@@ -115,11 +138,13 @@ func (f Fault) internal() (fault.Spec, error) {
 		return fault.Spec{}, err
 	}
 	return fault.Spec{
-		Kind:      kind,
-		Start:     durFromS(f.StartS),
-		Duration:  durFromS(f.DurationS),
-		Magnitude: f.Magnitude,
-		Rate:      f.Rate,
+		Kind:       kind,
+		Start:      durFromS(f.StartS),
+		Duration:   durFromS(f.DurationS),
+		Magnitude:  f.Magnitude,
+		Rate:       f.Rate,
+		Member:     f.Member,
+		FromMember: f.FromMember,
 	}, nil
 }
 
@@ -147,13 +172,21 @@ type Config struct {
 	// Mission, when non-empty, replaces the scenario's static
 	// setpoint (or preset mission) with this waypoint sequence.
 	Mission []Waypoint `json:"mission,omitempty"`
+	// Drones, when > 1, hosts a fleet of that many drones on one
+	// shared network fabric: member 0 leads, members 1..n-1 hold
+	// formation slots behind it. 0 keeps the scenario's own fleet
+	// size (1 for every classic scenario).
+	Drones int `json:"drones,omitempty"`
+	// FleetSpacingM is the formation slot spacing in meters (0 =
+	// default). Only meaningful when the run hosts a fleet.
+	FleetSpacingM float64 `json:"fleet_spacing_m,omitempty"`
 }
 
 // build resolves the portable Config into the internal scenario
 // config via the registry.
 func (c Config) build() (core.Config, error) {
-	if c.SchemaVersion != 0 && c.SchemaVersion != SchemaVersion {
-		return core.Config{}, fmt.Errorf("containerdrone: config schema v%d, this SDK speaks v%d", c.SchemaVersion, SchemaVersion)
+	if c.SchemaVersion != 0 && (c.SchemaVersion < 1 || c.SchemaVersion > SchemaVersion) {
+		return core.Config{}, fmt.Errorf("containerdrone: config schema v%d, this SDK speaks v1..v%d", c.SchemaVersion, SchemaVersion)
 	}
 	if c.Scenario == "" {
 		return core.Config{}, fmt.Errorf("containerdrone: config names no scenario")
@@ -171,7 +204,10 @@ func (c Config) build() (core.Config, error) {
 		if err != nil {
 			return core.Config{}, err
 		}
-		cfg.Attack = attack.Plan{Kind: kind, Start: durFromS(c.Attack.StartS), Rate: c.Attack.Rate}
+		cfg.Attack = attack.Plan{
+			Kind: kind, Start: durFromS(c.Attack.StartS), Rate: c.Attack.Rate,
+			Member: c.Attack.Member, Target: c.Attack.Target,
+		}
 	}
 	if len(c.Faults) > 0 {
 		specs := make([]fault.Spec, len(c.Faults))
@@ -194,6 +230,12 @@ func (c Config) build() (core.Config, error) {
 				Radius: w.RadiusM,
 			}
 		}
+	}
+	if c.Drones > 0 {
+		cfg.Drones = c.Drones
+	}
+	if c.FleetSpacingM > 0 {
+		cfg.FleetSpacing = c.FleetSpacingM
 	}
 	return cfg, nil
 }
@@ -334,6 +376,13 @@ type Result struct {
 	IdleRates []float64    `json:"idle_rates,omitempty"`
 	Tasks     []TaskReport `json:"tasks,omitempty"`
 
+	// Members carries per-member outcomes for fleet runs (leader
+	// included), empty for a single drone. The top-level fields then
+	// aggregate: Crashed/Switched report the earliest event across the
+	// fleet, GarbagePkts sums, Violations concatenate in member order,
+	// and the flight-shape fields describe the leader.
+	Members []MemberResult `json:"members,omitempty"`
+
 	// Samples is the full telemetry trajectory at the configured
 	// telemetry rate.
 	Samples []Sample `json:"samples,omitempty"`
@@ -343,6 +392,68 @@ type Result struct {
 	// log caches the reconstructed flight log for the reporting
 	// helpers; it is rebuilt from Samples after a JSON round trip.
 	log *telemetry.FlightLog
+}
+
+// MemberResult is one fleet member's own outcome within a swarm
+// Result.
+type MemberResult struct {
+	Member int    `json:"member"`
+	Host   string `json:"host"`
+
+	Crashed bool    `json:"crashed"`
+	CrashS  float64 `json:"crash_s,omitempty"`
+
+	Switched   bool        `json:"switched"`
+	SwitchS    float64     `json:"switch_s,omitempty"`
+	SwitchRule string      `json:"switch_rule,omitempty"`
+	Violations []Violation `json:"violations,omitempty"`
+
+	GarbagePkts     int64 `json:"garbage_pkts,omitempty"`
+	MissionComplete bool  `json:"mission_complete,omitempty"`
+
+	Metrics   Metrics      `json:"metrics"`
+	Streams   []StreamStat `json:"streams,omitempty"`
+	IdleRates []float64    `json:"idle_rates,omitempty"`
+	Tasks     []TaskReport `json:"tasks,omitempty"`
+}
+
+func fromMemberReport(m *core.MemberReport) MemberResult {
+	out := MemberResult{
+		Member:          m.Member,
+		Host:            m.Host,
+		Crashed:         m.Crashed,
+		Switched:        m.Switched,
+		GarbagePkts:     m.GarbagePkts,
+		MissionComplete: m.MissionComplete,
+		Metrics:         fromMetrics(m.Metrics),
+	}
+	if m.Crashed {
+		out.CrashS = m.CrashTime.Seconds()
+	}
+	if m.Switched {
+		out.SwitchS = m.SwitchTime.Seconds()
+		out.SwitchRule = string(m.SwitchRule)
+	}
+	for _, v := range m.Violations {
+		out.Violations = append(out.Violations, fromViolation(v))
+	}
+	for _, st := range m.Streams {
+		out.Streams = append(out.Streams, StreamStat{
+			Name: st.Name, Port: st.Port, FrameSizeB: st.FrameSize, Packets: st.Packets,
+		})
+	}
+	out.IdleRates = make([]float64, len(m.IdleRates))
+	copy(out.IdleRates, m.IdleRates[:])
+	for _, t := range m.Tasks {
+		out.Tasks = append(out.Tasks, TaskReport{
+			Name: t.Name, Core: t.Core, Priority: t.Priority,
+			Released: t.Released, Completed: t.Completed, Missed: t.Missed,
+			MissRate:    t.MissRate,
+			AvgLatencyS: t.AvgLatency.Seconds(),
+			MaxLatencyS: t.MaxLatency.Seconds(),
+		})
+	}
+	return out
 }
 
 // fromResult converts an internal run outcome into the public schema.
@@ -355,6 +466,8 @@ func fromResult(cfg Config, res *core.Result) *Result {
 			Kind:   res.Cfg.Attack.Kind.String(),
 			StartS: res.Cfg.Attack.Start.Seconds(),
 			Rate:   res.Cfg.Attack.Rate,
+			Member: res.Cfg.Attack.Member,
+			Target: res.Cfg.Attack.Target,
 		},
 		Crashed:         res.Crashed,
 		Switched:        res.Switched,
@@ -394,6 +507,9 @@ func fromResult(cfg Config, res *core.Result) *Result {
 			AvgLatencyS: t.AvgLatency.Seconds(),
 			MaxLatencyS: t.MaxLatency.Seconds(),
 		})
+	}
+	for i := range res.Members {
+		r.Members = append(r.Members, fromMemberReport(&res.Members[i]))
 	}
 	if res.Log != nil {
 		for _, s := range res.Log.Samples() {

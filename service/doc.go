@@ -56,4 +56,20 @@
 // bump does happen, the server answers old-version payloads with a
 // 400 naming both versions, so mixed fleets fail observably at the
 // boundary rather than corrupting results.
+//
+// The swarm work is a worked example of the policy, on both sides of
+// it. This service schema stayed at v1: the swarm knobs arrive as
+// ordinary named params ("drones", "fleet.spacing", "attack.member",
+// "attack.target", "fault.member", "fault.from-member"), which is
+// the additive case — an old client simply never sends them. The
+// SDK's config/result schema (containerdrone.SchemaVersion), a
+// separate version with its own range check, DID bump to v2, even
+// though its new fields are also additive and v1 payloads are still
+// read as v2 defaults (one drone, member 0 everywhere). The
+// asymmetry is semantic: a v2 Result for a multi-drone run reports
+// aggregates — crashed, switched, garbage_pkts — that now summarize N
+// members, with the per-member story only in the new members array. A
+// v1 reader consuming that unawares would mis-attribute one
+// follower's crash to the whole fleet, which is exactly the
+// "semantics altered for an existing field" clause above.
 package service

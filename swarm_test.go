@@ -1,0 +1,130 @@
+package containerdrone_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"containerdrone"
+)
+
+// swarmScenarios is the multi-drone regression spine: every registry
+// scenario that hosts a 3-drone fleet. TestGoldenFilesMatchRegistry
+// keeps the registry and golden set in sync; this list keeps the
+// swarm-specific assertions in sync with the registry by failing in
+// TestSwarmDeterminism when a name disappears.
+var swarmScenarios = []string{
+	"swarm-baseline",
+	"swarm-mission",
+	"fleet-split",
+	"swarm-peer-flood",
+	"swarm-cross-replay",
+	"swarm-cross-replay-unmonitored",
+	"swarm-compromised",
+}
+
+// TestSwarmDeterminism is the fleet reading of TestScenarioDeterminism:
+// every swarm scenario run twice at the same seed must serialize
+// byte-identically, and its Result must carry one MemberResult per
+// fleet member with the fabric hostnames the netsim routes by. The CI
+// race job runs this under -race, so the shared-fabric fan-in (N
+// members' endpoints on one Network) is exercised with the detector
+// watching.
+func TestSwarmDeterminism(t *testing.T) {
+	const (
+		seed     = 99
+		duration = 14 * time.Second
+	)
+	for _, name := range swarmScenarios {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func() ([]byte, *containerdrone.Result) {
+				sim, err := containerdrone.New(name,
+					containerdrone.WithSeed(seed),
+					containerdrone.WithDuration(duration))
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				res, err := sim.Run(context.Background())
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				raw, err := json.Marshal(res)
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				return raw, res
+			}
+			a, res := run()
+			b, _ := run()
+			if !bytes.Equal(a, b) {
+				t.Fatal("two same-seed runs serialized differently")
+			}
+			if len(res.Members) != 3 {
+				t.Fatalf("got %d member results, want 3", len(res.Members))
+			}
+			for i, m := range res.Members {
+				if m.Member != i {
+					t.Errorf("member %d reports index %d", i, m.Member)
+				}
+				want := "hce"
+				if i > 0 {
+					want = "hce" + string(rune('0'+i))
+				}
+				if m.Host != want {
+					t.Errorf("member %d host = %q, want %q", i, m.Host, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWithDrones checks the SDK fleet entry point: WithDrones lifts
+// any classic scenario into a fleet, and the member-targeted attack
+// options survive the Config JSON round trip.
+func TestWithDrones(t *testing.T) {
+	sim, err := containerdrone.New("udpflood",
+		containerdrone.WithSeed(5),
+		containerdrone.WithDuration(12*time.Second),
+		containerdrone.WithDrones(3),
+		containerdrone.WithFleetSpacing(3),
+		containerdrone.WithAttack(containerdrone.Attack{
+			Kind: "udp-flood", StartS: 8, Member: 1, Target: 2,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip the request and rebuild: fleet fields must survive.
+	raw, err := json.Marshal(sim.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg containerdrone.Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Drones != 3 || cfg.FleetSpacingM != 3 || cfg.Attack.Member != 1 || cfg.Attack.Target != 2 {
+		t.Fatalf("fleet fields lost in round trip: %+v", cfg)
+	}
+	sim2, err := containerdrone.NewFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 3 {
+		t.Fatalf("got %d member results, want 3", len(res.Members))
+	}
+	if res.Members[2].GarbagePkts == 0 {
+		t.Error("flood victim member 2 saw no garbage")
+	}
+	if res.Members[1].GarbagePkts != 0 {
+		t.Error("flood attacker member 1 counted garbage meant for the victim")
+	}
+}
