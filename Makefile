@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -skip TestGoldenTraces . ./internal/campaign/
+	$(GO) test -race -skip TestGoldenTraces . ./internal/campaign/ ./service/
 	$(GO) test -race -run 'TestSnapshot' ./internal/core/
 
 # Full performance suite: emits BENCH_<timestamp>.json in the repo

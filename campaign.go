@@ -212,6 +212,9 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			ForkGroups:       stats.ForkGroups,
 			ForkedRuns:       stats.ForkedRuns,
 			PrefixShareRatio: stats.PrefixShareRatio(),
+			RunsFailed:       stats.RunsFailed,
+			RunsPanicked:     stats.RunsPanicked,
+			RunsRetried:      stats.RunsRetried,
 		},
 	}
 	for _, r := range records {
@@ -248,6 +251,17 @@ type Record struct {
 	// Err records a build, run, or cancellation failure; such runs
 	// carry no metrics.
 	Err string `json:"err,omitempty"`
+	// Panicked marks a run that died to a panic recovered at the
+	// campaign worker's crash boundary; the (scenario, seed) point is
+	// quarantined — the failure record is final, never retried. Err
+	// carries the panic value and Stack the goroutine stack.
+	Panicked bool `json:"panicked,omitempty"`
+	// Retries counts re-executions after transient failures; 0 for
+	// first-attempt outcomes.
+	Retries int `json:"retries,omitempty"`
+	// Stack is the recovered panic's goroutine stack (JSON only; the
+	// records CSV omits it).
+	Stack string `json:"stack,omitempty"`
 }
 
 // Percentiles summarizes one metric over a run population.
@@ -268,6 +282,11 @@ type Aggregate struct {
 	Faults string `json:"faults,omitempty"`
 	Runs   int    `json:"runs"`
 	Errors int    `json:"errors,omitempty"`
+	// Panics counts the quarantined subset of Errors (recovered worker
+	// panics); Retried counts transient re-executions behind the
+	// point's final run outcomes.
+	Panics  int `json:"panics,omitempty"`
+	Retried int `json:"retried_runs,omitempty"`
 
 	Crashes   int     `json:"crashes"`
 	CrashRate float64 `json:"crash_rate"`
@@ -291,6 +310,7 @@ type Aggregate struct {
 func fromAggregate(a campaign.Aggregate) Aggregate {
 	return Aggregate{
 		Point: a.Point, Scenario: a.Scenario, Faults: a.Faults, Runs: a.Runs, Errors: a.Errors,
+		Panics: a.Panics, Retried: a.Retried,
 		Crashes: a.Crashes, CrashRate: a.CrashRate,
 		Failovers: a.Failovers, FailoverRate: a.FailoverRate,
 		RuleCounts:   a.RuleCounts,
@@ -304,6 +324,7 @@ func fromAggregate(a campaign.Aggregate) Aggregate {
 func (a Aggregate) internal() campaign.Aggregate {
 	return campaign.Aggregate{
 		Point: a.Point, Scenario: a.Scenario, Faults: a.Faults, Runs: a.Runs, Errors: a.Errors,
+		Panics: a.Panics, Retried: a.Retried,
 		Crashes: a.Crashes, CrashRate: a.CrashRate,
 		Failovers: a.Failovers, FailoverRate: a.FailoverRate,
 		RuleCounts:   a.RuleCounts,
@@ -344,6 +365,15 @@ type CampaignStats struct {
 	// PrefixShareRatio is TicksSaved / (TicksFlown + TicksSaved): the
 	// fraction of demanded simulation work that sharing eliminated.
 	PrefixShareRatio float64 `json:"prefix_share_ratio"`
+
+	// RunsFailed counts runs that settled with a failure record after
+	// actually executing; RunsPanicked is the quarantined subset
+	// recovered at the worker crash boundary; RunsRetried counts
+	// transient re-executions. All zero on a healthy campaign, so its
+	// serialized output is byte-identical to pre-recovery builds.
+	RunsFailed   int64 `json:"runs_failed,omitempty"`
+	RunsPanicked int64 `json:"runs_panicked,omitempty"`
+	RunsRetried  int64 `json:"runs_retried,omitempty"`
 }
 
 func (r *CampaignResult) internalRecords() []campaign.Record {

@@ -18,6 +18,12 @@
 // 503, new submissions are rejected, every accepted job runs to
 // completion (bounded by -drain-timeout, after which in-flight jobs
 // are canceled and return partial results), then the process exits.
+//
+// With -journal <dir> accepted jobs are also durable: each admission
+// is fsynced to a write-ahead journal before the 202 goes out, and a
+// campaignd killed without draining (kill -9, OOM, power loss)
+// replays every unsettled job when it boots over the same directory —
+// at-least-once execution for every acknowledged submission.
 package main
 
 import (
@@ -35,21 +41,23 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 0, "persistent campaign workers (0 = GOMAXPROCS)")
-		queue        = flag.Int("queue", 64, "bounded job queue depth (full queue rejects with 429)")
-		jobParallel  = flag.Int("job-parallel", 1, "campaign workers per job")
-		quotaRate    = flag.Float64("quota-rate", 0, "per-tenant submissions/s token-bucket refill (0 = unlimited)")
-		quotaBurst   = flag.Int("quota-burst", 1, "per-tenant token-bucket burst")
-		maxInFlight  = flag.Int("max-in-flight", 0, "per-tenant queued+running job cap (0 = unlimited)")
-		maxRuns      = flag.Int("max-runs", 65536, "per-job total run cap")
-		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
-		maxTimeout   = flag.Duration("max-job-timeout", 10*time.Minute, "cap on request-supplied deadlines")
-		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "graceful-drain bound; in-flight jobs are canceled past it")
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 0, "persistent campaign workers (0 = GOMAXPROCS)")
+		queue         = flag.Int("queue", 64, "bounded job queue depth (full queue rejects with 429)")
+		jobParallel   = flag.Int("job-parallel", 1, "campaign workers per job")
+		quotaRate     = flag.Float64("quota-rate", 0, "per-tenant submissions/s token-bucket refill (0 = unlimited)")
+		quotaBurst    = flag.Int("quota-burst", 1, "per-tenant token-bucket burst")
+		maxInFlight   = flag.Int("max-in-flight", 0, "per-tenant queued+running job cap (0 = unlimited)")
+		maxRuns       = flag.Int("max-runs", 65536, "per-job total run cap")
+		jobTimeout    = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
+		maxTimeout    = flag.Duration("max-job-timeout", 10*time.Minute, "cap on request-supplied deadlines")
+		drainTimeout  = flag.Duration("drain-timeout", 5*time.Minute, "graceful-drain bound; in-flight jobs are canceled past it")
+		journalDir    = flag.String("journal", "", "durable job journal directory: accepted jobs survive a crash and replay on the next boot")
+		chaosPanicJob = flag.Int("chaos-panic-job", 0, "TESTING: panic the worker running job j-<n> on its first attempt")
 	)
 	flag.Parse()
 
-	svc := service.NewServer(service.Config{
+	cfg := service.Config{
 		Workers:              *workers,
 		QueueDepth:           *queue,
 		JobParallel:          *jobParallel,
@@ -59,7 +67,31 @@ func main() {
 		MaxRunsPerJob:        *maxRuns,
 		DefaultTimeout:       *jobTimeout,
 		MaxTimeout:           *maxTimeout,
-	})
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "campaignd: "+format+"\n", args...)
+		},
+	}
+	if *journalDir != "" {
+		jl, err := service.OpenJournal(*journalDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer jl.Close()
+		cfg.Journal = jl
+	}
+	if *chaosPanicJob > 0 {
+		target := fmt.Sprintf("j-%08d", *chaosPanicJob)
+		cfg.ChaosHook = func(jobID string, attempt int) {
+			if jobID == target && attempt == 0 {
+				panic("chaos: injected worker panic for " + jobID)
+			}
+		}
+	}
+
+	svc := service.NewServer(cfg)
+	if n := svc.Metrics().JournalReplays; n > 0 {
+		fmt.Printf("campaignd: replaying %d incomplete jobs from journal\n", n)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 
 	ctx, stop := cliutil.SignalContext(context.Background())

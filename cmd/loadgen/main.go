@@ -8,14 +8,13 @@
 //	loadgen -addr http://localhost:8080 -clients 500 -duration 30s
 //	loadgen -clients 64 -scenario udpflood -runs 4 -tenants 8
 //
-// The report prints accepted/rejected/failed counts, end-to-end
+// The report prints completed/retried/failed counts, end-to-end
 // latency percentiles, and sustained requests/s and runs/s — the
 // numbers EXPERIMENTS.md tracks for the service.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,9 +54,9 @@ func main() {
 	}
 
 	var (
-		completed, rejected, failed, runsDone atomic.Int64
-		mu                                    sync.Mutex
-		latencies                             []float64
+		completed, retried, failed, runsDone atomic.Int64
+		mu                                   sync.Mutex
+		latencies                            []float64
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -66,6 +65,16 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			cl := service.NewClient(*addr, fmt.Sprintf("tenant-%d", i%*tenants))
+			// Backpressure retry lives in the client now: exponential
+			// backoff with full jitter, honoring the server's
+			// Retry-After hint. The budget is effectively unbounded —
+			// the deadline context is what ends the loop.
+			cl.Retry = service.Retry{
+				MaxAttempts: 1 << 30,
+				OnRetry: func(int, *service.APIError, time.Duration) {
+					retried.Add(1)
+				},
+			}
 			for deadline.Err() == nil {
 				t0 := time.Now()
 				st, err := cl.SubmitWait(deadline, req)
@@ -79,16 +88,6 @@ func main() {
 				case deadline.Err() != nil:
 					return
 				default:
-					var apiErr *service.APIError
-					if errors.As(err, &apiErr) && apiErr.Retryable() {
-						rejected.Add(1)
-						select {
-						case <-time.After(apiErr.RetryAfter):
-						case <-deadline.Done():
-							return
-						}
-						continue
-					}
 					failed.Add(1)
 					// Back off on transport errors (server gone,
 					// connection refused) instead of hot-looping.
@@ -120,8 +119,8 @@ func main() {
 	}
 	fmt.Printf("loadgen: %d clients × %v against %s (%s, %d runs × %v sim)\n",
 		*clients, *duration, *addr, *scenario, *runs, *simDur)
-	fmt.Printf("  completed %d   rejected(backpressure) %d   failed %d\n",
-		completed.Load(), rejected.Load(), failed.Load())
+	fmt.Printf("  completed %d   retried(backpressure) %d   failed %d\n",
+		completed.Load(), retried.Load(), failed.Load())
 	fmt.Printf("  requests/s %.1f   runs/s %.1f\n",
 		float64(completed.Load())/wall, float64(runsDone.Load())/wall)
 	fmt.Printf("  latency p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",

@@ -57,6 +57,12 @@ type Aggregate struct {
 	Faults string `json:"faults,omitempty"`
 	Runs   int    `json:"runs"`
 	Errors int    `json:"errors,omitempty"`
+	// Panics counts the quarantined subset of Errors — runs whose
+	// execution panicked and was recovered at the worker's crash
+	// boundary. Retried counts transient re-executions that preceded
+	// the point's final run outcomes (healthy or failed).
+	Panics  int `json:"panics,omitempty"`
+	Retried int `json:"retried_runs,omitempty"`
 
 	Crashes   int     `json:"crashes"`
 	CrashRate float64 `json:"crash_rate"`
@@ -86,6 +92,8 @@ type pointAgg struct {
 	faults     string
 	runs       int
 	errors     int
+	panics     int
+	retried    int
 	crashes    int
 	failovers  int
 	ruleCounts map[string]int
@@ -124,8 +132,12 @@ func (s *Shard) Add(pi int, r *Record) {
 	if r.Faults != "" {
 		a.faults = r.Faults
 	}
+	a.retried += r.Retries
 	if r.Err != "" {
 		a.errors++
+		if r.Panicked {
+			a.panics++
+		}
 		return
 	}
 	if r.Crashed {
@@ -169,6 +181,8 @@ func MergeShards(shards []*Shard) []Aggregate {
 			}
 			agg.Runs += a.runs
 			agg.Errors += a.errors
+			agg.Panics += a.panics
+			agg.Retried += a.retried
 			agg.Crashes += a.crashes
 			agg.Failovers += a.failovers
 			for rule, n := range a.ruleCounts {

@@ -81,6 +81,16 @@ type Spec struct {
 	// flights.
 	PrefixShare bool
 
+	// Chaos, when non-nil, is the test-only fault-injection hook run
+	// inside the worker's recover boundary before every full-flight
+	// run attempt — it may panic, stall, or return a (possibly
+	// Transient) error, proving the campaign's crash isolation works
+	// without corrupting anything. When nil, the hook is read from the
+	// ChaosEnv environment variable so separately built binaries
+	// (campaignd under a CI chaos job) can be injected too. Production
+	// campaigns leave both unset and pay only a recover() frame.
+	Chaos Chaos
+
 	// Stream, when non-nil, receives every Record exactly once, from a
 	// single emitter goroutine off the workers' hot path — live
 	// CSV/JSON emit without a post-pass. Records are delivered in
@@ -118,6 +128,18 @@ type Record struct {
 	MissRate float64 `json:"miss_rate"`
 	// Err records a build or run failure; such runs carry no metrics.
 	Err string `json:"err,omitempty"`
+	// Panicked marks a run that died to a panic recovered at the
+	// worker's crash boundary. The (scenario, seed) point is
+	// quarantined: the failure record is final and never retried,
+	// because a deterministic simulator panics the same way twice. Err
+	// carries the panic value; Stack the goroutine stack at recovery.
+	Panicked bool `json:"panicked,omitempty"`
+	// Retries counts re-executions after transient failures; 0 for
+	// first-attempt outcomes, healthy or failed.
+	Retries int `json:"retries,omitempty"`
+	// Stack is the recovered panic's goroutine stack (JSON only; the
+	// records CSV omits it).
+	Stack string `json:"stack,omitempty"`
 }
 
 // DeriveSeed maps (base, point, run) to the seed of one run with a
@@ -200,6 +222,17 @@ func RunAggregatedStats(ctx context.Context, spec Spec) ([]Record, []Aggregate, 
 			}
 		}
 		plan = singletonPlan(len(spec.Points))
+	}
+	chaos := spec.Chaos
+	if chaos == nil {
+		c, err := chaosFromEnv()
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		chaos = c
+	}
+	if ec, ok := chaos.(*envChaos); ok {
+		ec.bind(spec.Runs) // env directives address flat run indices
 	}
 	workers := spec.Parallel
 	if workers <= 0 {
@@ -302,7 +335,7 @@ func RunAggregatedStats(ctx context.Context, spec Spec) ([]Record, []Aggregate, 
 		wg.Add(1)
 		go func(wi int, shard *Shard) {
 			defer wg.Done()
-			w := worker{spec: spec, plan: plan, pi: -1, gi: -1}
+			w := worker{spec: spec, plan: plan, pi: -1, gi: -1, chaos: chaos}
 			emit := func(idx int) {
 				pi := idx / spec.Runs
 				shard.Add(pi, &records[idx])
@@ -399,6 +432,7 @@ func buildPoint(p Point, spec Spec, seed uint64) (core.Config, error) {
 type worker struct {
 	spec  Spec
 	plan  *forkPlan
+	chaos Chaos
 	pi    int // point index the cached System was built for (-1 none)
 	sys   *core.System
 	res   core.Result
@@ -406,6 +440,29 @@ type worker struct {
 	group map[int]*core.System
 	snap  core.Snapshot
 	stats Stats
+}
+
+// discardPools drops every cached warm System. Called after a
+// recovered panic: the panic may have unwound mid-mutation, so the
+// pooled state cannot be trusted and the next run cold-builds.
+func (w *worker) discardPools() {
+	w.sys, w.pi = nil, -1
+	w.group, w.gi = nil, -1
+}
+
+// panicRecord settles a cell whose execution panicked: a quarantined
+// failure record carrying the panic value and stack, the pooled state
+// discarded, and the failure counted. Quarantine means final — the
+// simulator is deterministic, so the same (scenario, seed) point
+// would panic identically on retry.
+func (w *worker) panicRecord(pi, ri int, err error, stack []byte) Record {
+	w.discardPools()
+	rec := w.errRecord(pi, ri, err)
+	rec.Panicked = true
+	rec.Stack = string(stack)
+	w.stats.RunsFailed++
+	w.stats.RunsPanicked++
+	return rec
 }
 
 // runChunk executes runs [lo, hi) of fork group gi — every member
@@ -424,14 +481,13 @@ func (w *worker) runChunk(ctx context.Context, gi, lo, hi int, records []Record,
 				if err := ctx.Err(); err != nil {
 					records[idx] = w.errRecord(pi, ri, err)
 				} else {
-					records[idx] = w.runOne(ctx, pi, ri)
+					records[idx] = w.runCell(ctx, pi, ri)
 				}
 				emit(idx)
 			}
 		}
 		return
 	}
-	leadPI := g.leader()
 	for ri := lo; ri < hi; ri++ {
 		if err := ctx.Err(); err != nil {
 			for _, pi := range g.members {
@@ -441,77 +497,182 @@ func (w *worker) runChunk(ctx context.Context, gi, lo, hi int, records []Record,
 			}
 			continue
 		}
-		seed := DeriveSeed(w.spec.BaseSeed, leadPI, ri)
-		leader, err := w.groupSystem(gi, leadPI, seed)
-		if err != nil {
-			// Per-point builds were validated up front, so this is
-			// vanishingly rare; degrade the whole run index to full
-			// flights rather than guessing at shared state.
-			idx := leadPI*w.spec.Runs + ri
-			records[idx] = w.errRecord(leadPI, ri, err)
-			emit(idx)
-			for _, pi := range g.members[1:] {
-				idx := pi*w.spec.Runs + ri
-				records[idx] = w.runOne(ctx, pi, ri)
-				emit(idx)
-			}
-			continue
+		w.runForkIndex(ctx, gi, g, ri, records, emit)
+	}
+}
+
+// runForkIndex flies one run index of a qualified fork group: the
+// leader's shared prefix, a snapshot, then every member forked from
+// it. Each stage runs inside the protect() boundary, so a panic fails
+// only the cell it surfaced on, discards the worker's pooled state,
+// and degrades the remaining members to full (still protected)
+// flights — one poisoned (scenario, seed) point cannot sink its
+// group, let alone the campaign.
+func (w *worker) runForkIndex(ctx context.Context, gi int, g *forkGroup, ri int, records []Record, emit func(int)) {
+	leadPI := g.leader()
+	seed := DeriveSeed(w.spec.BaseSeed, leadPI, ri)
+	lidx := leadPI*w.spec.Runs + ri
+
+	var leader *core.System
+	berr, bpanic, bstack := protect(func() error {
+		var err error
+		leader, err = w.groupSystem(gi, leadPI, seed)
+		return err
+	})
+	if berr != nil || bpanic {
+		// Per-point builds were validated up front, so this is
+		// vanishingly rare; degrade the whole run index to full
+		// flights rather than guessing at shared state.
+		if bpanic {
+			records[lidx] = w.panicRecord(leadPI, ri, berr, bstack)
+		} else {
+			records[lidx] = w.errRecord(leadPI, ri, berr)
+			w.stats.RunsFailed++
 		}
-		// Fly the shared prefix on the leader.
-		if err := leader.RunToTickContext(ctx, g.forkTick); err != nil {
-			for _, pi := range g.members {
-				idx := pi*w.spec.Runs + ri
-				records[idx] = w.errRecord(pi, ri, err)
-				emit(idx)
-			}
-			continue
-		}
-		end := sim.TicksFor(leader.Cfg.Duration)
-		if serr := leader.Snapshotable(); serr != nil {
-			// Runtime fallback: something acted before the planned
-			// onset after all (e.g. a swept monitor threshold tight
-			// enough to trip during the benign hover). The leader's
-			// prefix is already flown, so resuming it IS its full
-			// flight; the other members fly ordinary full flights at
-			// the leader's seed. Results stay byte-identical to cold
-			// runs either way.
-			idx := leadPI*w.spec.Runs + ri
-			records[idx] = w.finish(ctx, leader, leadPI, ri, seed)
-			if records[idx].Err == "" {
-				w.stats.TicksFlown += end
-			}
-			emit(idx)
-			for _, pi := range g.members[1:] {
-				idx := pi*w.spec.Runs + ri
-				records[idx] = w.runOne(ctx, pi, ri)
-				emit(idx)
-			}
-			continue
-		}
-		leader.SnapshotInto(&w.snap)
-		idx := leadPI*w.spec.Runs + ri
-		records[idx] = w.finish(ctx, leader, leadPI, ri, seed)
-		if records[idx].Err == "" {
-			w.stats.TicksFlown += end
-		}
-		emit(idx)
+		emit(lidx)
 		for _, pi := range g.members[1:] {
 			idx := pi*w.spec.Runs + ri
+			records[idx] = w.runCell(ctx, pi, ri)
+			emit(idx)
+		}
+		return
+	}
+
+	// Fly the shared prefix on the leader and snapshot at the fork
+	// point. fallback marks the runtime Snapshotable refusal:
+	// something acted before the planned onset after all (e.g. a swept
+	// monitor threshold tight enough to trip during the benign hover).
+	fallback := false
+	perr, ppanic, pstack := protect(func() error {
+		if err := leader.RunToTickContext(ctx, g.forkTick); err != nil {
+			return err
+		}
+		if serr := leader.Snapshotable(); serr != nil {
+			fallback = true
+			return nil
+		}
+		leader.SnapshotInto(&w.snap)
+		return nil
+	})
+	if ppanic {
+		records[lidx] = w.panicRecord(leadPI, ri, perr, pstack)
+		emit(lidx)
+		for _, pi := range g.members[1:] {
+			idx := pi*w.spec.Runs + ri
+			records[idx] = w.runCell(ctx, pi, ri)
+			emit(idx)
+		}
+		return
+	}
+	if perr != nil {
+		for _, pi := range g.members {
+			idx := pi*w.spec.Runs + ri
+			records[idx] = w.errRecord(pi, ri, perr)
+			emit(idx)
+		}
+		return
+	}
+
+	// The leader's prefix is already flown, so resuming it IS its full
+	// flight — on the fallback path the other members fly ordinary
+	// full flights at the leader's seed. Results stay byte-identical
+	// to cold runs either way.
+	end := sim.TicksFor(leader.Cfg.Duration)
+	records[lidx] = w.protectedFinish(ctx, leader, leadPI, ri, seed)
+	if records[lidx].Err == "" {
+		w.stats.TicksFlown += end
+	}
+	emit(lidx)
+	if fallback {
+		for _, pi := range g.members[1:] {
+			idx := pi*w.spec.Runs + ri
+			records[idx] = w.runCell(ctx, pi, ri)
+			emit(idx)
+		}
+		return
+	}
+	for _, pi := range g.members[1:] {
+		idx := pi*w.spec.Runs + ri
+		var rec Record
+		ferr, fpanic, fstack := protect(func() error {
 			sys, err := w.groupSystem(gi, pi, seed)
 			if err != nil {
-				records[idx] = w.errRecord(pi, ri, err)
-				emit(idx)
-				continue
+				return err
 			}
 			sys.RestoreFrom(seed, &w.snap)
-			records[idx] = w.finish(ctx, sys, pi, ri, seed)
-			if records[idx].Err == "" {
+			rec = w.finish(ctx, sys, pi, ri, seed)
+			return nil
+		})
+		switch {
+		case fpanic:
+			records[idx] = w.panicRecord(pi, ri, ferr, fstack)
+		case ferr != nil:
+			records[idx] = w.errRecord(pi, ri, ferr)
+			w.stats.RunsFailed++
+		default:
+			records[idx] = rec
+			if rec.Err == "" {
 				w.stats.TicksFlown += end - g.forkTick
 				w.stats.TicksSaved += g.forkTick
 				w.stats.ForkedRuns++
 			}
-			emit(idx)
 		}
+		emit(idx)
+	}
+}
+
+// protectedFinish is finish inside the recover boundary: a panic
+// while resuming a mid-flight System settles the cell as quarantined
+// instead of killing the worker.
+func (w *worker) protectedFinish(ctx context.Context, sys *core.System, pi, ri int, seed uint64) Record {
+	var rec Record
+	err, panicked, stack := protect(func() error {
+		rec = w.finish(ctx, sys, pi, ri, seed)
+		return nil
+	})
+	if panicked {
+		return w.panicRecord(pi, ri, err, stack)
+	}
+	return rec
+}
+
+// runCell executes one (point, run) cell as a full flight inside the
+// recover boundary. Transient failures retry with bounded exponential
+// backoff; a panic quarantines the cell — its failure record is
+// final — and discards the worker's warm pooled state, since the
+// panic may have unwound mid-mutation.
+func (w *worker) runCell(ctx context.Context, pi, ri int) Record {
+	var rec Record
+	for attempt := 0; ; attempt++ {
+		err, panicked, stack := protect(func() error {
+			if w.chaos != nil {
+				if cerr := w.chaos.BeforeRun(pi, ri, attempt); cerr != nil {
+					return cerr
+				}
+			}
+			rec = w.runOne(ctx, pi, ri)
+			return nil
+		})
+		switch {
+		case panicked:
+			rec = w.panicRecord(pi, ri, err, stack)
+			rec.Retries = attempt
+			return rec
+		case err != nil && IsTransient(err) && attempt+1 < maxRunAttempts && ctx.Err() == nil:
+			w.stats.RunsRetried++
+			backoff(ctx, attempt)
+			continue
+		case err != nil:
+			rec = w.errRecord(pi, ri, err)
+			rec.Retries = attempt
+			w.stats.RunsFailed++
+			return rec
+		}
+		rec.Retries = attempt
+		if rec.Err != "" && ctx.Err() == nil {
+			w.stats.RunsFailed++
+		}
+		return rec
 	}
 }
 

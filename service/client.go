@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -17,11 +19,57 @@ import (
 
 // Client talks to a campaignd server. The zero HTTPClient uses
 // http.DefaultClient; Tenant, when set, rides on every request as the
-// X-Tenant header.
+// X-Tenant header; Retry, when configured, transparently retries
+// backpressure rejections.
 type Client struct {
 	BaseURL    string
 	Tenant     string
 	HTTPClient *http.Client
+	Retry      Retry
+}
+
+// Retry configures client-side retry of backpressure rejections — the
+// 429 (quota, queue full) and 503 (draining) answers the server emits
+// by design under load. Only those are retried: a rejected submission
+// was never accepted, so repeating it is safe; transport failures and
+// 4xx/5xx verdicts are returned immediately. The zero value disables
+// retry.
+type Retry struct {
+	// MaxAttempts is the total request budget, first try included;
+	// <= 1 disables retry.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms). Each
+	// scheduled delay gets full jitter — half deterministic, half
+	// random — so a thundering herd of rejected clients decorrelates;
+	// a server Retry-After hint, when longer, takes precedence over
+	// the computed delay. MaxDelay caps the computed backoff (default
+	// 5s); the server hint is honored even beyond it.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// OnRetry, when set, observes every scheduled retry: the attempt
+	// number just failed (1-based), the rejection, and the wait.
+	OnRetry func(attempt int, err *APIError, delay time.Duration)
+}
+
+// backoff computes the wait before attempt+2 (attempt is 0-based).
+func (r Retry) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := r.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := max
+	if attempt < 20 && base<<attempt < max {
+		d = base << attempt
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		return retryAfter
+	}
+	return d
 }
 
 // NewClient builds a client for a server base URL ("http://host:port").
@@ -82,13 +130,35 @@ func apiError(resp *http.Response) error {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, buf, out)
+		var apiErr *APIError
+		if err == nil || !errors.As(err, &apiErr) || !apiErr.Retryable() || attempt+1 >= c.Retry.MaxAttempts {
+			return err
+		}
+		delay := c.Retry.backoff(attempt, apiErr.RetryAfter)
+		if c.Retry.OnRetry != nil {
+			c.Retry.OnRetry(attempt+1, apiErr, delay)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
@@ -156,9 +226,25 @@ func (c *Client) Wait(ctx context.Context, jobID string) (JobStatus, error) {
 // StreamRecords follows a job's SSE record stream, invoking fn (when
 // non-nil) for every record in campaign index order — late callers
 // replay the full history first — and returns the terminal JobStatus
-// delivered by the stream's closing "done" event.
+// delivered by the stream's closing event ("done", or "error" for a
+// job the server failed; either way the status tells the story and
+// the returned error is nil — a failed job is an answer, not a
+// transport problem).
 func (c *Client) StreamRecords(ctx context.Context, jobID string, fn func(containerdrone.Record)) (JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+jobID+"/records", nil)
+	return c.StreamRecordsFrom(ctx, jobID, 0, fn)
+}
+
+// StreamRecordsFrom is StreamRecords resuming at record index from —
+// the reconnect path: a consumer that counted n records before losing
+// its connection resumes with from=n and sees no duplicates and no
+// gaps, because the server replays its append-only record log from
+// exactly that index.
+func (c *Client) StreamRecordsFrom(ctx context.Context, jobID string, from int, fn func(containerdrone.Record)) (JobStatus, error) {
+	url := c.BaseURL + "/v1/jobs/" + jobID + "/records"
+	if from > 0 {
+		url += "?from=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -186,7 +272,7 @@ func (c *Client) StreamRecords(ctx context.Context, jobID string, fn func(contai
 				}
 				fn(rec)
 			}
-		case "done":
+		case "done", "error":
 			if err := json.Unmarshal(data, &status); err != nil {
 				return err
 			}
@@ -198,7 +284,7 @@ func (c *Client) StreamRecords(ctx context.Context, jobID string, fn func(contai
 		return status, err
 	}
 	if !gotDone {
-		return status, fmt.Errorf("service: record stream for %s ended without a done event", jobID)
+		return status, fmt.Errorf("service: record stream for %s ended without a terminal event", jobID)
 	}
 	return status, nil
 }

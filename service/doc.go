@@ -23,20 +23,68 @@
 //     accepted job run to completion, then stops the listener — zero
 //     accepted jobs are dropped on SIGTERM.
 //   - Observability: /metrics reports queue depth, in-flight count,
-//     per-tenant accept/reject counters, runs/s, and p50/p99 job
-//     latency; /healthz flips to 503 the moment drain begins so load
-//     balancers stop routing before the listener closes.
+//     per-tenant accept/reject counters, runs/s, p50/p99 job latency,
+//     and the crash-only counters (runs_failed, worker_restarts,
+//     jobs_retried, journal_replays); /healthz flips to 503 the moment
+//     drain begins so load balancers stop routing before the listener
+//     closes.
 //
 // # Endpoints
 //
 //	POST /v1/campaigns            submit a CampaignRequest; 202 + SubmitResponse
 //	POST /v1/campaigns?wait=1     submit and block until the job finishes; 200 + JobStatus
 //	GET  /v1/jobs/{id}            JobStatus (full CampaignResult once done)
-//	GET  /v1/jobs/{id}/records    SSE: one "record" event per completed run,
-//	                              then one "done" event carrying the JobStatus
+//	GET  /v1/jobs/{id}/records    SSE: one "record" event per completed run
+//	                              (?from=N resumes the replay at index N; each
+//	                              record frame carries its index as the SSE id),
+//	                              then one terminal event — "done" with the
+//	                              JobStatus, or "error" with the failed
+//	                              JobStatus when the job did not survive
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
 //	GET  /healthz                 200 "ok" serving, 503 "draining" during drain
 //	GET  /metrics                 MetricsSnapshot JSON
+//
+// # Crash-only supervision
+//
+// The worker fleet is crash-only: a job that panics through the SDK
+// boundary retires its worker, a replacement spawns under a restart-
+// rate token bucket (Config.RestartRate/RestartBurst — the crash-loop
+// brake), and the job is re-queued up to Config.MaxJobRetries times
+// before settling as failed. Because a campaign is a pure function of
+// (request, seed), a retried job re-emits a byte-identical record
+// stream, so SSE followers ride through the retry without duplicates
+// or gaps; followers of a job that exhausts its retries receive the
+// structured "error" terminal event instead of a hung stream. (Per-run
+// panics inside the campaign engine never reach this layer: the engine
+// quarantines them as per-run failure records.)
+//
+// # Durable job journal
+//
+// With Config.Journal set (campaignd -journal <dir>), accepted jobs
+// survive process death. The journal is a JSON-lines write-ahead log,
+// one object per line:
+//
+//	{"op":"accept","job_id":"j-00000007","tenant":"team-a","request":{...}}
+//	{"op":"done","job_id":"j-00000007"}
+//
+// Every append is a single write(2) followed by fsync, and the accept
+// entry is durable before the submitter hears 202 — so an
+// acknowledged job is always either settled (a matching done entry,
+// written whatever terminal state it reached) or replayable. On boot,
+// OpenJournal pairs accepts with dones, compacts the file down to the
+// unmatched accepts (write-temp/fsync/rename, so a crash during
+// compaction leaves the old or the new journal, never a mix), and
+// tolerates a torn trailing line — the only damage a mid-append crash
+// can leave. The server re-enqueues the pending jobs ahead of new
+// submissions and resumes the job-ID sequence past them.
+//
+// The delivery contract is at-least-once, idempotent by job ID: a job
+// that completed just before the crash but whose done entry never hit
+// the disk is executed again under the same ID, and the deterministic
+// campaign engine makes the re-execution produce identical results.
+// The journal is a durability log, not a result store — results of
+// jobs settled before a crash are forgotten with the process; only
+// unsettled work replays.
 //
 // # Schema versioning policy
 //

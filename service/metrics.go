@@ -27,6 +27,14 @@ type metrics struct {
 	runsCompleted atomic.Int64
 	inFlight      atomic.Int64
 
+	// Crash-only accounting: per-run failure records, workers retired
+	// by a job panic, jobs re-queued after one, and jobs re-enqueued
+	// from the durable journal at boot.
+	runsFailed     atomic.Int64
+	workerRestarts atomic.Int64
+	jobsRetried    atomic.Int64
+	journalReplays atomic.Int64
+
 	mu        sync.Mutex
 	latencies [latencyWindow]float64
 	latN      int // total observed; ring index is latN % latencyWindow
@@ -82,24 +90,28 @@ func (m *metrics) snapshot(queueDepth, queueCap, workers int, draining bool, ten
 		rps = float64(runs) / uptime
 	}
 	return MetricsSnapshot{
-		SchemaVersion: SchemaVersion,
-		UptimeS:       uptime,
-		Draining:      draining,
-		QueueDepth:    queueDepth,
-		QueueCap:      queueCap,
-		InFlight:      int(m.inFlight.Load()),
-		Workers:       workers,
-		Accepted:      m.accepted.Load(),
-		Completed:     m.completed.Load(),
-		Failed:        m.failed.Load(),
-		Canceled:      m.canceled.Load(),
-		RejectedQuota: m.rejectedQuota.Load(),
-		RejectedQueue: m.rejectedQueue.Load(),
-		RejectedDrain: m.rejectedDrain.Load(),
-		RunsCompleted: runs,
-		RunsPerSec:    rps,
-		LatencyP50S:   p50,
-		LatencyP99S:   p99,
-		Tenants:       tenants,
+		SchemaVersion:  SchemaVersion,
+		UptimeS:        uptime,
+		Draining:       draining,
+		QueueDepth:     queueDepth,
+		QueueCap:       queueCap,
+		InFlight:       int(m.inFlight.Load()),
+		Workers:        workers,
+		Accepted:       m.accepted.Load(),
+		Completed:      m.completed.Load(),
+		Failed:         m.failed.Load(),
+		Canceled:       m.canceled.Load(),
+		RejectedQuota:  m.rejectedQuota.Load(),
+		RejectedQueue:  m.rejectedQueue.Load(),
+		RejectedDrain:  m.rejectedDrain.Load(),
+		RunsCompleted:  runs,
+		RunsPerSec:     rps,
+		RunsFailed:     m.runsFailed.Load(),
+		WorkerRestarts: m.workerRestarts.Load(),
+		JobsRetried:    m.jobsRetried.Load(),
+		JournalReplays: m.journalReplays.Load(),
+		LatencyP50S:    p50,
+		LatencyP99S:    p99,
+		Tenants:        tenants,
 	}
 }

@@ -226,9 +226,18 @@ type MetricsSnapshot struct {
 	RejectedDrain int64 `json:"rejected_drain"`
 
 	// RunsCompleted counts simulation runs across all jobs; RunsPerSec
-	// is the lifetime average rate.
+	// is the lifetime average rate. RunsFailed counts per-run failure
+	// records (including panics the campaign engine quarantined).
 	RunsCompleted int64   `json:"runs_completed"`
 	RunsPerSec    float64 `json:"runs_per_sec"`
+	RunsFailed    int64   `json:"runs_failed"`
+
+	// Crash-only supervision counters: workers retired by a job panic
+	// and respawned, jobs re-queued after such a panic, and jobs
+	// re-enqueued from the durable journal at boot.
+	WorkerRestarts int64 `json:"worker_restarts"`
+	JobsRetried    int64 `json:"jobs_retried"`
+	JournalReplays int64 `json:"journal_replays"`
 
 	// Job latency (submit → terminal) percentiles over a sliding
 	// window of recent jobs, seconds.

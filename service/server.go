@@ -57,6 +57,39 @@ type Config struct {
 	// oldest are evicted. Default 16384.
 	Retention int
 
+	// Journal, when set, makes accepted jobs durable: every admission
+	// is journaled (and fsynced) before the submitter hears 202, and a
+	// server built over a journal with unsettled entries re-enqueues
+	// them at boot — at-least-once execution across process crashes.
+	// Open one with OpenJournal; the server appends to it but the
+	// caller owns Close.
+	Journal *Journal
+
+	// MaxJobRetries is how many times a job whose worker panicked is
+	// re-queued before it settles as failed. Default 1 (the campaign
+	// engine already quarantines per-run panics, so a job-level panic
+	// recurring twice is structural, not transient); negative disables
+	// retries.
+	MaxJobRetries int
+
+	// RestartRate and RestartBurst shape the worker supervisor's
+	// restart token bucket: replacements for panicked workers are
+	// immediate up to the burst, then spaced at the rate. Defaults:
+	// 1/s, burst 5.
+	RestartRate  float64
+	RestartBurst int
+
+	// ChaosHook, when set, runs at the top of every job attempt with
+	// the job's ID and attempt number — the service-level fault
+	// injection point (campaignd -chaos-panic-job). A panic thrown
+	// from the hook exercises the full supervision path: worker death,
+	// rate-limited respawn, job retry. Test and CI use only.
+	ChaosHook func(jobID string, attempt int)
+
+	// Logf receives supervision diagnostics (worker panics with their
+	// stacks). Default: discard.
+	Logf func(format string, args ...any)
+
 	// now overrides the quota clock in tests.
 	now func() time.Time
 }
@@ -89,6 +122,20 @@ func (c Config) withDefaults() Config {
 	if c.Retention <= 0 {
 		c.Retention = 16384
 	}
+	if c.MaxJobRetries == 0 {
+		c.MaxJobRetries = 1
+	} else if c.MaxJobRetries < 0 {
+		c.MaxJobRetries = 0
+	}
+	if c.RestartRate <= 0 {
+		c.RestartRate = 1
+	}
+	if c.RestartBurst <= 0 {
+		c.RestartBurst = 5
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 	return c
 }
 
@@ -96,11 +143,13 @@ func (c Config) withDefaults() Config {
 // behind it. Build with NewServer, mount anywhere (it serves relative
 // paths), and call Shutdown to drain.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	queue   chan *job
-	metrics *metrics
-	quotas  *quotaTable
+	cfg      Config
+	mux      *http.ServeMux
+	queue    chan *job
+	metrics  *metrics
+	quotas   *quotaTable
+	restarts *restartLimiter
+	journal  *Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -115,18 +164,42 @@ type Server struct {
 
 // NewServer builds the server and starts its worker fleet; callers
 // own the listener (mount s on an http.Server) and the drain call.
+// When cfg.Journal holds unsettled jobs from a crashed predecessor,
+// they are re-enqueued before any worker starts, in their original
+// accept order, ahead of new submissions.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var pending []PendingJob
+	if cfg.Journal != nil {
+		pending = cfg.Journal.Pending()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		mux:        http.NewServeMux(),
-		queue:      make(chan *job, cfg.QueueDepth),
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		// Replayed jobs bypass admission (they were admitted in a past
+		// life); widen the queue so re-enqueueing them cannot block or
+		// steal capacity from new submissions.
+		queue:      make(chan *job, cfg.QueueDepth+len(pending)),
 		metrics:    newMetrics(),
 		quotas:     newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst, cfg.MaxInFlightPerTenant, cfg.now),
+		restarts:   newRestartLimiter(cfg.RestartRate, cfg.RestartBurst, cfg.now),
+		journal:    cfg.Journal,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
+	}
+	if s.journal != nil {
+		s.nextID = s.journal.MaxID()
+		for _, p := range pending {
+			jobCtx, jobCancel := context.WithCancel(ctx)
+			j := newJob(p.ID, p.Tenant, p.Request, jobCancel)
+			j.ctx = jobCtx
+			s.jobs[j.id] = j
+			s.queue <- j
+			s.metrics.accepted.Add(1)
+			s.metrics.journalReplays.Add(1)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -135,8 +208,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
-		s.workerWG.Add(1)
-		go s.worker()
+		s.startWorker(0)
 	}
 	return s
 }
@@ -228,6 +300,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	j := newJob(fmt.Sprintf("j-%08d", s.nextID), tenant, req, cancel)
 	j.ctx = jobCtx
+	j.admitted = true
+	if s.journal != nil {
+		// Journal before acknowledging: an accepted job must be either
+		// settled or replayable, whatever happens to this process. The
+		// fsync rides inside the submit critical section — durability
+		// is the admission cost when a journal is configured.
+		if err := s.journal.Accept(j.id, tenant, req); err != nil {
+			s.mu.Unlock()
+			cancel()
+			s.quotas.release(tenant)
+			writeError(w, http.StatusInternalServerError, "journal",
+				"journal append failed: "+err.Error(), 0)
+			return
+		}
+	}
 	var depth int
 	select {
 	case s.queue <- j:
@@ -235,7 +322,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs[j.id] = j
 		s.mu.Unlock()
 	default:
-		s.nextID--
+		if s.journal != nil {
+			// Compensate the accept entry so the rejected job is not
+			// replayed after a crash; the burned ID is never reused.
+			_ = s.journal.Done(j.id)
+		} else {
+			s.nextID--
+		}
 		s.mu.Unlock()
 		cancel()
 		s.quotas.release(tenant)
@@ -293,29 +386,51 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleRecords streams a job's records as Server-Sent Events: one
 // "record" event per completed run in campaign index order (late
-// subscribers replay from the start), then a single "done" event
-// carrying the terminal JobStatus with the full result.
+// subscribers replay from the start), then a single terminal event —
+// "done" carrying the JobStatus with the full result, or "error"
+// carrying the failed JobStatus when the job did not survive (so a
+// follower of a crashed job sees a structured verdict, never a hung
+// stream). Each record event carries its campaign index as the SSE id
+// line, and ?from=N resumes the replay at index N — a client that
+// lost its connection after N records reconnects with from=N and sees
+// no duplicates.
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "not_found", "no such job", 0)
 		return
 	}
+	from := 0
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "from must be a non-negative integer", 0)
+			return
+		}
+		from = v
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
-	_, terminal, err := j.follow(r.Context(), 0, func(rec containerdrone.Record) error {
-		if err := writeEvent(w, "record", rec); err != nil {
+	idx := from
+	_, terminal, err := j.follow(r.Context(), from, func(rec containerdrone.Record) error {
+		if err := writeEventID(w, "record", idx, rec); err != nil {
 			return err
 		}
+		idx++
 		return rc.Flush()
 	})
 	if err != nil || !terminal {
 		return // client went away mid-stream
 	}
-	if writeEvent(w, "done", j.snapshot()) == nil {
+	st := j.snapshot()
+	name := "done"
+	if st.Status == StatusFailed {
+		name = "error"
+	}
+	if writeEvent(w, name, st) == nil {
 		rc.Flush()
 	}
 }
@@ -334,30 +449,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
-// worker is one fleet member: it owns whatever campaign it is running
-// until that campaign reaches a terminal state. The SDK campaign
-// engine below it keeps per-worker warm Systems, so a worker that
-// sees a steady diet of same-scenario jobs stays allocation-free at
-// the simulation layer.
-func (s *Server) worker() {
-	defer s.workerWG.Done()
-	for j := range s.queue {
-		s.runJob(j)
-	}
-}
-
+// runJob executes one job attempt to a terminal state. Settlement
+// (finish + retire) happens explicitly on each exit path rather than
+// in a defer: when the campaign panics, the job must stay unsettled so
+// the supervisor's crash boundary (runJobSafe) can decide between a
+// retry and a terminal failure.
 func (s *Server) runJob(j *job) {
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
-	defer s.retire(j)
 
 	if err := j.ctx.Err(); err != nil {
 		// Canceled while queued (DELETE, or a drain deadline forcing
 		// the base context): never started, no result.
 		j.finish(nil, err, true)
+		s.retire(j)
 		return
 	}
 	j.start()
+	if s.cfg.ChaosHook != nil {
+		s.cfg.ChaosHook(j.id, j.attempts)
+	}
 	timeout := s.cfg.DefaultTimeout
 	if j.req.TimeoutS > 0 {
 		timeout = time.Duration(j.req.TimeoutS * float64(time.Second))
@@ -378,12 +489,22 @@ func (s *Server) runJob(j *job) {
 	opts := append(j.req.options(parallel), containerdrone.WithRecordObserver(j.emit))
 	res, err := containerdrone.NewCampaign(j.req.Scenario, opts...).Run(ctx)
 	j.finish(res, err, errors.Is(err, context.Canceled))
+	s.retire(j)
 }
 
-// retire settles a terminal job: quota slot back, counters, latency
-// observation, retention eviction.
+// retire settles a terminal job: quota slot back, journal settlement,
+// counters, latency observation, retention eviction.
 func (s *Server) retire(j *job) {
-	s.quotas.release(j.tenant)
+	if j.admitted {
+		// Journal-replayed jobs were admitted by a previous process and
+		// hold no slot in this one's quota table.
+		s.quotas.release(j.tenant)
+	}
+	if s.journal != nil {
+		// A failed append leaves the accept entry standing, so the job
+		// replays after the next crash — at-least-once over losing it.
+		_ = s.journal.Done(j.id)
+	}
 	st := j.snapshot()
 	switch st.Status {
 	case StatusDone:
@@ -396,6 +517,8 @@ func (s *Server) retire(j *job) {
 	for _, rec := range j.records {
 		if rec.Err == "" {
 			s.metrics.runsCompleted.Add(1)
+		} else {
+			s.metrics.runsFailed.Add(1)
 		}
 	}
 	s.metrics.observeLatency(time.Since(j.submitted))
@@ -433,12 +556,25 @@ func writeError(w http.ResponseWriter, code int, reason, msg string, retry time.
 // writeEvent emits one SSE frame: "event: <name>" plus the JSON data
 // line.
 func writeEvent(w http.ResponseWriter, name string, v any) error {
-	if _, err := fmt.Fprintf(w, "event: %s\ndata: ", name); err != nil {
+	return writeEventID(w, name, -1, v)
+}
+
+// writeEventID emits an SSE frame with an id line (the record's
+// campaign index — the client's resume cursor). A negative id omits
+// the line.
+func writeEventID(w http.ResponseWriter, name string, id int, v any) error {
+	var err error
+	if id >= 0 {
+		_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: ", name, id)
+	} else {
+		_, err = fmt.Fprintf(w, "event: %s\ndata: ", name)
+	}
+	if err != nil {
 		return err
 	}
 	if err := json.NewEncoder(w).Encode(v); err != nil { // Encode appends the first \n
 		return err
 	}
-	_, err := fmt.Fprint(w, "\n")
+	_, err = fmt.Fprint(w, "\n")
 	return err
 }
